@@ -1,0 +1,45 @@
+// Area comparison (Related Work): the paper's single-global-synchronizer
+// organization vs the Intel-patent per-cell-synchronizer organization [9],
+// in gate equivalents, as capacity grows.
+//
+// Usage: bench_area [--csv]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fifo/area.hpp"
+#include "metrics/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mts;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+
+  std::printf("Synchronization area: global detectors (paper) vs per-cell "
+              "synchronizers (Intel [9]); gate equivalents, 8-bit items, "
+              "depth-2 synchronizers\n\n");
+
+  metrics::Table t({"places", "sync GE (paper)", "sync GE (per-cell)",
+                    "overhead", "total GE (paper)", "total GE (per-cell)"});
+  for (unsigned cap : {4u, 8u, 16u, 32u}) {
+    fifo::FifoConfig cfg;
+    cfg.capacity = cap;
+    cfg.width = 8;
+    const fifo::AreaEstimate ours = fifo::area_mixed_clock(cfg);
+    const fifo::AreaEstimate intel = fifo::area_per_cell_sync(cfg);
+    t.add_row({std::to_string(cap), metrics::fmt(ours.synchronizer_ge, 0),
+               metrics::fmt(intel.synchronizer_ge, 0),
+               metrics::fmt(intel.synchronizer_ge / ours.synchronizer_ge, 1) +
+                   "x",
+               metrics::fmt(ours.total(), 0),
+               metrics::fmt(intel.total(), 0)});
+  }
+  std::fputs(csv ? t.to_csv().c_str() : t.to_string().c_str(), stdout);
+  std::printf("\nThe paper's synchronization cost is constant (one chain on "
+              "full, two on the bi-modal empty) while the per-cell "
+              "organization pays two chains per cell -- 'significantly "
+              "greater area overhead' that grows linearly with capacity.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Related-Work comparison (Section 1): the Chelcea-Nowick mixed-clock FIFO
+// vs a Seizovic-style pipeline-synchronization baseline [13].
+//
+// The paper's claims, quantified here:
+//   - "the latency of his design is proportional with the number of FIFO
+//     stages" -- the baseline's empty-FIFO latency grows linearly with
+//     capacity while the token-ring design's stays nearly flat (data is
+//     immobile: an enqueued item is immediately visible at the output);
+//   - steady-state throughput: the baseline pays a synchronizer settling
+//     interval per hop; the token-ring design synchronizes only the two
+//     global state bits and sustains one word per cycle.
+//
+// Usage: bench_baseline_comparison [--csv]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bfm/bfm.hpp"
+#include "fifo/baseline_shift_fifo.hpp"
+#include "fifo/interface_sides.hpp"
+#include "fifo/mixed_clock_fifo.hpp"
+#include "metrics/experiments.hpp"
+#include "metrics/table.hpp"
+#include "sync/clock.hpp"
+
+namespace {
+
+using namespace mts;
+using sim::Time;
+
+fifo::FifoConfig cfg_of(unsigned capacity) {
+  fifo::FifoConfig cfg;
+  cfg.capacity = capacity;
+  cfg.width = 8;
+  return cfg;
+}
+
+struct BaselineResult {
+  double latency_ns;
+  double throughput_per_cycle;
+};
+
+BaselineResult run_baseline(unsigned capacity) {
+  const fifo::FifoConfig cfg = cfg_of(capacity);
+  const Time pp = 2 * fifo::SyncPutSide::min_period(cfg);
+  const Time gp = 2 * fifo::SyncGetSide::min_period(cfg);
+
+  BaselineResult r{};
+  {  // latency: single item through an empty pipeline
+    sim::Simulation sim(1);
+    sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
+    sync::Clock cg(sim, "cg", {gp, 4 * pp + gp / 3, 0.5, 0});
+    fifo::BaselineShiftFifo dut(sim, "dut", cfg, cp.out(), cg.out());
+    bfm::Scoreboard sb(sim, "sb");
+    bfm::GetMonitor mon(sim, cg.out(), dut.valid_get(), dut.data_get(), sb);
+    dut.req_get().set(true);
+    const Time react = cfg.dm.flop.clk_to_q + 1;
+    const Time edge = 4 * pp + 8 * pp;
+    const Time t_start = edge + react;
+    sim.sched().at(t_start, [&] {
+      dut.data_put().set(0x55);
+      dut.req_put().set(true);
+      sb.push(0x55);
+    });
+    sim.sched().at(edge + pp + react, [&] { dut.req_put().set(false); });
+    sim.run_until(edge + 300 * gp);
+    r.latency_ns = mon.dequeued() == 1
+                       ? static_cast<double>(mon.last_dequeue_time() - t_start) /
+                             1e3
+                       : -1.0;
+  }
+  {  // throughput: saturated
+    sim::Simulation sim(1);
+    sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
+    sync::Clock cg(sim, "cg", {gp, 4 * pp + gp / 3, 0.5, 0});
+    fifo::BaselineShiftFifo dut(sim, "dut", cfg, cp.out(), cg.out());
+    bfm::Scoreboard sb(sim, "sb");
+    bfm::GetMonitor mon(sim, cg.out(), dut.valid_get(), dut.data_get(), sb);
+    bfm::SyncPutDriver put(sim, "put", cp.out(), dut.req_put(), dut.data_put(),
+                           dut.full(), cfg.dm, {1.0, 1}, 0xFF);
+    bfm::SyncGetDriver get(sim, "get", cg.out(), dut.req_get(), cfg.dm,
+                           {1.0, 1});
+    sim.run_until(4 * pp + 200 * pp);
+    const auto before = mon.dequeued();
+    const Time t0 = sim.now();
+    sim.run_until(t0 + 600 * gp);
+    r.throughput_per_cycle =
+        static_cast<double>(mon.dequeued() - before) / 600.0;
+  }
+  return r;
+}
+
+double run_token_ring_throughput(unsigned capacity) {
+  const fifo::FifoConfig cfg = cfg_of(capacity);
+  const Time pp = 2 * fifo::SyncPutSide::min_period(cfg);
+  const Time gp = 2 * fifo::SyncGetSide::min_period(cfg);
+  sim::Simulation sim(1);
+  sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
+  sync::Clock cg(sim, "cg", {gp, 4 * pp + gp / 3, 0.5, 0});
+  fifo::MixedClockFifo dut(sim, "dut", cfg, cp.out(), cg.out());
+  bfm::Scoreboard sb(sim, "sb");
+  bfm::GetMonitor mon(sim, cg.out(), dut.valid_get(), dut.data_get(), sb);
+  bfm::SyncPutDriver put(sim, "put", cp.out(), dut.req_put(), dut.data_put(),
+                         dut.full(), cfg.dm, {1.0, 1}, 0xFF);
+  bfm::SyncGetDriver get(sim, "get", cg.out(), dut.req_get(), cfg.dm, {1.0, 1});
+  sim.run_until(4 * pp + 200 * pp);
+  const auto before = mon.dequeued();
+  const Time t0 = sim.now();
+  sim.run_until(t0 + 600 * gp);
+  return static_cast<double>(mon.dequeued() - before) / 600.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+
+  std::printf("Token-ring mixed-clock FIFO vs pipeline-synchronization "
+              "baseline (Seizovic-style [13]); 8-bit items, matched clocks\n\n");
+  metrics::Table t({"places", "CN latency min (ns)", "baseline latency (ns)",
+                    "CN tput (word/cycle)", "baseline tput (word/cycle)"});
+  for (unsigned cap : {4u, 8u, 16u}) {
+    const auto cn_lat = metrics::latency_mixed_clock(cfg_of(cap), 8);
+    const BaselineResult base = run_baseline(cap);
+    const double cn_tput = run_token_ring_throughput(cap);
+    t.add_row({std::to_string(cap), metrics::fmt(cn_lat.min_ns, 2),
+               metrics::fmt(base.latency_ns, 2), metrics::fmt(cn_tput, 2),
+               metrics::fmt(base.throughput_per_cycle, 2)});
+  }
+  std::fputs(csv ? t.to_csv().c_str() : t.to_string().c_str(), stdout);
+  std::printf("\nClaim check: the baseline's latency grows ~linearly with "
+              "capacity (one synchronizer settling per stage) while the "
+              "token-ring design's is nearly flat; per-hop synchronization "
+              "also costs the baseline most of its throughput.\n");
+  return 0;
+}

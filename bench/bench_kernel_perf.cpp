@@ -1,0 +1,100 @@
+// Harness self-measurement (google-benchmark): how fast the discrete-event
+// kernel and the full FIFO models simulate on the host. Not a paper
+// experiment -- it documents the cost of using this library.
+#include <benchmark/benchmark.h>
+
+#include "bfm/bfm.hpp"
+#include "fifo/fifo.hpp"
+#include "gates/gates.hpp"
+#include "sync/clock.hpp"
+
+namespace {
+
+using namespace mts;
+using sim::Time;
+
+/// Raw event throughput: a self-rescheduling event chain.
+void BM_SchedulerEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::uint64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10'000) sched.after(1, tick);
+    };
+    sched.at(0, tick);
+    sched.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SchedulerEventChain);
+
+/// Signal fan-out: one wire driving many listeners.
+void BM_SignalFanout(benchmark::State& state) {
+  const auto fanout = static_cast<std::size_t>(state.range(0));
+  sim::Simulation sim;
+  sim::Wire w(sim, "w");
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < fanout; ++i) {
+    w.on_change([&sink](bool, bool) { ++sink; });
+  }
+  bool v = false;
+  for (auto _ : state) {
+    v = !v;
+    w.set(v);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(fanout));
+}
+BENCHMARK(BM_SignalFanout)->Arg(4)->Arg(64);
+
+/// Whole-FIFO simulation speed: simulated put cycles per host second.
+void BM_MixedClockFifoSim(benchmark::State& state) {
+  const auto capacity = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    fifo::FifoConfig cfg;
+    cfg.capacity = capacity;
+    cfg.width = 8;
+    sim::Simulation sim(1);
+    const Time pp = 2 * fifo::SyncPutSide::min_period(cfg);
+    const Time gp = 2 * fifo::SyncGetSide::min_period(cfg);
+    sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
+    sync::Clock cg(sim, "cg", {gp, 4 * pp + gp / 3, 0.5, 0});
+    fifo::MixedClockFifo dut(sim, "dut", cfg, cp.out(), cg.out());
+    bfm::Scoreboard sb(sim, "sb");
+    bfm::SyncPutDriver put(sim, "put", cp.out(), dut.req_put(), dut.data_put(),
+                           dut.full(), cfg.dm, {1.0, 1}, 0xFF);
+    bfm::SyncGetDriver get(sim, "get", cg.out(), dut.req_get(), cfg.dm,
+                           {1.0, 1});
+    sim.run_until(4 * pp + 200 * pp);
+    benchmark::DoNotOptimize(dut.occupancy());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);  // simulated put cycles
+}
+BENCHMARK(BM_MixedClockFifoSim)->Arg(4)->Arg(16);
+
+/// Async-sync FIFO simulation speed.
+void BM_AsyncSyncFifoSim(benchmark::State& state) {
+  for (auto _ : state) {
+    fifo::FifoConfig cfg;
+    cfg.capacity = 8;
+    cfg.width = 8;
+    sim::Simulation sim(1);
+    const Time gp = 2 * fifo::SyncGetSide::min_period(cfg);
+    sync::Clock cg(sim, "cg", {gp, 4 * gp, 0.5, 0});
+    fifo::AsyncSyncFifo dut(sim, "dut", cfg, cg.out());
+    bfm::Scoreboard sb(sim, "sb");
+    bfm::AsyncPutDriver put(sim, "put", dut.put_req(), dut.put_ack(),
+                            dut.put_data(), cfg.dm, 0, 0xFF, &sb);
+    bfm::SyncGetDriver get(sim, "get", cg.out(), dut.req_get(), cfg.dm,
+                           {1.0, 1});
+    sim.run_until(4 * gp + 200 * gp);
+    benchmark::DoNotOptimize(dut.occupancy());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_AsyncSyncFifoSim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// Latency-insensitivity experiment (Figs. 11a / 14): steady-state
+// throughput of the full mixed-timing links as a function of relay-chain
+// length. The paper's central claim for relay stations is that breaking a
+// long wire into clock-cycle segments preserves throughput; only the
+// pipeline-fill latency grows.
+//
+// Usage: bench_relay_chain [--csv]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bfm/bfm.hpp"
+#include "fifo/interface_sides.hpp"
+#include "lip/lip.hpp"
+#include "metrics/table.hpp"
+#include "sync/clock.hpp"
+
+namespace {
+
+using namespace mts;
+using sim::Time;
+
+struct ChainResult {
+  double throughput;  // valid packets per consumer clock cycle
+  double fill_latency_cycles;
+  bool clean;
+};
+
+ChainResult run_mixed_clock(unsigned len) {
+  fifo::FifoConfig cfg;
+  cfg.capacity = 8;
+  cfg.width = 8;
+  cfg.controller = fifo::ControllerKind::kRelayStation;
+
+  sim::Simulation sim(1);
+  const Time pp = fifo::SyncPutSide::min_period(cfg) * 5 / 4;
+  const Time gp = fifo::SyncGetSide::min_period(cfg) * 5 / 4;
+  sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
+  sync::Clock cg(sim, "cg", {gp, 4 * pp + 997, 0.5, 0});
+  lip::MixedClockLink link(sim, "link", cfg, cp.out(), cg.out(), len, len);
+  bfm::Scoreboard sb(sim, "sb");
+  bfm::RsSource src(sim, "src", cp.out(), link.data_in(), link.valid_in(),
+                    link.stop_out(), cfg.dm, 1.0, 0xFF, sb);
+  bfm::RsSink sink(sim, "sink", cg.out(), link.data_out(), link.valid_out(),
+                   link.stop_in(), cfg.dm, 0.0, sb);
+
+  // Steady-state throughput over a late window (after the pipeline fills).
+  const Time start = 4 * pp;
+  sim.run_until(start + 400 * pp);
+  const auto before = sink.received_valid();
+  const Time t0 = sim.now();
+  sim.run_until(t0 + 500 * gp);
+  const double tput =
+      static_cast<double>(sink.received_valid() - before) / 500.0;
+
+  ChainResult r{tput, 0.0, sb.errors() == 0};
+
+  // Dedicated fill-latency measurement.
+  {
+    sim::Simulation sim2(1);
+    sync::Clock cp2(sim2, "cp", {pp, 4 * pp, 0.5, 0});
+    sync::Clock cg2(sim2, "cg", {gp, 4 * pp + 997, 0.5, 0});
+    lip::MixedClockLink link2(sim2, "link", cfg, cp2.out(), cg2.out(), len, len);
+    bfm::Scoreboard sb2(sim2, "sb");
+    bfm::RsSource src2(sim2, "src", cp2.out(), link2.data_in(),
+                       link2.valid_in(), link2.stop_out(), cfg.dm, 1.0, 0xFF,
+                       sb2);
+    bfm::RsSink sink2(sim2, "sink", cg2.out(), link2.data_out(),
+                      link2.valid_out(), link2.stop_in(), cfg.dm, 0.0, sb2);
+    sim2.run_until(4 * pp + 300 * pp);
+    if (sink2.received_valid() > 0) {
+      r.fill_latency_cycles =
+          static_cast<double>(sink2.last_receive_time() -
+                              static_cast<Time>(4 * pp)) /
+          static_cast<double>(gp) -
+          static_cast<double>(sink2.received_valid() - 1);
+    }
+  }
+  return r;
+}
+
+ChainResult run_async_sync(unsigned ars_len, unsigned srs_len) {
+  fifo::FifoConfig cfg;
+  cfg.capacity = 8;
+  cfg.width = 8;
+  cfg.controller = fifo::ControllerKind::kRelayStation;
+
+  sim::Simulation sim(1);
+  const Time gp = fifo::SyncGetSide::min_period(cfg) * 5 / 4;
+  sync::Clock cg(sim, "cg", {gp, 4 * gp, 0.5, 0});
+  lip::AsyncSyncLink link(sim, "link", cfg, cg.out(), ars_len, srs_len);
+  bfm::Scoreboard sb(sim, "sb");
+  bfm::AsyncPutDriver put(sim, "put", link.put_req(), link.put_ack(),
+                          link.put_data(), cfg.dm, 0, 0xFF, &sb);
+  bfm::RsSink sink(sim, "sink", cg.out(), link.data_out(), link.valid_out(),
+                   link.stop_in(), cfg.dm, 0.0, sb);
+
+  sim.run_until(4 * gp + 300 * gp);
+  const auto before = sink.received_valid();
+  const Time t0 = sim.now();
+  sim.run_until(t0 + 500 * gp);
+  return ChainResult{
+      static_cast<double>(sink.received_valid() - before) / 500.0, 0.0,
+      sb.errors() == 0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+  }
+
+  std::printf("Latency-insensitivity (Fig. 11a topology): SRS chains of "
+              "length L on each side of an MCRS;\nsteady-state throughput "
+              "must be independent of L while fill latency grows ~2 cycles "
+              "per station.\n\n");
+  metrics::Table t1({"L (each side)", "throughput (pkt/cycle)",
+                     "fill latency (cycles)", "order ok"});
+  for (unsigned len : {0u, 1u, 2u, 4u, 8u, 16u}) {
+    const ChainResult r = run_mixed_clock(len);
+    t1.add_row({std::to_string(len), metrics::fmt(r.throughput, 3),
+                metrics::fmt(r.fill_latency_cycles, 1),
+                r.clean ? "yes" : "NO"});
+  }
+  std::fputs(csv ? t1.to_csv().c_str() : t1.to_string().c_str(), stdout);
+
+  std::printf("\nFig. 14 topology: ARS (micropipeline) chain -> ASRS -> SRS "
+              "chain.\n\n");
+  metrics::Table t2({"ARS", "SRS", "throughput (pkt/cycle)", "order ok"});
+  for (unsigned len : {0u, 2u, 4u, 8u}) {
+    const ChainResult r = run_async_sync(len, len == 0 ? 1 : len);
+    t2.add_row({std::to_string(len), std::to_string(len == 0 ? 1 : len),
+                metrics::fmt(r.throughput, 3), r.clean ? "yes" : "NO"});
+  }
+  std::fputs(csv ? t2.to_csv().c_str() : t2.to_string().c_str(), stdout);
+  return 0;
+}

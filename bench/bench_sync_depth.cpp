@@ -1,0 +1,139 @@
+// Robustness ablation: synchronizer depth vs metastability exposure
+// (Sections 3.2 and 7: "the designs can be made arbitrarily robust with
+// regard to metastability ... for arbitrary robustness, the designer might
+// use more than two [latches]").
+//
+// Part 1 (analytic): MTBF of the full/empty synchronizers as a function of
+// depth at the mixed-clock FIFO's operating point.
+//
+// Part 2 (simulated): stochastic metastability soak -- front-stage
+// metastability events absorbed, chain escapes, and end-to-end correctness
+// per depth.
+//
+// Usage: bench_sync_depth [--csv] [--cycles N]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bfm/bfm.hpp"
+#include "fifo/fifo.hpp"
+#include "metrics/table.hpp"
+#include "sync/clock.hpp"
+#include "sync/mtbf.hpp"
+
+namespace {
+
+using namespace mts;
+using sim::Time;
+
+struct SoakResult {
+  std::uint64_t delivered = 0;
+  std::uint64_t corruptions = 0;
+};
+
+SoakResult soak(unsigned depth, unsigned cycles, std::uint64_t seed) {
+  fifo::FifoConfig cfg;
+  cfg.capacity = 8;
+  cfg.width = 8;
+  cfg.sync.depth = depth;
+  cfg.sync.mode = sync::MetaMode::kStochastic;
+
+  sim::Simulation sim(seed);
+  const Time pp = fifo::SyncPutSide::min_period(cfg) * 4 / 3;
+  const Time gp = static_cast<Time>(
+      static_cast<double>(fifo::SyncGetSide::min_period(cfg)) * 1.377);
+  sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
+  sync::Clock cg(sim, "cg", {gp, 4 * pp + 577, 0.5, 0});
+  fifo::MixedClockFifo dut(sim, "dut", cfg, cp.out(), cg.out());
+  bfm::Scoreboard sb(sim, "sb");
+  bfm::PutMonitor pm(sim, cp.out(), dut.en_put(), dut.req_put(), dut.data_put(),
+                     sb);
+  bfm::GetMonitor gm(sim, cg.out(), dut.valid_get(), dut.data_get(), sb);
+  bfm::SyncPutDriver put(sim, "put", cp.out(), dut.req_put(), dut.data_put(),
+                         dut.full(), cfg.dm, {1.0, 1}, 0xFF);
+  bfm::SyncGetDriver get(sim, "get", cg.out(), dut.req_get(), cfg.dm, {1.0, 1});
+
+  sim.run_until(4 * pp + static_cast<Time>(cycles) * pp);
+  return SoakResult{gm.dequeued(), sb.errors() + dut.overflow_count() +
+                                       dut.underflow_count()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  unsigned cycles = 4000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      cycles = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
+  }
+
+  fifo::FifoConfig cfg;
+  cfg.capacity = 8;
+  cfg.width = 8;
+  const Time get_p = fifo::SyncGetSide::min_period(cfg);
+
+  std::printf("Analytic MTBF of the empty-detector synchronizer (clock "
+              "period %llu ps, async toggle rate 100 MHz):\n\n",
+              static_cast<unsigned long long>(get_p));
+  metrics::Table t1({"depth", "stage slack (ps)", "MTBF"});
+  for (unsigned depth : {1u, 2u, 3u, 4u}) {
+    sync::MtbfParams p;
+    p.depth = depth;
+    p.clock_period = get_p;
+    p.data_rate_hz = 100e6;
+    p.dm = cfg.dm;
+    const double mtbf = sync::mtbf_seconds(p);
+    std::string human;
+    if (mtbf > 3.15e9) {
+      human = metrics::fmt(mtbf / 3.15e7, 0) + " years";
+    } else if (mtbf > 3.15e7) {
+      human = metrics::fmt(mtbf / 3.15e7, 1) + " years";
+    } else if (mtbf > 3600) {
+      human = metrics::fmt(mtbf / 3600, 1) + " hours";
+    } else {
+      human = metrics::fmt(mtbf, 3) + " s";
+    }
+    t1.add_row({std::to_string(depth),
+                std::to_string(sync::stage_slack(p)), human});
+  }
+  std::fputs(csv ? t1.to_csv().c_str() : t1.to_string().c_str(), stdout);
+
+  std::printf("\nThroughput cost of robustness (deeper synchronizers widen "
+              "the anticipating detectors -- DESIGN.md finding 3):\n\n");
+  metrics::Table t_cost({"depth", "put MHz", "get MHz", "usable cells"});
+  for (unsigned depth : {1u, 2u, 3u, 4u}) {
+    fifo::FifoConfig c;
+    c.capacity = 8;
+    c.width = 8;
+    c.sync.depth = depth;
+    t_cost.add_row(
+        {std::to_string(depth),
+         metrics::fmt(sim::period_to_mhz(fifo::SyncPutSide::min_period(c)), 0),
+         metrics::fmt(sim::period_to_mhz(fifo::SyncGetSide::min_period(c)), 0),
+         std::to_string(c.capacity - (fifo::anticipation_window(depth) - 1))});
+  }
+  std::fputs(csv ? t_cost.to_csv().c_str() : t_cost.to_string().c_str(),
+             stdout);
+
+  std::printf("\nStochastic soak (%u put cycles, exponential settling, "
+              "saturated traffic, 3 seeds):\n\n", cycles);
+  metrics::Table t2({"depth", "delivered", "corruptions"});
+  for (unsigned depth : {1u, 2u, 3u, 4u}) {
+    SoakResult total;
+    for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+      const SoakResult r = soak(depth, cycles, seed);
+      total.delivered += r.delivered;
+      total.corruptions += r.corruptions;
+    }
+    t2.add_row({std::to_string(depth), std::to_string(total.delivered),
+                std::to_string(total.corruptions)});
+  }
+  std::fputs(csv ? t2.to_csv().c_str() : t2.to_string().c_str(), stdout);
+  std::printf("\nNote: depth >= 2 (the paper's design point) is expected to "
+              "stay clean; the analytic table shows why each extra stage "
+              "multiplies MTBF exponentially.\n");
+  return 0;
+}

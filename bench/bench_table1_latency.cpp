@@ -1,0 +1,84 @@
+// Reproduces Table 1 (latency section): Min/Max latency through an empty
+// FIFO, 8-bit data items, {4, 8, 16}-place, all four designs.
+//
+// Experimental setup per Section 6: in an empty FIFO the get interface
+// requests a data item; after the FIFO is stable the put interface places
+// one; latency runs from put-data-valid to the CLK_get edge where the
+// receiver retrieves the item. The put instant is swept across one CLK_get
+// period, giving the Min and Max columns.
+//
+// Usage: bench_table1_latency [--csv] [--phases N]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fifo/config.hpp"
+#include "metrics/experiments.hpp"
+#include "metrics/table.hpp"
+
+namespace {
+
+using mts::fifo::ControllerKind;
+using mts::fifo::FifoConfig;
+
+struct DesignRow {
+  const char* name;
+  bool async_put;
+  ControllerKind controller;
+};
+
+constexpr DesignRow kDesigns[] = {
+    {"Mixed-Clock", false, ControllerKind::kFifo},
+    {"Async-Sync", true, ControllerKind::kFifo},
+    {"Mixed-Clock RS", false, ControllerKind::kRelayStation},
+    {"Async-Sync RS", true, ControllerKind::kRelayStation},
+};
+
+// Paper Table 1 latency (ns), 8-bit items: {4,8,16}-place Min/Max.
+constexpr double kPaperMin[4][3] = {{5.43, 5.79, 6.14},
+                                    {5.53, 6.13, 6.47},
+                                    {5.48, 6.05, 6.23},
+                                    {5.61, 6.18, 6.57}};
+constexpr double kPaperMax[4][3] = {{6.34, 6.64, 7.17},
+                                    {6.45, 7.17, 7.51},
+                                    {6.41, 7.02, 7.28},
+                                    {6.35, 7.13, 7.62}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  unsigned phases = 24;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc) {
+      phases = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
+  }
+
+  std::printf("Table 1 (latency, ns): empty FIFO, single put, 8-bit items;\n");
+  std::printf("put instant swept across %u CLK_get phases\n\n", phases);
+
+  const unsigned caps[] = {4, 8, 16};
+  mts::metrics::Table table({"Version", "places", "Min", "Max", "paper-Min",
+                             "paper-Max"});
+  for (unsigned d = 0; d < 4; ++d) {
+    const DesignRow& design = kDesigns[d];
+    for (unsigned c = 0; c < 3; ++c) {
+      FifoConfig cfg;
+      cfg.capacity = caps[c];
+      cfg.width = 8;
+      cfg.controller = design.controller;
+      const mts::metrics::LatencyRow row =
+          design.async_put ? mts::metrics::latency_async_sync(cfg, phases)
+                           : mts::metrics::latency_mixed_clock(cfg, phases);
+      table.add_row({design.name, std::to_string(caps[c]),
+                     mts::metrics::fmt(row.min_ns, 2),
+                     mts::metrics::fmt(row.max_ns, 2),
+                     mts::metrics::fmt(kPaperMin[d][c], 2),
+                     mts::metrics::fmt(kPaperMax[d][c], 2)});
+    }
+  }
+  std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Table 1 (throughput section): maximum put/get rates for the
+// four designs x {4, 8, 16}-place x {8, 16}-bit.
+//
+// Synchronous interfaces report the maximum clock frequency (MHz) from the
+// critical-path analysis, cross-checked by a saturated simulation at
+// exactly that frequency (any timing violation, over/underflow or data
+// corruption flags the row). Asynchronous put interfaces report measured
+// MegaOps/s from a saturated 4-phase handshake, as in the paper.
+//
+// Usage: bench_table1_throughput [--csv] [--cycles N]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fifo/config.hpp"
+#include "metrics/experiments.hpp"
+#include "metrics/table.hpp"
+
+namespace {
+
+using mts::fifo::ControllerKind;
+using mts::fifo::FifoConfig;
+
+struct DesignRow {
+  const char* name;
+  bool async_put;
+  ControllerKind controller;
+};
+
+constexpr DesignRow kDesigns[] = {
+    {"Mixed-Clock", false, ControllerKind::kFifo},
+    {"Async-Sync", true, ControllerKind::kFifo},
+    {"Mixed-Clock RS", false, ControllerKind::kRelayStation},
+    {"Async-Sync RS", true, ControllerKind::kRelayStation},
+};
+
+// Paper values (Table 1) for side-by-side comparison.
+struct PaperThroughput {
+  double put[6];  // {4,8,16} x {8,16}-bit, put column
+  double get[6];
+};
+constexpr PaperThroughput kPaper[] = {
+    {{565, 544, 505, 505, 488, 460}, {549, 523, 484, 492, 471, 439}},
+    {{421, 379, 357, 386, 351, 332}, {549, 523, 484, 492, 471, 439}},
+    {{580, 550, 509, 521, 498, 467}, {539, 517, 475, 478, 459, 430}},
+    {{421, 379, 357, 386, 351, 332}, {539, 517, 475, 478, 459, 430}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  unsigned cycles = 1000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      cycles = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
+  }
+
+  std::printf("Table 1 (throughput): measured vs paper (HSpice, 0.6u HP CMOS)\n");
+  std::printf("sync interfaces: max clock MHz (critical path, validated by "
+              "saturated simulation)\n");
+  std::printf("async put interfaces: measured MegaOps/s (saturated 4-phase "
+              "handshake)\n\n");
+
+  const unsigned caps[] = {4, 8, 16};
+  const unsigned widths[] = {8, 16};
+
+  mts::metrics::Table table({"Version", "bits", "places", "put", "get",
+                             "paper-put", "paper-get", "ok"});
+  for (unsigned d = 0; d < 4; ++d) {
+    const DesignRow& design = kDesigns[d];
+    unsigned col = 0;
+    for (unsigned width : widths) {
+      for (unsigned cap : caps) {
+        FifoConfig cfg;
+        cfg.capacity = cap;
+        cfg.width = width;
+        cfg.controller = design.controller;
+        const mts::metrics::ThroughputRow row =
+            design.async_put ? mts::metrics::throughput_async_sync(cfg, cycles)
+                             : mts::metrics::throughput_mixed_clock(cfg, cycles);
+        table.add_row({design.name, std::to_string(width), std::to_string(cap),
+                       mts::metrics::fmt(row.put, 0),
+                       mts::metrics::fmt(row.get, 0),
+                       mts::metrics::fmt(kPaper[d].put[col], 0),
+                       mts::metrics::fmt(kPaper[d].get[col], 0),
+                       row.validated ? "yes" : "NO"});
+        ++col;
+      }
+    }
+  }
+
+  std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite, and regenerates every
+# table/figure in EXPERIMENTS.md. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo "===================================================================="
+    echo "== $(basename "$b")"
+    echo "===================================================================="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

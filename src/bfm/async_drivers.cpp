@@ -1,0 +1,74 @@
+#include "bfm/async_drivers.hpp"
+
+namespace mts::bfm {
+
+AsyncPutDriver::AsyncPutDriver(sim::Simulation& sim, std::string name,
+                               sim::Wire& put_req, sim::Wire& put_ack,
+                               sim::Word& put_data, const gates::DelayModel& dm,
+                               sim::Time gap, std::uint64_t value_mask,
+                               Scoreboard* sb)
+    : sim_(sim),
+      put_req_(put_req),
+      put_data_(put_data),
+      dm_(dm),
+      gap_(gap),
+      value_mask_(value_mask),
+      sb_(sb) {
+  (void)name;
+  put_ack.on_change([this](bool, bool now) {
+    if (now) {
+      // Enqueue complete: the data item is latched in a cell.
+      last_ack_ = sim_.now();
+      ++completed_;
+      // 4-phase reset: req- follows ack+.
+      put_req_.write(false, dm_.gate(1), sim::DelayKind::kTransport);
+    } else if (enabled_ && gap_ != kManual) {
+      // ack-: the channel is idle again; issue the next item after gap.
+      sim_.sched().after(gap_ + 1, [this] { issue(); });
+    }
+  });
+  if (gap != kManual) {
+    sim.sched().after(gap_ + 1, [this] { issue(); });
+  }
+}
+
+void AsyncPutDriver::issue_one() { issue(); }
+
+void AsyncPutDriver::issue() {
+  if (!enabled_) return;
+  put_data_.set(next_value_ & value_mask_);
+  // Record the expectation at issue time: with a single sender, enqueue
+  // order equals issue order, and a fast receiver may observe the item
+  // before the acknowledgment propagates back to us.
+  if (sb_ != nullptr) sb_->push(next_value_ & value_mask_);
+  ++next_value_;
+  // Bundling: req rises one gate after the data is stable.
+  put_req_.write(true, dm_.gate(1), sim::DelayKind::kTransport);
+}
+
+AsyncGetDriver::AsyncGetDriver(sim::Simulation& sim, std::string name,
+                               sim::Wire& get_req, sim::Wire& get_ack,
+                               sim::Word& get_data, const gates::DelayModel& dm,
+                               sim::Time gap, Scoreboard* sb)
+    : sim_(sim), get_req_(get_req), get_data_(get_data), dm_(dm), gap_(gap),
+      sb_(sb) {
+  (void)name;
+  get_ack.on_change([this](bool, bool now) {
+    if (now) {
+      last_ack_ = sim_.now();
+      ++completed_;
+      if (sb_ != nullptr) sb_->pop_check(get_data_.read());
+      get_req_.write(false, dm_.gate(1), sim::DelayKind::kTransport);
+    } else if (enabled_) {
+      sim_.sched().after(gap_ + 1, [this] { issue(); });
+    }
+  });
+  sim.sched().after(gap_ + 1, [this] { issue(); });
+}
+
+void AsyncGetDriver::issue() {
+  if (!enabled_) return;
+  get_req_.write(true, dm_.gate(1), sim::DelayKind::kTransport);
+}
+
+}  // namespace mts::bfm

@@ -1,0 +1,88 @@
+// Bus-functional models for the asynchronous 4-phase bundled-data
+// interfaces (Fig. 3b protocol): req+/ack+ ... req-/ack-.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bfm/scoreboard.hpp"
+#include "gates/delay_model.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::bfm {
+
+/// Asynchronous sender: places a data item, raises put_req, records the
+/// enqueue on put_ack+, resets, and repeats after `gap`.
+class AsyncPutDriver {
+ public:
+  /// Passed as `gap` to suppress automatic issuing; the testbench then
+  /// calls issue_one() at precise instants (latency experiments).
+  static constexpr sim::Time kManual = ~sim::Time{0};
+
+  /// `gap` is the sender's idle time between handshakes (0 saturates).
+  /// When `sb` is non-null every acknowledged item is pushed to it.
+  AsyncPutDriver(sim::Simulation& sim, std::string name, sim::Wire& put_req,
+                 sim::Wire& put_ack, sim::Word& put_data,
+                 const gates::DelayModel& dm, sim::Time gap,
+                 std::uint64_t value_mask, Scoreboard* sb);
+
+  AsyncPutDriver(const AsyncPutDriver&) = delete;
+  AsyncPutDriver& operator=(const AsyncPutDriver&) = delete;
+
+  /// Stops issuing after the current handshake completes.
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  std::uint64_t completed() const noexcept { return completed_; }
+  sim::Time last_ack_time() const noexcept { return last_ack_; }
+  std::uint64_t next_value() const noexcept { return next_value_; }
+
+  /// Issues one handshake immediately (used by latency experiments that
+  /// place a single item at a precise instant).
+  void issue_one();
+
+ private:
+  void issue();
+
+  sim::Simulation& sim_;
+  sim::Wire& put_req_;
+  sim::Word& put_data_;
+  gates::DelayModel dm_;
+  sim::Time gap_;
+  std::uint64_t value_mask_;
+  std::uint64_t next_value_ = 1;
+  std::uint64_t completed_ = 0;
+  sim::Time last_ack_ = 0;
+  bool enabled_ = true;
+  Scoreboard* sb_;
+};
+
+/// Asynchronous receiver: raises get_req, checks get_data on get_ack+,
+/// resets, and repeats after `gap`.
+class AsyncGetDriver {
+ public:
+  AsyncGetDriver(sim::Simulation& sim, std::string name, sim::Wire& get_req,
+                 sim::Wire& get_ack, sim::Word& get_data,
+                 const gates::DelayModel& dm, sim::Time gap, Scoreboard* sb);
+
+  AsyncGetDriver(const AsyncGetDriver&) = delete;
+  AsyncGetDriver& operator=(const AsyncGetDriver&) = delete;
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  std::uint64_t completed() const noexcept { return completed_; }
+  sim::Time last_ack_time() const noexcept { return last_ack_; }
+
+ private:
+  void issue();
+
+  sim::Simulation& sim_;
+  sim::Wire& get_req_;
+  sim::Word& get_data_;
+  gates::DelayModel dm_;
+  sim::Time gap_;
+  std::uint64_t completed_ = 0;
+  sim::Time last_ack_ = 0;
+  bool enabled_ = true;
+  Scoreboard* sb_;
+};
+
+}  // namespace mts::bfm

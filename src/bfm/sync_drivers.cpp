@@ -1,0 +1,88 @@
+#include "bfm/sync_drivers.hpp"
+
+namespace mts::bfm {
+
+SyncPutDriver::SyncPutDriver(sim::Simulation& sim, std::string name,
+                             sim::Wire& clk, sim::Wire& req_put,
+                             sim::Word& data_put, sim::Wire& full,
+                             const gates::DelayModel& dm, const RateConfig& rate,
+                             std::uint64_t value_mask)
+    : sim_(sim),
+      req_put_(req_put),
+      data_put_(data_put),
+      full_(full),
+      react_delay_(dm.flop.clk_to_q + 1),
+      rate_(rate),
+      value_mask_(value_mask),
+      next_value_(rate.first_value) {
+  (void)name;
+  sim::on_rise(clk, [this] {
+    sim_.sched().after(react_delay_, [this] {
+      // The sender gates its own request with the same synchronized full
+      // flag the put controller uses, so an offered put always lands.
+      if (!enabled_ || full_.read()) {
+        req_put_.set(false);
+        return;
+      }
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      if (rate_.rate >= 1.0 || dist(sim_.rng()) < rate_.rate) {
+        data_put_.set(next_value_ & value_mask_);
+        req_put_.set(true);
+        ++next_value_;
+        ++offered_;
+      } else {
+        req_put_.set(false);
+      }
+    });
+  });
+}
+
+SyncGetDriver::SyncGetDriver(sim::Simulation& sim, std::string name,
+                             sim::Wire& clk, sim::Wire& req_get,
+                             const gates::DelayModel& dm, const RateConfig& rate)
+    : sim_(sim),
+      req_get_(req_get),
+      react_delay_(dm.flop.clk_to_q + 1),
+      rate_(rate) {
+  (void)name;
+  sim::on_rise(clk, [this] {
+    sim_.sched().after(react_delay_, [this] {
+      if (!enabled_) {
+        req_get_.set(false);
+        return;
+      }
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      req_get_.set(rate_.rate >= 1.0 || dist(sim_.rng()) < rate_.rate);
+    });
+  });
+}
+
+PutMonitor::PutMonitor(sim::Simulation& sim, sim::Wire& clk, sim::Wire& en_put,
+                       sim::Wire& req_put, sim::Word& data_put, Scoreboard& sb) {
+  (void)sim;
+  sim::on_rise(clk, [this, &en_put, &req_put, &data_put, &sb] {
+    // Pre-edge values: en_put/req_put/data_put were stable during the
+    // ending cycle; this edge commits the enqueue.
+    if (en_put.read() && req_put.read()) {
+      sb.push(data_put.read());
+      ++count_;
+    }
+  });
+}
+
+GetMonitor::GetMonitor(sim::Simulation& sim, sim::Wire& clk,
+                       sim::Wire& valid_get, sim::Word& data_get,
+                       Scoreboard& sb) {
+  sim::on_rise(clk, [this, &sim, &valid_get, &data_get, &sb] {
+    // valid_get is high at the sampling edge exactly when a valid word
+    // leaves: FIFO mode gates it with en_get, relay-station mode with
+    // !(empty | stopIn).
+    if (valid_get.read()) {
+      sb.pop_check(data_get.read());
+      ++count_;
+      last_time_ = sim.now();
+    }
+  });
+}
+
+}  // namespace mts::bfm

@@ -1,0 +1,114 @@
+// Bus-functional models for the synchronous FIFO interfaces (Fig. 3
+// protocols), plus whitebox monitors that record provable enqueues and
+// dequeues for the scoreboard.
+//
+// A synchronous sender is itself a synchronous circuit: it reads `full`
+// combinationally and gates its own request, so driver decisions happen a
+// clk-to-q-plus-logic delay after each edge, exactly as the paper's
+// experimental setup drives the FIFO.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+
+#include "bfm/scoreboard.hpp"
+#include "gates/delay_model.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::bfm {
+
+/// Per-cycle offered traffic: 1.0 saturates the interface.
+struct RateConfig {
+  double rate = 1.0;
+  std::uint64_t first_value = 1;  ///< payloads count up from here
+};
+
+/// Drives req_put/data_put against a mixed-clock-style put interface.
+class SyncPutDriver {
+ public:
+  SyncPutDriver(sim::Simulation& sim, std::string name, sim::Wire& clk,
+                sim::Wire& req_put, sim::Word& data_put, sim::Wire& full,
+                const gates::DelayModel& dm, const RateConfig& rate,
+                std::uint64_t value_mask);
+
+  SyncPutDriver(const SyncPutDriver&) = delete;
+  SyncPutDriver& operator=(const SyncPutDriver&) = delete;
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  std::uint64_t offered() const noexcept { return offered_; }
+  std::uint64_t next_value() const noexcept { return next_value_; }
+
+ private:
+  sim::Simulation& sim_;
+  sim::Wire& req_put_;
+  sim::Word& data_put_;
+  sim::Wire& full_;
+  sim::Time react_delay_;
+  RateConfig rate_;
+  std::uint64_t value_mask_;
+  std::uint64_t next_value_;
+  std::uint64_t offered_ = 0;
+  bool enabled_ = true;
+};
+
+/// Drives req_get; consumption is recorded by GetMonitor.
+class SyncGetDriver {
+ public:
+  SyncGetDriver(sim::Simulation& sim, std::string name, sim::Wire& clk,
+                sim::Wire& req_get, const gates::DelayModel& dm,
+                const RateConfig& rate);
+
+  SyncGetDriver(const SyncGetDriver&) = delete;
+  SyncGetDriver& operator=(const SyncGetDriver&) = delete;
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+ private:
+  sim::Simulation& sim_;
+  sim::Wire& req_get_;
+  sim::Time react_delay_;
+  RateConfig rate_;
+  bool enabled_ = true;
+};
+
+/// Whitebox monitor: at every CLK_put edge where the broadcast en_put is
+/// high and the data is valid, the word on data_put provably enters the
+/// FIFO -- record it.
+class PutMonitor {
+ public:
+  PutMonitor(sim::Simulation& sim, sim::Wire& clk, sim::Wire& en_put,
+             sim::Wire& req_put, sim::Word& data_put, Scoreboard& sb);
+
+  PutMonitor(const PutMonitor&) = delete;
+  PutMonitor& operator=(const PutMonitor&) = delete;
+
+  std::uint64_t enqueued() const noexcept { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Whitebox monitor + functional consumer: at every CLK_get edge where
+/// valid_get is high, the word on data_get provably leaves the FIFO --
+/// check it. (valid_get is gated with en_get in FIFO mode and with
+/// !(empty | stopIn) in relay-station mode, so one rule covers both.)
+class GetMonitor {
+ public:
+  GetMonitor(sim::Simulation& sim, sim::Wire& clk, sim::Wire& valid_get,
+             sim::Word& data_get, Scoreboard& sb);
+
+  GetMonitor(const GetMonitor&) = delete;
+  GetMonitor& operator=(const GetMonitor&) = delete;
+
+  std::uint64_t dequeued() const noexcept { return count_; }
+  sim::Time last_dequeue_time() const noexcept { return last_time_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  sim::Time last_time_ = 0;
+};
+
+}  // namespace mts::bfm

@@ -1,0 +1,122 @@
+#include "ctrl/burst_mode.hpp"
+
+#include <utility>
+
+#include "sim/error.hpp"
+
+namespace mts::ctrl {
+
+void BmSpec::validate() const {
+  if (num_states == 0) throw ConfigError("BmSpec '" + name + "': no states");
+  for (const BmTransition& t : transitions) {
+    if (t.from >= num_states || t.to >= num_states) {
+      throw ConfigError("BmSpec '" + name + "': transition state out of range");
+    }
+    if (t.in_burst.empty()) {
+      throw ConfigError("BmSpec '" + name + "': empty input burst");
+    }
+    if (t.in_burst.size() > 32) {
+      throw ConfigError("BmSpec '" + name + "': input burst too large");
+    }
+    for (const BmEdge& e : t.in_burst) {
+      if (e.signal >= input_names.size()) {
+        throw ConfigError("BmSpec '" + name + "': input index out of range");
+      }
+    }
+    for (const BmEdge& e : t.out_burst) {
+      if (e.signal >= output_names.size()) {
+        throw ConfigError("BmSpec '" + name + "': output index out of range");
+      }
+    }
+  }
+  // Distinguishability: two transitions from one state must not both be
+  // completable by one edge sequence; a sufficient static check is that no
+  // transition's burst is a subset of a sibling's.
+  for (const BmTransition& a : transitions) {
+    for (const BmTransition& b : transitions) {
+      if (&a == &b || a.from != b.from) continue;
+      bool subset = true;
+      for (const BmEdge& ea : a.in_burst) {
+        bool found = false;
+        for (const BmEdge& eb : b.in_burst) {
+          found = found || (ea.signal == eb.signal && ea.rising == eb.rising);
+        }
+        subset = subset && found;
+      }
+      if (subset) {
+        throw ConfigError("BmSpec '" + name +
+                          "': ambiguous bursts leaving state " +
+                          std::to_string(a.from));
+      }
+    }
+  }
+}
+
+BurstModeMachine::BurstModeMachine(sim::Simulation& sim, std::string instance,
+                                   const BmSpec& spec,
+                                   std::vector<sim::Wire*> inputs,
+                                   std::vector<sim::Wire*> outputs,
+                                   sim::Time output_delay, unsigned initial_state)
+    : sim_(sim),
+      instance_(std::move(instance)),
+      spec_(spec),
+      inputs_(std::move(inputs)),
+      outputs_(std::move(outputs)),
+      output_delay_(output_delay),
+      state_(initial_state) {
+  spec_.validate();
+  if (inputs_.size() != spec_.input_names.size() ||
+      outputs_.size() != spec_.output_names.size()) {
+    throw ConfigError("BurstModeMachine '" + instance_ +
+                      "': wire count does not match spec");
+  }
+  if (initial_state >= spec_.num_states) {
+    throw ConfigError("BurstModeMachine '" + instance_ + "': bad initial state");
+  }
+  progress_.assign(spec_.transitions.size(), 0);
+  for (unsigned i = 0; i < inputs_.size(); ++i) {
+    MTS_ASSERT(inputs_[i] != nullptr, "null input wire");
+    inputs_[i]->on_change([this, i](bool, bool now) { on_input_edge(i, now); });
+  }
+}
+
+void BurstModeMachine::reset_progress() {
+  for (auto& p : progress_) p = 0;
+}
+
+void BurstModeMachine::on_input_edge(unsigned signal, bool rising) {
+  bool matched = false;
+  for (std::size_t ti = 0; ti < spec_.transitions.size(); ++ti) {
+    const BmTransition& t = spec_.transitions[ti];
+    if (t.from != state_) continue;
+    for (std::size_t ei = 0; ei < t.in_burst.size(); ++ei) {
+      const BmEdge& e = t.in_burst[ei];
+      if (e.signal == signal && e.rising == rising) {
+        progress_[ti] |= 1u << ei;
+        matched = true;
+      }
+    }
+    const std::uint32_t complete = (t.in_burst.size() == 32)
+                                       ? 0xFFFF'FFFFu
+                                       : (1u << t.in_burst.size()) - 1u;
+    if (progress_[ti] == complete) {
+      // Fire: emit output burst and change state.
+      state_ = t.to;
+      ++firings_;
+      reset_progress();
+      for (const BmEdge& out : t.out_burst) {
+        outputs_[out.signal]->write(out.rising, output_delay_,
+                                    sim::DelayKind::kInertial);
+      }
+      return;
+    }
+  }
+  if (!matched) {
+    sim_.report().add(sim_.now(), sim::Severity::kError, "bm-illegal-input",
+                      instance_ + ": unexpected edge on " +
+                          spec_.input_names[signal] + (rising ? "+" : "-") +
+                          " in state " + std::to_string(state_));
+  }
+}
+
+}  // namespace mts::ctrl

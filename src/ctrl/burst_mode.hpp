@@ -1,0 +1,86 @@
+// Burst-mode asynchronous machine interpreter.
+//
+// The paper's ObtainPutToken (OPT) controller is "implemented as a
+// Burst-Mode asynchronous machine" synthesized with Minimalist (Fig. 10a).
+// We replace the synthesized gate implementation with an interpreter that
+// executes a burst-mode specification directly:
+//
+//   - a machine sits in a state until EVERY edge of one outgoing
+//     transition's input burst has occurred (in any order),
+//   - it then emits the transition's output burst and moves on.
+//
+// Fundamental-mode operation is assumed (the environment waits for outputs
+// before producing new inputs); an input edge that belongs to no outgoing
+// transition of the current state is reported as "bm-illegal-input", which
+// turns specification violations into test failures instead of silent
+// misbehaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::ctrl {
+
+/// One signal edge inside a burst: signal index (into the machine's input
+/// or output list) and direction.
+struct BmEdge {
+  unsigned signal = 0;
+  bool rising = true;
+};
+
+struct BmTransition {
+  unsigned from = 0;
+  std::vector<BmEdge> in_burst;   ///< all must occur to trigger
+  std::vector<BmEdge> out_burst;  ///< emitted on firing
+  unsigned to = 0;
+};
+
+/// A validated burst-mode specification (shared by all machine instances).
+struct BmSpec {
+  std::string name;
+  unsigned num_states = 0;
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<BmTransition> transitions;
+
+  /// Throws ConfigError on malformed specs (bad indices, empty bursts,
+  /// non-deterministic bursts from one state sharing a common edge).
+  void validate() const;
+};
+
+class BurstModeMachine {
+ public:
+  /// `inputs`/`outputs` map 1:1 to the spec's signal lists and must outlive
+  /// the machine. `output_delay` is the input-edge-to-output latency of the
+  /// (conceptually) synthesized controller.
+  BurstModeMachine(sim::Simulation& sim, std::string instance, const BmSpec& spec,
+                   std::vector<sim::Wire*> inputs, std::vector<sim::Wire*> outputs,
+                   sim::Time output_delay, unsigned initial_state);
+
+  BurstModeMachine(const BurstModeMachine&) = delete;
+  BurstModeMachine& operator=(const BurstModeMachine&) = delete;
+
+  unsigned state() const noexcept { return state_; }
+  std::uint64_t firings() const noexcept { return firings_; }
+
+ private:
+  void on_input_edge(unsigned signal, bool rising);
+  void reset_progress();
+
+  sim::Simulation& sim_;
+  std::string instance_;
+  const BmSpec& spec_;
+  std::vector<sim::Wire*> inputs_;
+  std::vector<sim::Wire*> outputs_;
+  sim::Time output_delay_;
+  unsigned state_;
+  /// progress_[t] = bitmask of satisfied edges of transitions leaving state_.
+  std::vector<std::uint32_t> progress_;
+  std::uint64_t firings_ = 0;
+};
+
+}  // namespace mts::ctrl

@@ -1,0 +1,8 @@
+// Umbrella header for asynchronous controller engines and specs.
+#pragma once
+
+#include "ctrl/burst_mode.hpp"  // IWYU pragma: export
+#include "ctrl/petri.hpp"         // IWYU pragma: export
+#include "ctrl/reachability.hpp"  // IWYU pragma: export
+#include "ctrl/dot.hpp"         // IWYU pragma: export
+#include "ctrl/specs.hpp"       // IWYU pragma: export

@@ -1,0 +1,57 @@
+#include "ctrl/dot.hpp"
+
+namespace mts::ctrl {
+
+namespace {
+std::string edge_label(const std::vector<BmEdge>& burst,
+                       const std::vector<std::string>& names) {
+  std::string out;
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += names[burst[i].signal];
+    out += burst[i].rising ? '+' : '-';
+  }
+  return out.empty() ? "." : out;
+}
+}  // namespace
+
+std::string to_dot(const BmSpec& spec) {
+  std::string out = "digraph \"" + spec.name + "\" {\n  rankdir=LR;\n";
+  for (unsigned s = 0; s < spec.num_states; ++s) {
+    out += "  S" + std::to_string(s) + " [shape=circle];\n";
+  }
+  for (const BmTransition& t : spec.transitions) {
+    out += "  S" + std::to_string(t.from) + " -> S" + std::to_string(t.to) +
+           " [label=\"" + edge_label(t.in_burst, spec.input_names) + " / " +
+           edge_label(t.out_burst, spec.output_names) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const PetriNet& net) {
+  std::string out = "digraph \"" + net.name + "\" {\n  rankdir=LR;\n";
+  std::vector<bool> marked(net.num_places, false);
+  for (unsigned p : net.initial_marking) marked[p] = true;
+  for (unsigned p = 0; p < net.num_places; ++p) {
+    out += "  p" + std::to_string(p) + " [shape=" +
+           (marked[p] ? "doublecircle" : "circle") + ", label=\"p" +
+           std::to_string(p) + "\"];\n";
+  }
+  for (std::size_t i = 0; i < net.transitions.size(); ++i) {
+    const PnTransition& t = net.transitions[i];
+    out += "  t" + std::to_string(i) + " [shape=box, label=\"" + t.label +
+           "\"" + (t.is_input ? ", style=filled, fillcolor=lightgray" : "") +
+           "];\n";
+    for (unsigned p : t.pre) {
+      out += "  p" + std::to_string(p) + " -> t" + std::to_string(i) + ";\n";
+    }
+    for (unsigned p : t.post) {
+      out += "  t" + std::to_string(i) + " -> p" + std::to_string(p) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mts::ctrl

@@ -1,0 +1,23 @@
+// Graphviz export for controller specifications: renders a burst-mode
+// machine or a Petri net as a `dot` digraph, so the specs driving the
+// async control (OPT, DV_as, DV_linear) can be inspected visually --
+// the role Minimalist/Petrify's front-ends played for the paper's authors.
+#pragma once
+
+#include <string>
+
+#include "ctrl/burst_mode.hpp"
+#include "ctrl/petri.hpp"
+
+namespace mts::ctrl {
+
+/// Burst-mode machine as a state graph: one node per state, one edge per
+/// transition labelled "in-burst / out-burst" (e.g. "we1- / ptok+").
+std::string to_dot(const BmSpec& spec);
+
+/// Petri net in the usual bipartite style: circles for places (doubled
+/// ring for initially marked ones), boxes for transitions (input
+/// transitions shaded).
+std::string to_dot(const PetriNet& net);
+
+}  // namespace mts::ctrl

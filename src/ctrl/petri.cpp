@@ -1,0 +1,103 @@
+#include "ctrl/petri.hpp"
+
+#include <utility>
+
+#include "sim/error.hpp"
+
+namespace mts::ctrl {
+
+void PetriNet::validate(std::size_t num_inputs, std::size_t num_outputs) const {
+  if (num_places == 0) throw ConfigError("PetriNet '" + name + "': no places");
+  for (unsigned p : initial_marking) {
+    if (p >= num_places) {
+      throw ConfigError("PetriNet '" + name + "': initial marking out of range");
+    }
+  }
+  for (const PnTransition& t : transitions) {
+    const std::size_t limit = t.is_input ? num_inputs : num_outputs;
+    if (t.signal >= limit) {
+      throw ConfigError("PetriNet '" + name + "': transition '" + t.label +
+                        "' signal index out of range");
+    }
+    for (unsigned p : t.pre) {
+      if (p >= num_places) {
+        throw ConfigError("PetriNet '" + name + "': pre-place out of range");
+      }
+    }
+    for (unsigned p : t.post) {
+      if (p >= num_places) {
+        throw ConfigError("PetriNet '" + name + "': post-place out of range");
+      }
+    }
+  }
+}
+
+PetriEngine::PetriEngine(sim::Simulation& sim, std::string instance,
+                         const PetriNet& net, std::vector<sim::Wire*> inputs,
+                         std::vector<sim::Wire*> outputs, sim::Time output_delay)
+    : sim_(sim),
+      instance_(std::move(instance)),
+      net_(net),
+      inputs_(std::move(inputs)),
+      outputs_(std::move(outputs)),
+      output_delay_(output_delay) {
+  net_.validate(inputs_.size(), outputs_.size());
+  marking_.assign(net_.num_places, false);
+  for (unsigned p : net_.initial_marking) marking_[p] = true;
+  for (unsigned i = 0; i < inputs_.size(); ++i) {
+    MTS_ASSERT(inputs_[i] != nullptr, "null input wire");
+    inputs_[i]->on_change([this, i](bool, bool now) { on_input_edge(i, now); });
+  }
+  sim_.sched().after(0, [this] { run_output_transitions(); });
+}
+
+bool PetriEngine::enabled(const PnTransition& t) const {
+  for (unsigned p : t.pre) {
+    if (!marking_[p]) return false;
+  }
+  return true;
+}
+
+void PetriEngine::fire(const PnTransition& t) {
+  for (unsigned p : t.pre) marking_[p] = false;
+  for (unsigned p : t.post) {
+    if (marking_[p]) {
+      throw SimulationError("PetriEngine '" + instance_ + "': firing '" +
+                            t.label + "' violates 1-safety at place " +
+                            std::to_string(p));
+    }
+    marking_[p] = true;
+  }
+  ++firings_;
+  if (!t.is_input) {
+    outputs_[t.signal]->write(t.rising, output_delay_, sim::DelayKind::kInertial);
+  }
+}
+
+void PetriEngine::run_output_transitions() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const PnTransition& t : net_.transitions) {
+      if (!t.is_input && enabled(t)) {
+        fire(t);
+        progressed = true;
+      }
+    }
+  }
+}
+
+void PetriEngine::on_input_edge(unsigned signal, bool rising) {
+  for (const PnTransition& t : net_.transitions) {
+    if (t.is_input && t.signal == signal && t.rising == rising && enabled(t)) {
+      fire(t);
+      run_output_transitions();
+      return;
+    }
+  }
+  sim_.report().add(sim_.now(), sim::Severity::kError, "pn-illegal-input",
+                    instance_ + ": unexpected edge on input " +
+                        std::to_string(signal) + (rising ? "+" : "-"));
+}
+
+}  // namespace mts::ctrl

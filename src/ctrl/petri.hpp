@@ -1,0 +1,72 @@
+// 1-safe Petri-net controller engine.
+//
+// The paper's DV_as data-validity controller is specified as a Petri net
+// (Fig. 10b) and synthesized with Petrify. We execute the net directly:
+//
+//   - *input* transitions are labelled with an edge of an input wire; when
+//     that edge arrives, the transition fires if enabled (all pre-places
+//     marked); an arriving edge with no enabled transition is reported as
+//     "pn-illegal-input";
+//   - *output* transitions drive an edge on an output wire; they fire
+//     eagerly (with the controller's output delay) whenever enabled.
+//
+// The engine enforces 1-safety: a firing that would place a second token in
+// a place indicates a malformed net and throws.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::ctrl {
+
+struct PnTransition {
+  std::string label;            ///< diagnostics, e.g. "we+" or "e_i-"
+  bool is_input = true;         ///< input (wire-edge triggered) vs output
+  unsigned signal = 0;          ///< index into inputs or outputs
+  bool rising = true;           ///< edge direction
+  std::vector<unsigned> pre;    ///< consumed places
+  std::vector<unsigned> post;   ///< produced places
+};
+
+struct PetriNet {
+  std::string name;
+  unsigned num_places = 0;
+  std::vector<unsigned> initial_marking;  ///< place indices holding a token
+  std::vector<PnTransition> transitions;
+
+  void validate(std::size_t num_inputs, std::size_t num_outputs) const;
+};
+
+class PetriEngine {
+ public:
+  PetriEngine(sim::Simulation& sim, std::string instance, const PetriNet& net,
+              std::vector<sim::Wire*> inputs, std::vector<sim::Wire*> outputs,
+              sim::Time output_delay);
+
+  PetriEngine(const PetriEngine&) = delete;
+  PetriEngine& operator=(const PetriEngine&) = delete;
+
+  bool marked(unsigned place) const { return marking_.at(place); }
+  std::uint64_t firings() const noexcept { return firings_; }
+
+ private:
+  void on_input_edge(unsigned signal, bool rising);
+  bool enabled(const PnTransition& t) const;
+  void fire(const PnTransition& t);
+  void run_output_transitions();
+
+  sim::Simulation& sim_;
+  std::string instance_;
+  const PetriNet& net_;
+  std::vector<sim::Wire*> inputs_;
+  std::vector<sim::Wire*> outputs_;
+  sim::Time output_delay_;
+  std::vector<bool> marking_;
+  std::uint64_t firings_ = 0;
+};
+
+}  // namespace mts::ctrl

@@ -1,0 +1,136 @@
+#include "ctrl/reachability.hpp"
+
+#include <map>
+#include <queue>
+#include <set>
+
+#include "sim/error.hpp"
+
+namespace mts::ctrl {
+
+namespace {
+
+using Marking = std::uint64_t;
+
+Marking to_bits(const std::vector<unsigned>& places) {
+  Marking m = 0;
+  for (unsigned p : places) m |= Marking{1} << p;
+  return m;
+}
+
+bool enabled(const PnTransition& t, Marking m) {
+  const Marking pre = to_bits(t.pre);
+  return (m & pre) == pre;
+}
+
+/// Fires t from m. Returns false (and leaves `out` untouched) on a
+/// 1-safety violation.
+bool fire(const PnTransition& t, Marking m, Marking& out) {
+  const Marking pre = to_bits(t.pre);
+  const Marking post = to_bits(t.post);
+  const Marking after_consume = m & ~pre;
+  if ((after_consume & post) != 0) return false;  // token already present
+  out = after_consume | post;
+  return true;
+}
+
+}  // namespace
+
+ReachabilityResult analyze(const PetriNet& net, std::size_t max_markings) {
+  if (net.num_places > 64) {
+    throw ConfigError("reachability: nets with more than 64 places are not "
+                      "supported");
+  }
+  ReachabilityResult r;
+  r.one_safe = true;
+
+  const Marking initial = to_bits(net.initial_marking);
+  std::set<Marking> seen{initial};
+  // successors[m] = markings reachable in one firing; fired_from[m] =
+  // indices of transitions enabled at m.
+  std::map<Marking, std::vector<Marking>> successors;
+  std::map<Marking, std::vector<std::size_t>> enabled_at;
+
+  std::queue<Marking> frontier;
+  frontier.push(initial);
+  while (!frontier.empty()) {
+    const Marking m = frontier.front();
+    frontier.pop();
+    auto& succ = successors[m];
+    auto& en = enabled_at[m];
+    for (std::size_t ti = 0; ti < net.transitions.size(); ++ti) {
+      const PnTransition& t = net.transitions[ti];
+      if (!enabled(t, m)) continue;
+      en.push_back(ti);
+      Marking next = 0;
+      if (!fire(t, m, next)) {
+        r.one_safe = false;
+        if (r.violation.empty()) {
+          r.violation = "firing '" + t.label + "' violates 1-safety";
+        }
+        continue;
+      }
+      succ.push_back(next);
+      if (seen.insert(next).second) {
+        if (seen.size() > max_markings) {
+          throw ConfigError("reachability: marking explosion (net is likely "
+                            "unbounded or too large)");
+        }
+        frontier.push(next);
+      }
+    }
+  }
+  r.reachable_markings = seen.size();
+
+  // Deadlock freedom: every reachable marking enables something.
+  r.deadlock_free = true;
+  for (const Marking m : seen) {
+    if (enabled_at[m].empty()) {
+      r.deadlock_free = false;
+      if (r.violation.empty()) r.violation = "reachable deadlock marking";
+      break;
+    }
+  }
+
+  // Liveness + reversibility via the strongly-reachable check: compute, for
+  // each marking, the set reachable from it (transitive closure over this
+  // small graph); every transition must be enabled somewhere in every
+  // closure, and the initial marking must appear in every closure.
+  r.live = true;
+  r.reversible = true;
+  for (const Marking start : seen) {
+    std::set<Marking> closure{start};
+    std::queue<Marking> q;
+    q.push(start);
+    while (!q.empty()) {
+      const Marking m = q.front();
+      q.pop();
+      for (const Marking next : successors[m]) {
+        if (closure.insert(next).second) q.push(next);
+      }
+    }
+    if (closure.count(initial) == 0) {
+      r.reversible = false;
+      if (r.violation.empty()) {
+        r.violation = "initial marking unreachable from some state";
+      }
+    }
+    std::vector<bool> can_fire(net.transitions.size(), false);
+    for (const Marking m : closure) {
+      for (std::size_t ti : enabled_at[m]) can_fire[ti] = true;
+    }
+    for (std::size_t ti = 0; ti < can_fire.size(); ++ti) {
+      if (!can_fire[ti]) {
+        r.live = false;
+        if (r.violation.empty()) {
+          r.violation = "transition '" + net.transitions[ti].label +
+                        "' is not live";
+        }
+      }
+    }
+    if (!r.live && !r.reversible) break;  // nothing more to learn
+  }
+  return r;
+}
+
+}  // namespace mts::ctrl

@@ -1,0 +1,46 @@
+// Reachability analysis for 1-safe Petri nets.
+//
+// Petrify verified these properties before synthesizing the paper's DV
+// controllers; this analyzer restores that check: it explores the full
+// reachable marking graph (markings are bitsets, so nets up to 64 places)
+// and reports
+//
+//   - 1-safety: no reachable firing puts a second token in a place,
+//   - deadlock-freedom: every reachable marking enables some transition,
+//   - liveness (strong): from every reachable marking, every transition
+//     can eventually fire again,
+//   - reversibility: the initial marking is reachable from everywhere.
+//
+// Output-transition eagerness is ignored here -- the analysis is over the
+// untimed net, which over-approximates the engine's behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ctrl/petri.hpp"
+
+namespace mts::ctrl {
+
+struct ReachabilityResult {
+  bool one_safe = false;
+  bool deadlock_free = false;
+  bool live = false;
+  bool reversible = false;
+  std::size_t reachable_markings = 0;
+  /// Human-readable explanation of the first violation found (empty when
+  /// all properties hold).
+  std::string violation;
+
+  bool all_good() const {
+    return one_safe && deadlock_free && live && reversible;
+  }
+};
+
+/// Explores the marking graph; throws ConfigError for nets with more than
+/// 64 places or more than `max_markings` reachable markings.
+ReachabilityResult analyze(const PetriNet& net,
+                           std::size_t max_markings = 1 << 20);
+
+}  // namespace mts::ctrl

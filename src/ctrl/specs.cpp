@@ -1,0 +1,83 @@
+#include "ctrl/specs.hpp"
+
+namespace mts::ctrl {
+
+const BmSpec& opt_spec() {
+  static const BmSpec spec = [] {
+    BmSpec s;
+    s.name = "OPT";
+    s.num_states = 4;
+    s.input_names = {"we1", "we"};
+    s.output_names = {"ptok"};
+    const unsigned kWe1 = 0;
+    const unsigned kWe = 1;
+    const unsigned kPtok = 0;
+    s.transitions = {
+        {0, {{kWe1, true}}, {}, 1},
+        {1, {{kWe1, false}}, {{kPtok, true}}, 2},
+        {2, {{kWe, true}}, {{kPtok, false}}, 3},
+        {3, {{kWe, false}}, {}, 0},
+    };
+    s.validate();
+    return s;
+  }();
+  return spec;
+}
+
+const PetriNet& dv_as_net() {
+  static const PetriNet net = [] {
+    PetriNet n;
+    n.name = "DV_as";
+    // Places: 0 p_empty (ready for a put), 1 p_set (e- pending),
+    // 2 p_set2 (f+ pending), 3 p_full, 4 p_rd (f- pending),
+    // 5 p_rd2 (awaiting re-), 6 p_rd3 (e+ pending),
+    // 7 p_we_high (awaiting we-), 8 p_we_done.
+    n.num_places = 9;
+    n.initial_marking = {0, 8};
+    const unsigned kWe = 0;
+    const unsigned kRe = 1;
+    const unsigned kEi = 0;
+    const unsigned kFi = 1;
+    n.transitions = {
+        {"we+", true, kWe, true, {0, 8}, {1, 7}},
+        {"e_i-", false, kEi, false, {1}, {2}},
+        {"f_i+", false, kFi, true, {2}, {3}},
+        {"we-", true, kWe, false, {7}, {8}},
+        {"re+", true, kRe, true, {3}, {4}},
+        {"f_i-", false, kFi, false, {4}, {5}},
+        {"re-", true, kRe, false, {5}, {6}},
+        {"e_i+", false, kEi, true, {6}, {0}},
+    };
+    return n;
+  }();
+  return net;
+}
+
+const PetriNet& dv_linear_net() {
+  static const PetriNet net = [] {
+    PetriNet n;
+    n.name = "DV_linear";
+    // Fully serialized ring: we+ -> e_i- -> we- -> f_i+ -> re+ -> f_i- ->
+    // re- -> e_i+ -> (back to start).
+    n.num_places = 8;
+    n.initial_marking = {0};
+    const unsigned kWe = 0;
+    const unsigned kRe = 1;
+    const unsigned kEi = 0;
+    const unsigned kFi = 1;
+    n.transitions = {
+        {"we+", true, kWe, true, {0}, {1}},
+        {"e_i-", false, kEi, false, {1}, {2}},
+        {"we-", true, kWe, false, {2}, {3}},
+        {"f_i+", false, kFi, true, {3}, {4}},
+        {"re+", true, kRe, true, {4}, {5}},
+        {"f_i-", false, kFi, false, {5}, {6}},
+        {"re-", true, kRe, false, {6}, {7}},
+        {"e_i+", false, kEi, true, {7}, {0}},
+    };
+    return n;
+  }();
+  return net;
+}
+
+}  // namespace mts::ctrl

@@ -1,0 +1,44 @@
+// Controller specifications from the paper.
+//
+// - opt_spec(): the ObtainPutToken burst-mode machine of Fig. 10a. Inputs
+//   {we1, we}, output {ptok}:
+//       S0 --we1+ / .------> S1     (token pulse arriving from the right)
+//       S1 --we1- / ptok+--> S2     (token is now in this cell)
+//       S2 --we+  / ptok---> S3     (put started: release token, reset OPT)
+//       S3 --we-  / .------> S0     (token pass to the left completed)
+//   The same machine obtains the *get* token in asynchronous get parts
+//   (inputs re1/re, output gtok) -- the paper's design-reuse theme.
+//   A cell holding the initial token starts in S2 with ptok already high.
+//
+// - dv_as_net(): the DV_as data-validity controller of Fig. 10b (async put,
+//   sync get). Inputs {we, re}, outputs {e_i, f_i}. Protocol (Section 4):
+//   we+ => e_i- then f_i+; re+ => f_i- (asynchronously, mid CLK_get cycle);
+//   re- (get completes on the next posedge) => e_i+. The we-/we+ handshake
+//   interleaves concurrently with the read path.
+//
+// - dv_linear_net(): the fully serialized variant used when the *get* side
+//   is asynchronous (sync-async and async-async cells): f_i+ must wait for
+//   we- (data provably latched) because an asynchronous reader reacts to
+//   f_i immediately rather than a synchronizer-delayed cycle later.
+#pragma once
+
+#include "ctrl/burst_mode.hpp"
+#include "ctrl/petri.hpp"
+
+namespace mts::ctrl {
+
+/// Burst-mode spec for OPT/OGT. State S2 is "holding the token".
+const BmSpec& opt_spec();
+
+/// OPT initial state for a cell that starts holding the token (S2) or not
+/// (S0).
+inline constexpr unsigned kOptStateHolding = 2;
+inline constexpr unsigned kOptStateIdle = 0;
+
+/// DV_as Petri net (paper Fig. 10b): async put part, synchronous get part.
+const PetriNet& dv_as_net();
+
+/// Serialized DV net for asynchronous get parts.
+const PetriNet& dv_linear_net();
+
+}  // namespace mts::ctrl

@@ -1,0 +1,66 @@
+#include "fifo/area.hpp"
+
+#include "gates/combinational.hpp"
+
+namespace mts::fifo {
+
+namespace {
+
+/// Shared cell-array datapath: per cell, a W-bit register write port plus
+/// the validity flop and the tri-state read drivers.
+double datapath_ge(const FifoConfig& cfg, const gates::AreaModel& am) {
+  const double per_cell = am.flop_ge * cfg.width     // REG write port
+                          + am.flop_ge               // validity bit
+                          + am.tristate_driver_ge * (cfg.width + 1);
+  return per_cell * cfg.capacity;
+}
+
+/// Shared cell-array control: token flops, matched buffers, we/re ANDs,
+/// DV latch, plus the detectors and controllers.
+double control_ge(const FifoConfig& cfg, const gates::AreaModel& am) {
+  const unsigned n = cfg.capacity;
+  double cells = 0;
+  cells += 2 * am.flop_ge;     // put/get token flops
+  cells += 2 * am.buffer_ge;   // matched token buffers
+  cells += 2 * am.gate(2);     // we_i / re_i ANDs
+  cells += am.sr_latch_ge;     // DV
+  double total = cells * n;
+
+  // Detectors: pair ranks (full + ne) and three OR trees + inverters.
+  total += 2 * n * am.gate(2);                       // pair ANDs
+  const unsigned tree_nodes = n;                     // ~n nodes per tree
+  total += 3 * tree_nodes * am.gate(4) / 2;          // full / ne / oe trees
+  total += 3 * am.gate(1);                           // output inverters
+
+  // Controllers + broadcast buffer trees.
+  total += 2 * am.gate(3) + am.gate(2);              // put/get ctrl + empty AND
+  total += 2 * (n / 2) * am.buffer_ge;               // enable buffer trees
+  return total;
+}
+
+}  // namespace
+
+AreaEstimate area_mixed_clock(const FifoConfig& cfg, const gates::AreaModel& am) {
+  AreaEstimate a;
+  a.datapath_ge = datapath_ge(cfg, am);
+  a.control_ge = control_ge(cfg, am);
+  // One synchronizer chain on full, two on the bi-modal empty (ne and oe),
+  // each cfg.sync.depth latches deep, plus the Fig. 7b OR gate.
+  a.synchronizer_ge = 3.0 * cfg.sync.depth * am.sync_latch_ge + am.gate(2);
+  return a;
+}
+
+AreaEstimate area_per_cell_sync(const FifoConfig& cfg,
+                                const gates::AreaModel& am) {
+  AreaEstimate a;
+  a.datapath_ge = datapath_ge(cfg, am);
+  a.control_ge = control_ge(cfg, am);
+  // Intel-style [9]: each cell's state flag is synchronized into *both*
+  // clock domains -- two chains per cell -- and the global state is then
+  // computed from already-synchronous bits (no detector synchronizers).
+  a.synchronizer_ge =
+      2.0 * cfg.capacity * cfg.sync.depth * am.sync_latch_ge;
+  return a;
+}
+
+}  // namespace mts::fifo

@@ -1,0 +1,33 @@
+// Area estimation for the mixed-clock FIFO architectures.
+//
+// Bills of materials mirror the constructed netlists; the comparison
+// target is the Intel-patent organization the paper's Related Work
+// describes (two synchronizers per cell instead of one per global
+// detector), so the synchronization overhead can be compared
+// quantitatively as capacity grows.
+#pragma once
+
+#include "fifo/config.hpp"
+#include "gates/area_model.hpp"
+
+namespace mts::fifo {
+
+struct AreaEstimate {
+  double datapath_ge = 0;    ///< registers + tri-state drivers
+  double control_ge = 0;     ///< tokens, DV latches, detectors, controllers
+  double synchronizer_ge = 0;  ///< the clock-domain-crossing hardware
+  double total() const { return datapath_ge + control_ge + synchronizer_ge; }
+};
+
+/// The paper's mixed-clock FIFO: synchronizers only on the global full and
+/// bi-modal empty detector outputs.
+AreaEstimate area_mixed_clock(const FifoConfig& cfg,
+                              const gates::AreaModel& am = {});
+
+/// The Intel-style organization [9]: the same cell array, but with two
+/// synchronizer chains per cell (per-cell state flags synchronized into
+/// each clock domain) and no global detector synchronizers.
+AreaEstimate area_per_cell_sync(const FifoConfig& cfg,
+                                const gates::AreaModel& am = {});
+
+}  // namespace mts::fifo

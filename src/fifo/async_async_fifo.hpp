@@ -1,0 +1,66 @@
+// Async-async FIFO: the token-ring asynchronous FIFO of Chelcea & Nowick,
+// ASYNC'00 [4] -- the substrate design whose put half the paper reuses.
+//
+// Both interfaces are 4-phase single-rail bundled data. Cells are
+// AsyncPutPart + AsyncGetPart glued by the serialized DV net. There are no
+// clocks, detectors or synchronizers: a full FIFO withholds put_ack, an
+// empty FIFO withholds get_ack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fifo/cell_parts.hpp"
+#include "fifo/config.hpp"
+#include "gates/netlist.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::fifo {
+
+class AsyncAsyncFifo {
+ public:
+  AsyncAsyncFifo(sim::Simulation& sim, const std::string& name,
+                 const FifoConfig& cfg);
+
+  AsyncAsyncFifo(const AsyncAsyncFifo&) = delete;
+  AsyncAsyncFifo& operator=(const AsyncAsyncFifo&) = delete;
+
+  // --- put interface (asynchronous) ---
+  sim::Wire& put_req() noexcept { return *put_req_; }
+  sim::Word& put_data() noexcept { return *put_data_; }
+  sim::Wire& put_ack() noexcept { return *put_ack_; }
+
+  // --- get interface (asynchronous) ---
+  sim::Wire& get_req() noexcept { return *get_req_; }
+  sim::Wire& get_ack() noexcept { return *get_ack_; }
+  sim::Word& get_data() noexcept { return *get_data_; }
+
+  // --- diagnostics ---
+  std::uint64_t overflow_count() const noexcept { return overflows_; }
+  std::uint64_t underflow_count() const noexcept { return underflows_; }
+  unsigned occupancy() const;
+
+  const FifoConfig& config() const noexcept { return cfg_; }
+
+ private:
+  sim::Simulation& sim_;
+  FifoConfig cfg_;
+  gates::Netlist nl_;
+
+  sim::Wire* put_req_ = nullptr;
+  sim::Word* put_data_ = nullptr;
+  sim::Wire* put_ack_ = nullptr;
+  sim::Wire* get_req_ = nullptr;
+  sim::Wire* get_ack_ = nullptr;
+  sim::Word* get_data_ = nullptr;
+
+  std::vector<sim::Wire*> e_;
+  std::vector<sim::Wire*> f_;
+
+  std::uint64_t overflows_ = 0;
+  std::uint64_t underflows_ = 0;
+};
+
+}  // namespace mts::fifo

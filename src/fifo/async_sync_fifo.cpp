@@ -1,0 +1,123 @@
+#include "fifo/async_sync_fifo.hpp"
+
+#include "ctrl/specs.hpp"
+#include "fifo/interface_sides.hpp"
+#include "gates/combinational.hpp"
+#include "gates/tristate.hpp"
+#include "sim/error.hpp"
+
+namespace mts::fifo {
+
+AsyncSyncFifo::AsyncSyncFifo(sim::Simulation& sim, const std::string& name,
+                             const FifoConfig& cfg, sim::Wire& clk_get)
+    : sim_(sim), cfg_(cfg), nl_(sim, name), get_dom_(sim, name + ".get") {
+  cfg_.validate();
+  const unsigned n = cfg_.capacity;
+  const gates::DelayModel& dm = cfg_.dm;
+
+  // --- external interface wires ---
+  put_req_ = &nl_.wire("put_req");
+  put_data_ = &nl_.word("put_data");
+  req_get_ = &nl_.wire("req_get");
+  stop_in_ = &nl_.wire("stop_in");
+  data_get_ = &nl_.word("data_get");
+  valid_bus_ = &nl_.wire("valid_bus");
+  valid_ext_ = &nl_.wire("valid_get");
+  empty_w_ = &nl_.wire("empty", true);
+  en_get_b_ = &nl_.wire("en_get_b");
+
+  // put_req is broadcast to every cell's C-element.
+  sim::Wire& req_b =
+      gates::make_delay(nl_, "put_req_b", *put_req_, dm.broadcast(n, 1));
+
+  // Validity on the asynchronous interface is implicit in the handshake;
+  // enqueued items are always valid.
+  sim::Wire& vcc = nl_.wire("vcc", true);
+
+  // --- token rings ---
+  std::vector<sim::Wire*> we(n);
+  std::vector<sim::Wire*> gtok(n);
+  for (unsigned i = 0; i < n; ++i) {
+    we[i] = &nl_.wire("c" + std::to_string(i) + ".we");
+    gtok[i] = &nl_.wire("c" + std::to_string(i) + ".gtok", i == 0);
+  }
+
+  auto& data_bus = nl_.add<gates::TristateBus<std::uint64_t>>(
+      sim, nl_.qualified("get_data_bus"), *data_get_,
+      dm.tristate_bus(n, cfg_.width));
+  auto& valid_tbus = nl_.add<gates::TristateBus<bool>>(
+      sim, nl_.qualified("valid_bus_ts"), *valid_bus_, dm.tristate_bus(n, 1));
+
+  // --- cells: async put part + sync get part + DV_as (Fig. 9) ---
+  e_.resize(n);
+  f_.resize(n);
+  std::vector<sim::Wire*> ack_terms;
+  ack_terms.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    const std::string ci = "c" + std::to_string(i);
+    e_[i] = &nl_.wire(ci + ".e", true);
+    f_[i] = &nl_.wire(ci + ".f", false);
+
+    auto& put_part = nl_.add<AsyncPutPart>(nl_, i, req_b, *put_data_,
+                                           *we[(i + n - 1) % n], *e_[i], *we[i],
+                                           cfg_, i == 0);
+    auto& get_part = nl_.add<SyncGetPart>(nl_, i, clk_get, *en_get_b_,
+                                          *gtok[(i + n - 1) % n], *gtok[i], cfg_,
+                                          &get_dom_, i == 0);
+
+    // DV_as (Fig. 10b): the Petri-net data-validity controller. Output
+    // latency matched to the mixed-clock SR latch so both designs present
+    // identical f_i timing to the shared empty detector (Table 1 shows
+    // identical get columns for both).
+    nl_.add<ctrl::PetriEngine>(nl_.sim(), nl_.qualified(ci + ".dv"),
+                               ctrl::dv_as_net(),
+                               std::vector<sim::Wire*>{we[i], &get_part.re()},
+                               std::vector<sim::Wire*>{e_[i], f_[i]},
+                               dm.sr_latch);
+
+    data_bus.attach_driver(get_part.re(), put_part.reg_q());
+    valid_tbus.attach_driver(get_part.re(), vcc);
+    ack_terms.push_back(we[i]);
+
+    sim::Wire* fw = f_[i];
+    sim::on_rise(*we[i], [this, fw] {
+      if (fw->read()) {
+        ++overflows_;
+        sim_.report().add(sim_.now(), sim::Severity::kError, "overflow",
+                          nl_.prefix() + ": put into a full cell");
+      }
+    });
+    sim::on_rise(get_part.re(), [this, fw] {
+      if (!fw->read()) {
+        ++underflows_;
+        sim_.report().add(sim_.now(), sim::Severity::kError, "underflow",
+                          nl_.prefix() + ": get from an empty cell");
+      }
+    });
+  }
+
+  // put_ack: a tree of OR gates merges the per-cell acknowledgments
+  // (Section 6 experimental setup), driving the global ack wire back to
+  // the sender.
+  sim::Wire& ack_tree = gates::make_or_tree(nl_, "ackTree", ack_terms, dm);
+  put_ack_ = &gates::make_delay(nl_, "put_ack", ack_tree, dm.gate(2, 4));
+
+  // --- get side: identical block to the mixed-clock design ---
+  auto& get_side = nl_.add<SyncGetSide>(nl_, clk_get, cfg_, get_dom_, f_,
+                                        *req_get_, *stop_in_, *valid_bus_,
+                                        *valid_ext_, *empty_w_, *en_get_b_);
+  ne_raw_ = &get_side.ne_raw();
+  oe_raw_ = &get_side.oe_raw();
+}
+
+unsigned AsyncSyncFifo::occupancy() const {
+  unsigned count = 0;
+  for (const sim::Wire* f : f_) count += f->read() ? 1u : 0u;
+  return count;
+}
+
+sim::Time AsyncSyncFifo::get_min_period() const {
+  return SyncGetSide::min_period(cfg_);
+}
+
+}  // namespace mts::fifo

@@ -1,0 +1,28 @@
+#include "fifo/async_timing.hpp"
+
+#include "gates/combinational.hpp"
+
+namespace mts::fifo {
+
+sim::Time async_put_cycle_estimate(const FifoConfig& cfg) {
+  const gates::DelayModel& dm = cfg.dm;
+  const unsigned n = cfg.capacity;
+
+  // One direction of the handshake (req edge to ack edge at the sender):
+  sim::Time half = 0;
+  half += dm.broadcast(n, 1);                      // put_req to every cell
+  half += dm.celement(3);                          // asymmetric C-element
+  half += dm.broadcast(1, cfg.width);              // we load (latch enable)
+  half += gates::tree_depth(n, 2) * dm.gate(2);    // acknowledge OR tree
+  half += dm.gate(2, 4);                           // global ack wire/buffer
+  half += dm.gate(1);                              // environment reaction
+
+  return 2 * half;  // set phase + reset phase
+}
+
+double async_put_mops_estimate(const FifoConfig& cfg) {
+  const sim::Time cycle = async_put_cycle_estimate(cfg);
+  return cycle == 0 ? 0.0 : 1e6 / static_cast<double>(cycle);
+}
+
+}  // namespace mts::fifo

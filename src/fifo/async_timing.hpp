@@ -1,0 +1,26 @@
+// Static cycle-time analysis for the asynchronous put interface.
+//
+// The 4-phase handshake loop (Fig. 3b) visits, twice per operation (set
+// phase and reset phase):
+//
+//   put_req edge -> request broadcast to all cells -> asymmetric C-element
+//   -> we buffering (W-bit latch enable load) -> acknowledge OR tree ->
+//   global ack wire -> environment reaction
+//
+// The estimate mirrors the constructed netlist the same way the
+// synchronous min_period formulas do; tests check it against the measured
+// saturated handshake rate.
+#pragma once
+
+#include "fifo/config.hpp"
+#include "sim/time.hpp"
+
+namespace mts::fifo {
+
+/// Estimated steady-state cycle time of one asynchronous put handshake.
+sim::Time async_put_cycle_estimate(const FifoConfig& cfg);
+
+/// The same quantity as a rate in MegaOps/s.
+double async_put_mops_estimate(const FifoConfig& cfg);
+
+}  // namespace mts::fifo

@@ -1,0 +1,83 @@
+#include "fifo/baseline_shift_fifo.hpp"
+
+namespace mts::fifo {
+
+BaselineShiftFifo::BaselineShiftFifo(sim::Simulation& sim,
+                                     const std::string& name,
+                                     const FifoConfig& cfg, sim::Wire& clk_put,
+                                     sim::Wire& clk_get)
+    : sim_(sim), cfg_(cfg), nl_(sim, name) {
+  cfg_.validate();
+  stages_.resize(cfg_.capacity);
+
+  req_put_ = &nl_.wire("req_put");
+  data_put_ = &nl_.word("data_put");
+  full_ = &nl_.wire("full");
+  req_get_ = &nl_.wire("req_get");
+  data_get_ = &nl_.word("data_get");
+  valid_get_ = &nl_.wire("valid_get");
+  empty_ = &nl_.wire("empty", true);
+
+  sim::on_rise(clk_put, [this] { on_put_edge(); });
+  sim::on_rise(clk_get, [this] { on_get_edge(); });
+}
+
+void BaselineShiftFifo::on_put_edge() {
+  const sim::Time q = cfg_.dm.flop.clk_to_q;
+
+  // The writer sees the entry stage's occupancy through a two-flop
+  // synchronizer: shift the delayed view.
+  const bool entry_busy_now = stages_.front().valid;
+  const bool full_seen = (full_sync_pipe_ & 0b10u) != 0;
+  full_sync_pipe_ = static_cast<unsigned>(((full_sync_pipe_ << 1) |
+                                           (entry_busy_now ? 1u : 0u)) & 0b11u);
+  full_->write(full_seen, q, sim::DelayKind::kInertial);
+
+  if (req_put_->read() && !full_seen && !stages_.front().valid) {
+    stages_.front().valid = true;
+    stages_.front().data = data_put_->read();
+    stages_.front().age = 0;
+    ++data_moves_;
+  }
+}
+
+void BaselineShiftFifo::on_get_edge() {
+  const sim::Time q = cfg_.dm.flop.clk_to_q;
+  const std::size_t n = stages_.size();
+
+  // Delivery from the last stage: only an item that has settled through
+  // this stage's synchronizer may be read.
+  Stage& last = stages_[n - 1];
+  const bool deliver = req_get_->read() && last.valid && last.age >= kSyncCycles;
+  if (deliver) {
+    data_get_->write(last.data, q, sim::DelayKind::kInertial);
+    last.valid = false;
+  }
+  valid_get_->write(deliver, q, sim::DelayKind::kInertial);
+
+  // Pipelined shift toward the output, back to front; each hop requires a
+  // fully settled item and an empty successor.
+  for (std::size_t i = n - 1; i-- > 0;) {
+    if (stages_[i].valid && stages_[i].age >= kSyncCycles &&
+        !stages_[i + 1].valid) {
+      stages_[i + 1] = Stage{true, stages_[i].data, 0};
+      stages_[i].valid = false;
+      ++data_moves_;
+    }
+  }
+  for (Stage& s : stages_) {
+    if (s.valid && s.age < kSyncCycles) ++s.age;
+  }
+
+  bool any = false;
+  for (const Stage& s : stages_) any = any || s.valid;
+  empty_->write(!any, q, sim::DelayKind::kInertial);
+}
+
+unsigned BaselineShiftFifo::occupancy() const {
+  unsigned count = 0;
+  for (const Stage& s : stages_) count += s.valid ? 1u : 0u;
+  return count;
+}
+
+}  // namespace mts::fifo

@@ -1,0 +1,94 @@
+// Baseline comparator: a pipeline-synchronization FIFO in the style of
+// Seizovic [13], the design the paper's Related Work contrasts against:
+// "the latency of his design is proportional with the number of FIFO
+// stages, whose implementation includes expensive synchronizers."
+//
+// Model: a chain of stages between the writer and the reader. A data item
+// entering a stage must spend one synchronizer settling interval (two
+// receiver clock cycles, matching the paper's two-latch synchronizers)
+// before it may advance -- every stage resynchronizes the item. Items
+// pipeline, so several can be in flight, but each hop costs the full
+// synchronization delay:
+//
+//     latency  ~ 2 * stages * T_get      (linear in capacity)
+//     throughput ~ one word per 2 T_get  (synchronizer-limited)
+//
+// The Chelcea-Nowick designs beat this on both axes because data is
+// immobile (enqueued items are immediately visible at the output) and only
+// the two *global* state bits cross the clock boundary.
+//
+// This is a behavioural substrate model (the baseline is compared, not
+// reproduced gate-by-gate); its external interface matches the mixed-clock
+// FIFO's so the comparison bench can drive both identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fifo/config.hpp"
+#include "gates/netlist.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::fifo {
+
+class BaselineShiftFifo {
+ public:
+  BaselineShiftFifo(sim::Simulation& sim, const std::string& name,
+                    const FifoConfig& cfg, sim::Wire& clk_put,
+                    sim::Wire& clk_get);
+
+  BaselineShiftFifo(const BaselineShiftFifo&) = delete;
+  BaselineShiftFifo& operator=(const BaselineShiftFifo&) = delete;
+
+  // Put interface (synchronous to clk_put).
+  sim::Wire& req_put() noexcept { return *req_put_; }
+  sim::Word& data_put() noexcept { return *data_put_; }
+  sim::Wire& full() noexcept { return *full_; }
+
+  // Get interface (synchronous to clk_get).
+  sim::Wire& req_get() noexcept { return *req_get_; }
+  sim::Word& data_get() noexcept { return *data_get_; }
+  sim::Wire& valid_get() noexcept { return *valid_get_; }
+  sim::Wire& empty() noexcept { return *empty_; }
+
+  unsigned occupancy() const;
+  /// Register-write events: one per insertion plus one per stage hop --
+  /// linear in capacity, the energy cost of moving data through the
+  /// pipeline (contrast MixedClockFifo::data_moves()).
+  std::uint64_t data_moves() const noexcept { return data_moves_; }
+  const FifoConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void on_put_edge();
+  void on_get_edge();
+
+  struct Stage {
+    bool valid = false;
+    std::uint64_t data = 0;
+    unsigned age = 0;  ///< receiver edges spent in this stage
+  };
+
+  sim::Simulation& sim_;
+  FifoConfig cfg_;
+  gates::Netlist nl_;
+
+  sim::Wire* req_put_ = nullptr;
+  sim::Word* data_put_ = nullptr;
+  sim::Wire* full_ = nullptr;
+  sim::Wire* req_get_ = nullptr;
+  sim::Word* data_get_ = nullptr;
+  sim::Wire* valid_get_ = nullptr;
+  sim::Wire* empty_ = nullptr;
+
+  std::vector<Stage> stages_;
+  std::uint64_t data_moves_ = 0;
+  /// Entry-stage occupancy as seen by the writer: updated with a
+  /// two-put-cycle synchronizer delay, like every cross-domain flag here.
+  unsigned full_sync_pipe_ = 0;
+
+  static constexpr unsigned kSyncCycles = 2;  ///< per-stage settling, edges
+};
+
+}  // namespace mts::fifo

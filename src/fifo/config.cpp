@@ -1,0 +1,29 @@
+#include "fifo/config.hpp"
+
+#include "fifo/detectors.hpp"
+#include "sim/error.hpp"
+
+namespace mts::fifo {
+
+void FifoConfig::validate() const {
+  if (capacity < 2) {
+    throw ConfigError("FifoConfig: capacity must be >= 2 (the anticipating "
+                      "detectors reserve one cell)");
+  }
+  if (capacity < anticipation_window(sync.depth)) {
+    throw ConfigError("FifoConfig: capacity must be >= the anticipation "
+                      "window (= synchronizer depth): deeper synchronizers "
+                      "need proportionally more reserved cells");
+  }
+  if (width == 0 || width > 64) {
+    throw ConfigError("FifoConfig: width must be 1..64");
+  }
+  if (empty_kind == EmptyDetectorKind::kBimodal && sync.depth == 0) {
+    throw ConfigError("FifoConfig: the bi-modal empty detector needs at least "
+                      "one synchronizer stage (the Fig. 7b OR gate would "
+                      "otherwise form a combinational loop with the get "
+                      "controller)");
+  }
+}
+
+}  // namespace mts::fifo

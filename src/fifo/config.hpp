@@ -1,0 +1,70 @@
+// Configuration shared by all four FIFO designs.
+#pragma once
+
+#include "gates/delay_model.hpp"
+#include "sync/synchronizer.hpp"
+
+namespace mts::fifo {
+
+/// Which empty detector the synchronous get side uses (Section 3.2).
+enum class EmptyDetectorKind {
+  /// The paper's bi-modal detector: ne ("0 or 1 items") AND oe ("0 items",
+  /// OR-gated with en_get). Correct: no underflow, no deadlock.
+  kBimodal,
+  /// Ablation: ne only. Underflow-safe but deadlocks with one item left.
+  kNeOnly,
+  /// Ablation: oe only (the naive "true empty"). Deadlock-free but the
+  /// synchronizer delay lets the receiver read an empty cell (underflow).
+  kOeOnly,
+};
+
+/// Which full detector the synchronous put side uses.
+enum class FullDetectorKind {
+  /// The paper's anticipating detector: full when no two consecutive cells
+  /// are empty (i.e. at most one empty cell).
+  kAnticipating,
+  /// Ablation: exact full (no empty cells); the synchronizer delay lets the
+  /// sender overwrite a full cell (overflow).
+  kExact,
+};
+
+/// Per-cell data-validity controller for the mixed-clock design.
+enum class DvKind {
+  /// The paper's SR latch: a cell is declared empty the moment its get
+  /// *starts* (e_i set asynchronously at re+, Section 3.1). Correct in the
+  /// paper's operating envelope, but at the full boundary with a reader
+  /// clocked much slower than the writer, the margin cell can be granted
+  /// back to the put side while its read is still completing (see
+  /// EXPERIMENTS.md, "full-boundary hazard").
+  kSrLatch,
+  /// Extension: the serialized DV net (same one the sync-async design
+  /// needs): a cell is declared empty only when its get *completes* (e_i at
+  /// re-) and full only when its put completes (f_i at we-). Closes the
+  /// slow-reader hazard at the cost of one cycle of detector anticipation.
+  kConservative,
+};
+
+/// FIFO controllers vs relay-station controllers (Section 5).
+enum class ControllerKind {
+  /// On-demand: put when req_put & !full, get when req_get & !empty.
+  kFifo,
+  /// Latency-insensitive flow: put every cycle unless full (req_put is the
+  /// packet validity bit), get every cycle unless empty or stopIn.
+  kRelayStation,
+};
+
+struct FifoConfig {
+  unsigned capacity = 8;  ///< number of cells (paper: 4 / 8 / 16)
+  unsigned width = 8;     ///< data bits (paper: 8 / 16)
+  gates::DelayModel dm = gates::DelayModel::hp06();
+  sync::SyncConfig sync{};  ///< synchronizer depth & metastability mode
+  EmptyDetectorKind empty_kind = EmptyDetectorKind::kBimodal;
+  FullDetectorKind full_kind = FullDetectorKind::kAnticipating;
+  ControllerKind controller = ControllerKind::kFifo;
+  DvKind dv_kind = DvKind::kSrLatch;  ///< mixed-clock cells only
+
+  /// Throws ConfigError on invalid values (capacity < 2, width 0 or > 64).
+  void validate() const;
+};
+
+}  // namespace mts::fifo

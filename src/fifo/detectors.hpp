@@ -1,0 +1,63 @@
+// Global state detectors (Fig. 6).
+//
+// The detectors observe every cell's e_i / f_i state bit and compute the
+// FIFO-global full/empty conditions. The paper's "anticipating" definitions
+// declare the FIFO full/empty one data item early so that the two-cycle
+// synchronizer latency cannot cause over/underflow:
+//
+//   full (Fig. 6a): no two *consecutive* cells empty  (<= 1 empty cell)
+//   ne   (Fig. 6b): no two *consecutive* cells full   (<= 1 data item)
+//   oe   (Fig. 6c): no cell full                      (0 data items)
+//
+// Structurally: a rank of 2-input AND gates over adjacent pairs (the ring
+// wraps), an OR tree whose depth grows as log2(capacity) -- this is why get
+// and put frequencies fall with capacity in Table 1 -- and an output
+// inverter.
+#pragma once
+
+#include <vector>
+
+#include "gates/combinational.hpp"
+#include "gates/delay_model.hpp"
+#include "gates/netlist.hpp"
+#include "sim/signal.hpp"
+
+namespace mts::fifo {
+
+/// full: asserted when no `window` consecutive cells are empty (i.e. at
+/// most window-1 empty cells). `e` holds every cell's e_i in ring order.
+///
+/// The paper's definition is window = 2, matched to its two-latch
+/// synchronizers: the anticipation margin (window - 1 cells) must cover
+/// the puts that can slip in while the full flag crosses the synchronizer
+/// (depth - 1 cycles). "Arbitrarily robust" deeper synchronizers therefore
+/// need proportionally wider anticipation windows -- a coupling the
+/// library enforces (see SyncPutSide) and DESIGN.md section 7 documents.
+sim::Wire& build_anticipating_full(gates::Netlist& nl, std::vector<sim::Wire*> e,
+                                   const gates::DelayModel& dm,
+                                   unsigned window = 2);
+
+/// ne ("new empty"): asserted when no `window` consecutive cells are full
+/// (at most window-1 data items). Paper: window = 2.
+sim::Wire& build_anticipating_empty(gates::Netlist& nl, std::vector<sim::Wire*> f,
+                                    const gates::DelayModel& dm,
+                                    unsigned window = 2);
+
+/// Anticipation window required for a given synchronizer depth.
+unsigned anticipation_window(unsigned sync_depth);
+
+/// oe ("true empty"): asserted when no cell is full.
+sim::Wire& build_true_empty(gates::Netlist& nl, std::vector<sim::Wire*> f,
+                            const gates::DelayModel& dm);
+
+/// Ablation: exact full (no cell empty).
+sim::Wire& build_exact_full(gates::Netlist& nl, std::vector<sim::Wire*> e,
+                            const gates::DelayModel& dm);
+
+/// Static delay of the window-AND + OR-tree + inverter structure, used by
+/// the FIFOs' critical-path analysis. `window` = 0 means no AND rank
+/// (oe / exact detectors); the paper's anticipating detectors use 2.
+sim::Time detector_delay(unsigned capacity, unsigned window,
+                         const gates::DelayModel& dm);
+
+}  // namespace mts::fifo

@@ -1,0 +1,13 @@
+// Umbrella header for the mixed-timing FIFO library (the paper's core
+// contribution).
+#pragma once
+
+#include "fifo/async_async_fifo.hpp"  // IWYU pragma: export
+#include "fifo/async_sync_fifo.hpp"   // IWYU pragma: export
+#include "fifo/async_timing.hpp"      // IWYU pragma: export
+#include "fifo/cell_parts.hpp"        // IWYU pragma: export
+#include "fifo/config.hpp"            // IWYU pragma: export
+#include "fifo/detectors.hpp"         // IWYU pragma: export
+#include "fifo/interface_sides.hpp"   // IWYU pragma: export
+#include "fifo/mixed_clock_fifo.hpp"  // IWYU pragma: export
+#include "fifo/sync_async_fifo.hpp"   // IWYU pragma: export

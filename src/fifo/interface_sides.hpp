@@ -1,0 +1,86 @@
+// Reusable synchronous interface sides.
+//
+// The paper's components outside the cell array -- detectors, synchronizers
+// and external controllers -- are shared verbatim between designs: the
+// async-sync FIFO "reuses components from the mixed-clock design. In
+// particular, the external get controller and empty detector are
+// unchanged". These classes are those shared blocks.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fifo/config.hpp"
+#include "gates/netlist.hpp"
+#include "gates/timing.hpp"
+#include "sim/signal.hpp"
+
+namespace mts::fifo {
+
+/// One element of a critical-path breakdown: a named delay contribution.
+/// The sum of a breakdown's delays equals the corresponding min_period.
+struct PathElement {
+  std::string name;
+  sim::Time delay = 0;
+};
+using PathBreakdown = std::vector<PathElement>;
+
+/// Total delay of a breakdown.
+sim::Time path_total(const PathBreakdown& path);
+
+/// Full detector + synchronizer + put controller + en_put broadcast
+/// (Figs. 6a, 7a, 13a).
+class SyncPutSide {
+ public:
+  /// `e` holds every cell's e_i wire in ring order. Drives the pre-created
+  /// `en_put_b` broadcast wire; `req_put` is the external request (FIFO
+  /// mode) / validity (relay-station mode) input.
+  SyncPutSide(gates::Netlist& nl, sim::Wire& clk_put, const FifoConfig& cfg,
+              gates::TimingDomain& domain, const std::vector<sim::Wire*>& e,
+              sim::Wire& req_put, sim::Wire& en_put_b);
+
+  /// Synchronized full flag (external `full` / relay-station stopOut).
+  sim::Wire& full_ext() const noexcept { return *full_ext_; }
+  sim::Wire& full_raw() const noexcept { return *full_raw_; }
+
+  /// Static minimum CLK_put period for this side's critical loop.
+  static sim::Time min_period(const FifoConfig& cfg);
+
+  /// Element-by-element breakdown of the same loop (datasheet view);
+  /// path_total(describe_min_period(cfg)) == min_period(cfg).
+  static PathBreakdown describe_min_period(const FifoConfig& cfg);
+
+ private:
+  sim::Wire* full_raw_ = nullptr;
+  sim::Wire* full_ext_ = nullptr;
+};
+
+/// Bi-modal empty detector + synchronizers + get controller + en_get
+/// broadcast + external validity gating (Figs. 6b-c, 7b, 13b, 16).
+class SyncGetSide {
+ public:
+  /// `f` holds every cell's f_i wire in ring order. Drives the pre-created
+  /// `empty_w`, `valid_ext` and `en_get_b` wires.
+  SyncGetSide(gates::Netlist& nl, sim::Wire& clk_get, const FifoConfig& cfg,
+              gates::TimingDomain& domain, const std::vector<sim::Wire*>& f,
+              sim::Wire& req_get, sim::Wire& stop_in, sim::Wire& valid_bus,
+              sim::Wire& valid_ext, sim::Wire& empty_w, sim::Wire& en_get_b);
+
+  sim::Wire& ne_raw() const noexcept { return *ne_raw_; }
+  sim::Wire& oe_raw() const noexcept { return *oe_raw_; }
+
+  /// Static minimum CLK_get period: max of the empty-detector loop and the
+  /// tri-state read path to the receiver's sampling flop.
+  static sim::Time min_period(const FifoConfig& cfg);
+
+  /// Breakdown of whichever get path dominates;
+  /// path_total(describe_min_period(cfg)) == min_period(cfg).
+  static PathBreakdown describe_min_period(const FifoConfig& cfg);
+
+ private:
+  sim::Wire* ne_raw_ = nullptr;
+  sim::Wire* oe_raw_ = nullptr;
+};
+
+}  // namespace mts::fifo

@@ -1,0 +1,133 @@
+#include "fifo/mixed_clock_fifo.hpp"
+
+#include <utility>
+
+#include "ctrl/specs.hpp"
+#include "fifo/interface_sides.hpp"
+#include "gates/combinational.hpp"
+#include "gates/latch.hpp"
+#include "sim/error.hpp"
+
+namespace mts::fifo {
+
+MixedClockFifo::MixedClockFifo(sim::Simulation& sim, const std::string& name,
+                               const FifoConfig& cfg, sim::Wire& clk_put,
+                               sim::Wire& clk_get)
+    : sim_(sim),
+      cfg_(cfg),
+      nl_(sim, name),
+      put_dom_(sim, name + ".put"),
+      get_dom_(sim, name + ".get") {
+  cfg_.validate();
+  const unsigned n = cfg_.capacity;
+  const gates::DelayModel& dm = cfg_.dm;
+
+  // --- external interface wires ---
+  req_put_ = &nl_.wire("req_put");
+  data_put_ = &nl_.word("data_put");
+  req_get_ = &nl_.wire("req_get");
+  stop_in_ = &nl_.wire("stop_in");
+  data_get_ = &nl_.word("data_get");
+  valid_bus_ = &nl_.wire("valid_bus");
+  valid_ext_ = &nl_.wire("valid_get");
+  empty_w_ = &nl_.wire("empty", true);
+
+  // --- broadcast enables (driven by the interface sides below) ---
+  en_put_b_ = &nl_.wire("en_put_b");
+  en_get_b_ = &nl_.wire("en_get_b");
+
+  // --- token rings ---
+  std::vector<sim::Wire*> ptok(n);
+  std::vector<sim::Wire*> gtok(n);
+  for (unsigned i = 0; i < n; ++i) {
+    ptok[i] = &nl_.wire("c" + std::to_string(i) + ".ptok", i == 0);
+    gtok[i] = &nl_.wire("c" + std::to_string(i) + ".gtok", i == 0);
+  }
+
+  // --- shared output buses ---
+  auto& data_bus = nl_.add<gates::TristateBus<std::uint64_t>>(
+      sim, nl_.qualified("get_data_bus"), *data_get_,
+      dm.tristate_bus(n, cfg_.width));
+  auto& valid_tbus = nl_.add<gates::TristateBus<bool>>(
+      sim, nl_.qualified("valid_bus_ts"), *valid_bus_, dm.tristate_bus(n, 1));
+
+  // --- cells: sync put part + sync get part + SR-latch DV (Fig. 5) ---
+  e_.resize(n);
+  f_.resize(n);
+  for (unsigned i = 0; i < n; ++i) {
+    const std::string ci = "c" + std::to_string(i);
+    auto& put_part = nl_.add<SyncPutPart>(nl_, i, clk_put, *en_put_b_,
+                                          *ptok[(i + n - 1) % n], *ptok[i],
+                                          *data_put_, *req_put_, cfg_, &put_dom_,
+                                          i == 0);
+    auto& get_part = nl_.add<SyncGetPart>(nl_, i, clk_get, *en_get_b_,
+                                          *gtok[(i + n - 1) % n], *gtok[i], cfg_,
+                                          &get_dom_, i == 0);
+
+    // Data-validity controller: the paper's SR latch (set on put, reset on
+    // get, both asynchronous to the opposite clock -- Section 3.1 actions
+    // (b)), or the serialized conservative net (see DvKind).
+    e_[i] = &nl_.wire(ci + ".e", true);
+    f_[i] = &nl_.wire(ci + ".f", false);
+    if (cfg_.dv_kind == DvKind::kSrLatch) {
+      nl_.add<gates::SrLatch>(sim, nl_.qualified(ci + ".dv"), put_part.we(),
+                              get_part.re(), *f_[i], *e_[i], dm.sr_latch, false);
+    } else {
+      nl_.add<ctrl::PetriEngine>(
+          sim, nl_.qualified(ci + ".dv"), ctrl::dv_linear_net(),
+          std::vector<sim::Wire*>{&put_part.we(), &get_part.re()},
+          std::vector<sim::Wire*>{e_[i], f_[i]}, dm.sr_latch);
+    }
+
+    data_bus.attach_driver(get_part.re(), put_part.reg_q());
+    valid_tbus.attach_driver(get_part.re(), put_part.v_q());
+
+    // Over/underflow monitors: an enabled put on a full cell or an enabled
+    // get on an empty cell is a protocol failure (the max-frequency search
+    // and the detector ablations count these).
+    sim::Wire* fw = f_[i];
+    sim::on_rise(put_part.we(), [this, fw] {
+      ++data_moves_;  // one register write per enqueue; data never moves again
+      if (fw->read()) {
+        ++overflows_;
+        sim_.report().add(sim_.now(), sim::Severity::kError, "overflow",
+                          nl_.prefix() + ": put into a full cell");
+      }
+    });
+    sim::on_rise(get_part.re(), [this, fw] {
+      if (!fw->read()) {
+        ++underflows_;
+        sim_.report().add(sim_.now(), sim::Severity::kError, "underflow",
+                          nl_.prefix() + ": get from an empty cell");
+      }
+    });
+  }
+
+  // --- interface sides: detectors, synchronizers, controllers ---
+  auto& put_side = nl_.add<SyncPutSide>(nl_, clk_put, cfg_, put_dom_, e_,
+                                        *req_put_, *en_put_b_);
+  full_raw_ = &put_side.full_raw();
+  full_ext_ = &put_side.full_ext();
+
+  auto& get_side = nl_.add<SyncGetSide>(nl_, clk_get, cfg_, get_dom_, f_,
+                                        *req_get_, *stop_in_, *valid_bus_,
+                                        *valid_ext_, *empty_w_, *en_get_b_);
+  ne_raw_ = &get_side.ne_raw();
+  oe_raw_ = &get_side.oe_raw();
+}
+
+unsigned MixedClockFifo::occupancy() const {
+  unsigned count = 0;
+  for (const sim::Wire* f : f_) count += f->read() ? 1u : 0u;
+  return count;
+}
+
+sim::Time MixedClockFifo::put_min_period() const {
+  return SyncPutSide::min_period(cfg_);
+}
+
+sim::Time MixedClockFifo::get_min_period() const {
+  return SyncGetSide::min_period(cfg_);
+}
+
+}  // namespace mts::fifo

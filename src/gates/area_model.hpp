@@ -1,0 +1,37 @@
+// Gate-equivalent area model.
+//
+// The paper's Related Work argues the Intel mixed-clock FIFO [9] pays
+// "significantly greater area overhead in implementing the
+// synchronization: while our design has only one synchronizer on each of
+// the two global detectors (full and empty), the Intel design has two
+// synchronizers per cell". This model makes such comparisons quantitative:
+// every primitive gets a cost in gate equivalents (GE, the classic
+// 4-transistor NAND2 unit), and each FIFO sums its bill of materials.
+#pragma once
+
+namespace mts::gates {
+
+struct AreaModel {
+  // Combinational primitives (gate equivalents).
+  double ge_per_gate_input = 0.5;  ///< n-input simple gate ~ n/2 GE
+  double gate_base_ge = 0.5;
+  double celement_base_ge = 1.5;
+  double ge_per_celement_input = 1.0;
+
+  // Storage.
+  double sr_latch_ge = 2.0;
+  double dlatch_ge = 3.0;
+  double flop_ge = 6.0;          ///< edge-triggered DFF
+  double sync_latch_ge = 8.0;    ///< metastability-hardened synchronizer latch
+  double tristate_driver_ge = 1.5;
+  double buffer_ge = 1.0;
+
+  double gate(unsigned fanin) const {
+    return gate_base_ge + ge_per_gate_input * fanin;
+  }
+  double celement(unsigned fanin) const {
+    return celement_base_ge + ge_per_celement_input * fanin;
+  }
+};
+
+}  // namespace mts::gates

@@ -1,0 +1,62 @@
+#include "gates/celement.hpp"
+
+#include <utility>
+
+#include "sim/error.hpp"
+
+namespace mts::gates {
+
+CElement::CElement(sim::Simulation& sim, std::string name,
+                   std::vector<sim::Wire*> common, std::vector<sim::Wire*> plus,
+                   sim::Wire& out, Time delay, bool initial)
+    : name_(std::move(name)),
+      common_(std::move(common)),
+      plus_(std::move(plus)),
+      out_(out),
+      delay_(delay),
+      state_(initial) {
+  MTS_ASSERT(!common_.empty(), "C-element '" + name_ + "' needs common inputs");
+  auto watch = [this](sim::Wire* w) {
+    MTS_ASSERT(w != nullptr, "C-element '" + name_ + "' has a null input");
+    w->on_change([this](bool, bool) { evaluate(); });
+  };
+  for (sim::Wire* w : common_) watch(w);
+  for (sim::Wire* w : plus_) watch(w);
+  sim.sched().after(0, [this] { evaluate(); });
+}
+
+void CElement::evaluate() {
+  bool all_one = true;
+  for (const sim::Wire* w : common_) all_one = all_one && w->read();
+  for (const sim::Wire* w : plus_) all_one = all_one && w->read();
+  bool common_all_zero = true;
+  for (const sim::Wire* w : common_) common_all_zero = common_all_zero && !w->read();
+
+  if (all_one) {
+    state_ = true;
+  } else if (common_all_zero) {
+    state_ = false;
+  }  // otherwise hold
+  out_.write(state_, delay_, sim::DelayKind::kInertial);
+}
+
+sim::Wire& make_celement(Netlist& nl, const std::string& name,
+                         std::vector<sim::Wire*> inputs, const DelayModel& dm) {
+  sim::Wire& out = nl.wire(name);
+  const Time delay = dm.celement(static_cast<unsigned>(inputs.size()));
+  nl.add<CElement>(nl.sim(), nl.qualified(name), std::move(inputs),
+                   std::vector<sim::Wire*>{}, out, delay, false);
+  return out;
+}
+
+sim::Wire& make_acelement(Netlist& nl, const std::string& name,
+                          std::vector<sim::Wire*> common,
+                          std::vector<sim::Wire*> plus, const DelayModel& dm) {
+  sim::Wire& out = nl.wire(name);
+  const Time delay = dm.celement(static_cast<unsigned>(common.size() + plus.size()));
+  nl.add<CElement>(nl.sim(), nl.qualified(name), std::move(common), std::move(plus),
+                   out, delay, false);
+  return out;
+}
+
+}  // namespace mts::gates

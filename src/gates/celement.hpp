@@ -1,0 +1,52 @@
+// Muller C-elements, symmetric and asymmetric.
+//
+// Symmetric: output rises when every input is 1 and falls when every input
+// is 0; otherwise it holds state. Asymmetric (paper, footnote 1): "plus"
+// inputs participate only in setting the output to 1; their values are
+// irrelevant for the falling transition.
+//
+// The paper's async put part gates the write-enable `we` with an asymmetric
+// C-element: we+ requires put_req & ptok & e_i; we- requires only put_req-.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gates/delay_model.hpp"
+#include "gates/netlist.hpp"
+#include "sim/signal.hpp"
+
+namespace mts::gates {
+
+class CElement {
+ public:
+  /// `common` inputs participate in both transitions; `plus` inputs only in
+  /// the rising one. All wires must outlive the element.
+  CElement(sim::Simulation& sim, std::string name,
+           std::vector<sim::Wire*> common, std::vector<sim::Wire*> plus,
+           sim::Wire& out, Time delay, bool initial = false);
+
+  CElement(const CElement&) = delete;
+  CElement& operator=(const CElement&) = delete;
+
+ private:
+  void evaluate();
+
+  std::string name_;
+  std::vector<sim::Wire*> common_;
+  std::vector<sim::Wire*> plus_;
+  sim::Wire& out_;
+  Time delay_;
+  bool state_;
+};
+
+/// Builds a symmetric C-element driving a fresh wire.
+sim::Wire& make_celement(Netlist& nl, const std::string& name,
+                         std::vector<sim::Wire*> inputs, const DelayModel& dm);
+
+/// Builds an asymmetric C-element driving a fresh wire.
+sim::Wire& make_acelement(Netlist& nl, const std::string& name,
+                          std::vector<sim::Wire*> common,
+                          std::vector<sim::Wire*> plus, const DelayModel& dm);
+
+}  // namespace mts::gates

@@ -1,0 +1,69 @@
+#include "gates/delay_model.hpp"
+
+#include "sim/error.hpp"
+
+namespace mts::gates {
+
+Time DelayModel::gate(unsigned fanin, unsigned fanout) const {
+  MTS_ASSERT(fanin >= 1, "gate with no inputs");
+  MTS_ASSERT(fanout >= 1, "gate with no fanout");
+  return gate_base + gate_per_input * fanin + load_per_fanout * (fanout - 1);
+}
+
+Time DelayModel::celement(unsigned fanin) const {
+  MTS_ASSERT(fanin >= 1, "C-element with no inputs");
+  return celement_base + celement_per_input * fanin;
+}
+
+Time DelayModel::buffer_tree(unsigned fanout) const {
+  if (fanout <= 1) return 0;
+  unsigned stages = 0;
+  unsigned reach = 1;
+  while (reach < fanout) {
+    reach *= 4;
+    ++stages;
+  }
+  return buf_stage * stages;
+}
+
+Time DelayModel::broadcast(unsigned cells, unsigned bits) const {
+  return buffer_tree(cells) + bus_per_cell * cells + bus_per_bit * bits;
+}
+
+Time DelayModel::tristate_bus(unsigned cells, unsigned bits) const {
+  return tristate_base + bus_per_cell * cells + bus_per_bit * bits / 2;
+}
+
+DelayModel DelayModel::hp06() {
+  // Defaults above are the calibrated values; named constructor kept so call
+  // sites read as a technology choice and future presets slot in beside it.
+  return DelayModel{};
+}
+
+DelayModel DelayModel::scaled(double factor) const {
+  if (factor <= 0.0) throw ConfigError("DelayModel::scaled: factor must be > 0");
+  auto s = [factor](Time t) {
+    const auto scaled_t = static_cast<Time>(static_cast<double>(t) * factor);
+    return scaled_t == 0 && t != 0 ? Time{1} : scaled_t;
+  };
+  DelayModel out = *this;
+  out.gate_base = s(gate_base);
+  out.gate_per_input = s(gate_per_input);
+  out.load_per_fanout = s(load_per_fanout);
+  out.flop = FlopTiming{s(flop.clk_to_q), s(flop.setup), s(flop.hold)};
+  out.latch_d_to_q = s(latch_d_to_q);
+  out.latch_en_to_q = s(latch_en_to_q);
+  out.sr_latch = s(sr_latch);
+  out.celement_base = s(celement_base);
+  out.celement_per_input = s(celement_per_input);
+  out.buf_stage = s(buf_stage);
+  out.bus_per_cell = s(bus_per_cell);
+  out.bus_per_bit = s(bus_per_bit);
+  out.tristate_base = s(tristate_base);
+  out.meta_window = s(meta_window);
+  out.meta_tau = s(meta_tau);
+  out.meta_settle_det = s(meta_settle_det);
+  return out;
+}
+
+}  // namespace mts::gates

@@ -1,0 +1,90 @@
+// Technology delay model.
+//
+// The paper evaluates in 0.6u HP CMOS (3.3V, 300K) with HSpice; we replace
+// analog simulation with a parametric delay model. Per DESIGN.md section 7,
+// the model is calibrated once (hp06 preset) against the paper's headline
+// number (mixed-clock 4-place/8-bit put interface near 565 MHz); every other
+// Table 1 entry then follows from netlist structure:
+//   - detector trees deepen logarithmically with FIFO capacity,
+//   - broadcast/bus delays grow with capacity (wire load) and width
+//     (enable buffering),
+//   - controller complexity differences (AND vs inverter vs 3-input gates)
+//     shift each interface's critical path.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mts::gates {
+
+using sim::Time;
+
+/// Per-flop timing parameters.
+struct FlopTiming {
+  Time clk_to_q = 0;
+  Time setup = 0;
+  Time hold = 0;
+};
+
+struct DelayModel {
+  // Combinational gates: delay = gate_base + gate_per_input * fanin
+  //                              + load_per_fanout * (fanout - 1).
+  Time gate_base = 80;
+  Time gate_per_input = 35;
+  Time load_per_fanout = 10;
+
+  // Storage elements.
+  FlopTiming flop{160, 100, 50};
+  Time latch_d_to_q = 130;   ///< transparent latch, data to output
+  Time latch_en_to_q = 150;  ///< transparent latch, enable to output
+  Time sr_latch = 120;       ///< SR latch set/reset to output
+
+  // C-elements (symmetric and asymmetric): base + slope * fanin.
+  Time celement_base = 100;
+  Time celement_per_input = 50;
+
+  // Buffer trees for broadcast nets (en_put/en_get distribution): stages of
+  // fanout-4 buffers, each stage costing buf_stage.
+  Time buf_stage = 60;
+
+  // Bus loading: wire capacitance per attached cell and per data bit.
+  Time bus_per_cell = 6;
+  Time bus_per_bit = 26;
+
+  // Tri-state output buses (get_data): driver enable to bus-valid.
+  Time tristate_base = 120;
+
+  // Synchronizer metastability parameters: susceptibility window around the
+  // sampling edge and resolution time constant (tau).
+  Time meta_window = 80;
+  Time meta_tau = 80;
+  Time meta_settle_det = 350;  ///< fixed settle penalty in deterministic mode
+
+  /// Delay of an n-input gate driving `fanout` loads.
+  Time gate(unsigned fanin, unsigned fanout = 1) const;
+
+  /// Delay of a symmetric/asymmetric C-element with `fanin` total inputs.
+  Time celement(unsigned fanin) const;
+
+  /// Delay of a buffer tree driving `fanout` leaf loads (fanout-4 stages).
+  Time buffer_tree(unsigned fanout) const;
+
+  /// Delay for a control broadcast to `cells` cells whose per-cell load
+  /// scales with datapath `bits` (e.g. en_put driving every REG enable).
+  Time broadcast(unsigned cells, unsigned bits) const;
+
+  /// Delay for a cell to drive the shared tri-state get_data bus loaded by
+  /// `cells` attached drivers and `bits` wires of environment capacitance.
+  Time tristate_bus(unsigned cells, unsigned bits) const;
+
+  /// The 0.6u HP CMOS calibration used by all Table 1 benches.
+  static DelayModel hp06();
+
+  /// A uniformly scaled copy of this model (e.g. 0.6 approximates one
+  /// process shrink). Every Table 1 *relationship* is scale-invariant;
+  /// only absolute rates change -- tests verify this.
+  DelayModel scaled(double factor) const;
+};
+
+}  // namespace mts::gates

@@ -1,0 +1,112 @@
+#include "gates/flops.hpp"
+
+#include <utility>
+
+namespace mts::gates {
+
+Etdff::Etdff(sim::Simulation& sim, std::string name, sim::Wire& clk, sim::Wire& d,
+             sim::Wire* en, sim::Wire& q, const FlopTiming& timing,
+             TimingDomain* domain, bool initial)
+    : sim_(sim),
+      name_(std::move(name)),
+      d_(d),
+      en_(en),
+      q_(q),
+      timing_(timing),
+      domain_(domain) {
+  q_.set(initial);
+  d_old_ = d_.read();
+  clk.on_change([this](bool old, bool now) {
+    if (!old && now) on_clock_edge();
+  });
+  d_.on_change([this](bool old, bool) { on_data_change(old); });
+}
+
+void Etdff::on_data_change(bool old_value) {
+  const Time t = sim_.now();
+  // Hold check: data must stay stable for `hold` after an edge that
+  // actually sampled it (checks on disabled flops would false-fire: shared
+  // buses legitimately change near edges of cells that are not enabled).
+  if (edge_seen_ && last_edge_enabled_ && t - last_edge_ < timing_.hold &&
+      !policy_) {
+    if (domain_ != nullptr) {
+      domain_->violation(t, "hold", name_ + ": d changed " +
+                                        std::to_string(t - last_edge_) +
+                                        "ps after edge");
+    }
+  }
+  d_last_change_ = t;
+  d_changed_ = true;
+  d_old_ = old_value;
+}
+
+void Etdff::on_clock_edge() {
+  const Time t = sim_.now();
+  last_edge_ = t;
+  edge_seen_ = true;
+
+  const bool enabled = en_ == nullptr || en_->read();
+  last_edge_enabled_ = enabled;
+  if (!enabled) return;
+
+  bool value = d_.read();
+  Time extra = 0;
+  const bool in_window = d_changed_ && (t - d_last_change_) < timing_.setup;
+  if (in_window) {
+    if (policy_) {
+      const AsyncSample s = policy_(d_old_, value, t);
+      value = s.value;
+      extra = s.extra_delay;
+    } else if (domain_ != nullptr) {
+      domain_->violation(t, "setup", name_ + ": d changed " +
+                                         std::to_string(t - d_last_change_) +
+                                         "ps before edge");
+    }
+  }
+  q_.write(value, timing_.clk_to_q + extra, sim::DelayKind::kInertial);
+}
+
+WordRegister::WordRegister(sim::Simulation& sim, std::string name, sim::Wire& clk,
+                           sim::Word& d, sim::Wire* en, sim::Word& q,
+                           const FlopTiming& timing, TimingDomain* domain,
+                           std::uint64_t initial)
+    : sim_(sim),
+      name_(std::move(name)),
+      d_(d),
+      en_(en),
+      q_(q),
+      timing_(timing),
+      domain_(domain) {
+  q_.set(initial);
+  clk.on_change([this](bool old, bool now) {
+    if (!old && now) on_clock_edge();
+  });
+  d_.on_change([this](std::uint64_t, std::uint64_t) {
+    const Time t = sim_.now();
+    if (edge_seen_ && last_edge_enabled_ && t - last_edge_ < timing_.hold &&
+        domain_ != nullptr) {
+      domain_->violation(t, "hold", name_ + ": data bus changed " +
+                                        std::to_string(t - last_edge_) +
+                                        "ps after edge");
+    }
+    d_last_change_ = t;
+    d_changed_ = true;
+  });
+}
+
+void WordRegister::on_clock_edge() {
+  const Time t = sim_.now();
+  last_edge_ = t;
+  edge_seen_ = true;
+  const bool enabled = en_ == nullptr || en_->read();
+  last_edge_enabled_ = enabled;
+  if (!enabled) return;
+  if (d_changed_ && (t - d_last_change_) < timing_.setup && domain_ != nullptr) {
+    domain_->violation(t, "setup", name_ + ": data bus changed " +
+                                       std::to_string(t - d_last_change_) +
+                                       "ps before edge");
+  }
+  q_.write(d_.read(), timing_.clk_to_q, sim::DelayKind::kInertial);
+}
+
+}  // namespace mts::gates

@@ -1,0 +1,99 @@
+// Edge-triggered storage: ETDFF (the paper's enabled D flip-flop) and a
+// word-wide register, both with built-in setup/hold monitors.
+//
+// Every flop reports setup/hold violations to its TimingDomain; the
+// max-frequency search uses those counts as the pass/fail criterion.
+// Synchronizer front stages install an AsyncSamplingPolicy instead: a
+// violating sample is *resolved* (old or new value, plus a metastability
+// settling delay) rather than reported, modelling a synchronizer doing its
+// job.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "gates/delay_model.hpp"
+#include "gates/netlist.hpp"
+#include "gates/timing.hpp"
+#include "sim/signal.hpp"
+
+namespace mts::gates {
+
+/// Outcome of sampling an asynchronous input inside the setup/hold window.
+struct AsyncSample {
+  bool value = false;     ///< resolved logic value
+  Time extra_delay = 0;   ///< metastability settling time added to clk->q
+};
+
+using AsyncSamplingPolicy =
+    std::function<AsyncSample(bool old_value, bool new_value, Time edge_time)>;
+
+/// Enabled, positive-edge-triggered D flip-flop (paper: "ETDFF").
+class Etdff {
+ public:
+  /// `en` may be null (always enabled). `domain` may be null (unchecked).
+  Etdff(sim::Simulation& sim, std::string name, sim::Wire& clk, sim::Wire& d,
+        sim::Wire* en, sim::Wire& q, const FlopTiming& timing,
+        TimingDomain* domain, bool initial = false);
+
+  Etdff(const Etdff&) = delete;
+  Etdff& operator=(const Etdff&) = delete;
+
+  /// Marks this flop as sampling an asynchronous input; in-window samples
+  /// go through `policy` instead of being reported as violations.
+  void set_async_sampling(AsyncSamplingPolicy policy) { policy_ = std::move(policy); }
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  void on_clock_edge();
+  void on_data_change(bool old_value);
+
+  sim::Simulation& sim_;
+  std::string name_;
+  sim::Wire& d_;
+  sim::Wire* en_;
+  sim::Wire& q_;
+  FlopTiming timing_;
+  TimingDomain* domain_;
+  AsyncSamplingPolicy policy_;
+
+  Time d_last_change_ = 0;
+  bool d_changed_ = false;
+  bool d_old_ = false;
+  Time last_edge_ = 0;
+  bool edge_seen_ = false;
+  bool last_edge_enabled_ = false;
+};
+
+/// Word-wide register with write enable: the FIFO cell's REG write port for
+/// synchronous put interfaces (data + validity latched on the clock edge).
+class WordRegister {
+ public:
+  WordRegister(sim::Simulation& sim, std::string name, sim::Wire& clk,
+               sim::Word& d, sim::Wire* en, sim::Word& q,
+               const FlopTiming& timing, TimingDomain* domain,
+               std::uint64_t initial = 0);
+
+  WordRegister(const WordRegister&) = delete;
+  WordRegister& operator=(const WordRegister&) = delete;
+
+ private:
+  void on_clock_edge();
+
+  sim::Simulation& sim_;
+  std::string name_;
+  sim::Word& d_;
+  sim::Wire* en_;
+  sim::Word& q_;
+  FlopTiming timing_;
+  TimingDomain* domain_;
+
+  Time d_last_change_ = 0;
+  bool d_changed_ = false;
+  Time last_edge_ = 0;
+  bool edge_seen_ = false;
+  bool last_edge_enabled_ = false;
+};
+
+}  // namespace mts::gates

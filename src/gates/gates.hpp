@@ -1,0 +1,12 @@
+// Umbrella header for the structural gate library.
+#pragma once
+
+#include "gates/area_model.hpp"     // IWYU pragma: export
+#include "gates/celement.hpp"       // IWYU pragma: export
+#include "gates/combinational.hpp"  // IWYU pragma: export
+#include "gates/delay_model.hpp"    // IWYU pragma: export
+#include "gates/flops.hpp"          // IWYU pragma: export
+#include "gates/latch.hpp"          // IWYU pragma: export
+#include "gates/netlist.hpp"        // IWYU pragma: export
+#include "gates/timing.hpp"         // IWYU pragma: export
+#include "gates/tristate.hpp"       // IWYU pragma: export

@@ -1,0 +1,75 @@
+#include "gates/latch.hpp"
+
+#include <utility>
+
+namespace mts::gates {
+
+SrLatch::SrLatch(sim::Simulation& sim, std::string name, sim::Wire& s, sim::Wire& r,
+                 sim::Wire& q, sim::Wire& qn, Time delay, bool initial)
+    : sim_(sim),
+      name_(std::move(name)),
+      s_(s),
+      r_(r),
+      q_(q),
+      qn_(qn),
+      delay_(delay),
+      state_(initial) {
+  s_.on_change([this](bool, bool) { evaluate(); });
+  r_.on_change([this](bool, bool) { evaluate(); });
+  sim.sched().after(0, [this] { evaluate(); });
+}
+
+void SrLatch::evaluate() {
+  const bool s = s_.read();
+  const bool r = r_.read();
+  if (s && r) {
+    sim_.report().add(sim_.now(), sim::Severity::kWarning, "sr-conflict",
+                      name_ + ": S and R asserted simultaneously");
+    state_ = true;  // set-dominant, deterministic
+  } else if (s) {
+    state_ = true;
+  } else if (r) {
+    state_ = false;
+  }  // both low: hold
+  q_.write(state_, delay_, sim::DelayKind::kInertial);
+  qn_.write(!state_, delay_, sim::DelayKind::kInertial);
+}
+
+DLatch::DLatch(sim::Simulation& sim, std::string name, sim::Wire& d, sim::Wire& en,
+               sim::Wire& q, const DelayModel& dm, bool initial)
+    : d_(d), en_(en), q_(q), d_to_q_(dm.latch_d_to_q), en_to_q_(dm.latch_en_to_q) {
+  (void)name;
+  q_.set(initial);
+  d_.on_change([this](bool, bool) { update(false); });
+  en_.on_change([this](bool old, bool now) {
+    if (!old && now) update(true);
+  });
+  sim.sched().after(0, [this] {
+    if (en_.read()) update(true);
+  });
+}
+
+void DLatch::update(bool from_enable) {
+  if (!en_.read()) return;
+  q_.write(d_.read(), from_enable ? en_to_q_ : d_to_q_, sim::DelayKind::kInertial);
+}
+
+WordLatch::WordLatch(sim::Simulation& sim, std::string name, sim::Word& d,
+                     sim::Wire& en, sim::Word& q, const DelayModel& dm)
+    : d_(d), en_(en), q_(q), d_to_q_(dm.latch_d_to_q), en_to_q_(dm.latch_en_to_q) {
+  (void)name;
+  d_.on_change([this](std::uint64_t, std::uint64_t) { update(false); });
+  en_.on_change([this](bool old, bool now) {
+    if (!old && now) update(true);
+  });
+  sim.sched().after(0, [this] {
+    if (en_.read()) update(true);
+  });
+}
+
+void WordLatch::update(bool from_enable) {
+  if (!en_.read()) return;
+  q_.write(d_.read(), from_enable ? en_to_q_ : d_to_q_, sim::DelayKind::kInertial);
+}
+
+}  // namespace mts::gates

@@ -1,0 +1,81 @@
+// Level-sensitive storage: SR latch, transparent D latch, word latch.
+//
+// The mixed-clock FIFO cell's data-validity controller is an SR latch whose
+// set input is the enqueue condition (ptok & en_put) and whose reset input
+// is the dequeue condition (gtok & en_get); it drives the cell state bits
+// f_i / e_i asynchronously ("asynchronously sets f_i = 1", Section 3.1).
+#pragma once
+
+#include <string>
+
+#include "gates/delay_model.hpp"
+#include "gates/netlist.hpp"
+#include "sim/signal.hpp"
+
+namespace mts::gates {
+
+/// Set/reset latch with complementary outputs q and qn.
+/// Simultaneous s=r=1 is flagged in the report as "sr-conflict" and set wins
+/// (deterministic, so races surface in tests rather than as nondeterminism).
+class SrLatch {
+ public:
+  SrLatch(sim::Simulation& sim, std::string name, sim::Wire& s, sim::Wire& r,
+          sim::Wire& q, sim::Wire& qn, Time delay, bool initial = false);
+
+  SrLatch(const SrLatch&) = delete;
+  SrLatch& operator=(const SrLatch&) = delete;
+
+ private:
+  void evaluate();
+
+  sim::Simulation& sim_;
+  std::string name_;
+  sim::Wire& s_;
+  sim::Wire& r_;
+  sim::Wire& q_;
+  sim::Wire& qn_;
+  Time delay_;
+  bool state_;
+};
+
+/// Transparent D latch for one bit: q follows d while en is high and holds
+/// the last value when en falls.
+class DLatch {
+ public:
+  DLatch(sim::Simulation& sim, std::string name, sim::Wire& d, sim::Wire& en,
+         sim::Wire& q, const DelayModel& dm, bool initial = false);
+
+  DLatch(const DLatch&) = delete;
+  DLatch& operator=(const DLatch&) = delete;
+
+ private:
+  void update(bool from_enable);
+
+  sim::Wire& d_;
+  sim::Wire& en_;
+  sim::Wire& q_;
+  Time d_to_q_;
+  Time en_to_q_;
+};
+
+/// Transparent latch for a word bus (the async put part's write port: REG is
+/// written level-sensitively while `we` is high, per [4]).
+class WordLatch {
+ public:
+  WordLatch(sim::Simulation& sim, std::string name, sim::Word& d, sim::Wire& en,
+            sim::Word& q, const DelayModel& dm);
+
+  WordLatch(const WordLatch&) = delete;
+  WordLatch& operator=(const WordLatch&) = delete;
+
+ private:
+  void update(bool from_enable);
+
+  sim::Word& d_;
+  sim::Wire& en_;
+  sim::Word& q_;
+  Time d_to_q_;
+  Time en_to_q_;
+};
+
+}  // namespace mts::gates

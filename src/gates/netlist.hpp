@@ -1,0 +1,78 @@
+// Netlist: an arena that owns the wires and primitive instances of one
+// structural component.
+//
+// FIFO components instantiate dozens of wires and gates; holding each as a
+// named member would bloat every class. A Netlist owns them with stable
+// addresses (primitives are neither movable nor copyable because they
+// capture `this` in signal listeners) and prefixes wire names for
+// diagnostics and VCD traces.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::gates {
+
+class Netlist {
+ public:
+  Netlist(sim::Simulation& sim, std::string prefix)
+      : sim_(sim), prefix_(std::move(prefix)) {}
+
+  Netlist(const Netlist&) = delete;
+  Netlist& operator=(const Netlist&) = delete;
+
+  sim::Simulation& sim() const noexcept { return sim_; }
+  const std::string& prefix() const noexcept { return prefix_; }
+
+  /// Creates and owns a named 1-bit wire.
+  sim::Wire& wire(const std::string& name, bool init = false) {
+    return emplace<sim::Wire>(sim_, qualified(name), init);
+  }
+
+  /// Creates and owns a named word bus.
+  sim::Word& word(const std::string& name, std::uint64_t init = 0) {
+    return emplace<sim::Word>(sim_, qualified(name), init);
+  }
+
+  /// Constructs a primitive (gate, flop, latch, ...) in the arena and
+  /// returns a stable reference.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    return emplace<T>(std::forward<Args>(args)...);
+  }
+
+  /// Qualifies a local name with this netlist's prefix.
+  std::string qualified(const std::string& name) const {
+    return prefix_.empty() ? name : prefix_ + "." + name;
+  }
+
+ private:
+  struct HolderBase {
+    virtual ~HolderBase() = default;
+  };
+  template <typename T>
+  struct Holder final : HolderBase {
+    template <typename... Args>
+    explicit Holder(Args&&... args) : value(std::forward<Args>(args)...) {}
+    T value;
+  };
+
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    auto holder = std::make_unique<Holder<T>>(std::forward<Args>(args)...);
+    T& ref = holder->value;
+    items_.push_back(std::move(holder));
+    return ref;
+  }
+
+  sim::Simulation& sim_;
+  std::string prefix_;
+  std::vector<std::unique_ptr<HolderBase>> items_;
+};
+
+}  // namespace mts::gates

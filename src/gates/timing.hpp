@@ -1,0 +1,49 @@
+// Clock-domain bookkeeping for timing checks.
+//
+// Every checked flop belongs to a TimingDomain. The max-frequency search
+// clocks one interface at a candidate period and asks its domain whether any
+// setup/hold violation occurred; synchronizer front stages opt out (their
+// violations are *expected* and handled by the metastability model).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::gates {
+
+class TimingDomain {
+ public:
+  TimingDomain(sim::Simulation& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+
+  TimingDomain(const TimingDomain&) = delete;
+  TimingDomain& operator=(const TimingDomain&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Records a setup/hold violation ("kind") on element "what".
+  void violation(sim::Time t, const std::string& kind, const std::string& what) {
+    if (!enabled_) return;
+    ++violations_;
+    sim_.report().add(t, sim::Severity::kViolation, kind, name_ + ": " + what);
+  }
+
+  std::size_t violations() const noexcept { return violations_; }
+  void reset() noexcept { violations_ = 0; }
+
+  /// Disables recording, e.g. during reset or warm-up cycles.
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::string name_;
+  std::size_t violations_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace mts::gates

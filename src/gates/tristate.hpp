@@ -1,0 +1,91 @@
+// Shared tri-state buses.
+//
+// The FIFO's get_data and valid outputs are tri-state buses: every cell has
+// a driver, and exactly the cell holding the get token enables its driver
+// during a get operation (Section 3.1). Multiple simultaneously enabled
+// drivers are a structural bug and are reported as "bus-conflict". With no
+// driver enabled the bus keeps its last value (bus-keeper behaviour), which
+// matches the paper's pre-layout simulation setup.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/report.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::gates {
+
+template <typename T>
+class TristateBus {
+ public:
+  /// `delay` models driver-enable-to-bus-valid including wire load
+  /// (DelayModel::tristate_bus). `out` must outlive the bus.
+  TristateBus(sim::Simulation& sim, std::string name, sim::Signal<T>& out,
+              sim::Time delay)
+      : sim_(sim), name_(std::move(name)), out_(out), delay_(delay) {}
+
+  TristateBus(const TristateBus&) = delete;
+  TristateBus& operator=(const TristateBus&) = delete;
+
+  /// Adds one driver; both wires must outlive the bus.
+  void attach_driver(sim::Wire& en, sim::Signal<T>& value) {
+    drivers_.push_back(Driver{&en, &value});
+    en.on_change([this](bool, bool) { update(); });
+    value.on_change([this, index = drivers_.size() - 1](const T&, const T&) {
+      if (drivers_[index].en->read()) update();
+    });
+  }
+
+  std::size_t driver_count() const noexcept { return drivers_.size(); }
+
+ private:
+  struct Driver {
+    sim::Wire* en;
+    sim::Signal<T>* value;
+  };
+
+  void update() {
+    const Driver* active = nullptr;
+    unsigned active_count = 0;
+    for (const Driver& d : drivers_) {
+      if (d.en->read()) {
+        ++active_count;
+        active = &d;
+      }
+    }
+    if (active_count > 1 && !conflict_pending_) {
+      // Handover between consecutive drivers can overlap for less than a
+      // gate delay (break-before-make skew); only a conflict that persists
+      // past that window is a structural error.
+      conflict_pending_ = true;
+      sim_.sched().after(kConflictWindow, [this] {
+        conflict_pending_ = false;
+        unsigned still_active = 0;
+        for (const Driver& d : drivers_) still_active += d.en->read() ? 1u : 0u;
+        if (still_active > 1) {
+          sim_.report().add(sim_.now(), sim::Severity::kError, "bus-conflict",
+                            name_ + ": " + std::to_string(still_active) +
+                                " drivers enabled");
+        }
+      });
+    }
+    if (active != nullptr) {
+      out_.write(active->value->read(), delay_, sim::DelayKind::kInertial);
+    }
+    // No active driver: bus keeper holds the last committed value.
+  }
+
+  static constexpr sim::Time kConflictWindow = 60;
+
+  sim::Simulation& sim_;
+  std::string name_;
+  sim::Signal<T>& out_;
+  sim::Time delay_;
+  std::vector<Driver> drivers_;
+  bool conflict_pending_ = false;
+};
+
+}  // namespace mts::gates

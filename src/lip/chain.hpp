@@ -1,0 +1,122 @@
+// Latency-insensitive system topologies (Fig. 11a and Fig. 14).
+//
+// A SyncRelayChain strings relay stations along a long wire inside one
+// clock domain. MixedClockLink and AsyncSyncLink assemble the paper's two
+// full mixed-timing topologies:
+//
+//   Fig. 11a:  sender --SRS*(clk1)--> MCRS --SRS*(clk2)--> receiver
+//   Fig. 14:   async sender --ARS*--> ASRS --SRS*(clk)--> receiver
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fifo/config.hpp"
+#include "gates/netlist.hpp"
+#include "lip/micropipeline.hpp"
+#include "lip/relay_station.hpp"
+#include "lip/stations.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::lip {
+
+/// Relay-station implementation used inside a chain: the behavioural model
+/// (fast) or the gate-level netlist (full timing fidelity, checkable).
+enum class RsImpl { kBehavioural, kStructural };
+
+/// A chain of `length` synchronous relay stations on one clock. Boundary
+/// wires are caller-owned; with length 0 the chain degenerates to buffered
+/// wires (no pipelining).
+class SyncRelayChain {
+ public:
+  SyncRelayChain(sim::Simulation& sim, const std::string& name, sim::Wire& clk,
+                 unsigned length, const gates::DelayModel& dm,
+                 sim::Word& in_data, sim::Wire& in_valid, sim::Wire& stop_out,
+                 sim::Word& out_data, sim::Wire& out_valid, sim::Wire& stop_in,
+                 RsImpl impl = RsImpl::kBehavioural);
+
+  SyncRelayChain(const SyncRelayChain&) = delete;
+  SyncRelayChain& operator=(const SyncRelayChain&) = delete;
+
+  unsigned length() const noexcept { return length_; }
+  /// Valid packets currently in flight inside the chain, for tests
+  /// (behavioural stations only; 0 for structural chains).
+  unsigned buffered_valid() const;
+
+ private:
+  gates::Netlist nl_;
+  unsigned length_;
+  std::vector<RelayStation*> stations_;
+};
+
+/// Fig. 11a: two synchronous domains joined by a mixed-clock relay station,
+/// each side reached through a chain of synchronous relay stations.
+class MixedClockLink {
+ public:
+  MixedClockLink(sim::Simulation& sim, const std::string& name,
+                 const fifo::FifoConfig& cfg, sim::Wire& clk_left,
+                 sim::Wire& clk_right, unsigned left_length,
+                 unsigned right_length);
+
+  MixedClockLink(const MixedClockLink&) = delete;
+  MixedClockLink& operator=(const MixedClockLink&) = delete;
+
+  // Left interface (clk_left domain, producer side).
+  sim::Word& data_in() noexcept { return *data_in_; }
+  sim::Wire& valid_in() noexcept { return *valid_in_; }
+  sim::Wire& stop_out() noexcept { return *stop_out_; }
+
+  // Right interface (clk_right domain, consumer side).
+  sim::Word& data_out() noexcept { return *data_out_; }
+  sim::Wire& valid_out() noexcept { return *valid_out_; }
+  sim::Wire& stop_in() noexcept { return *stop_in_; }
+
+  McRelayStation& mcrs() noexcept { return *mcrs_; }
+
+ private:
+  gates::Netlist nl_;
+  sim::Word* data_in_ = nullptr;
+  sim::Wire* valid_in_ = nullptr;
+  sim::Wire* stop_out_ = nullptr;
+  sim::Word* data_out_ = nullptr;
+  sim::Wire* valid_out_ = nullptr;
+  sim::Wire* stop_in_ = nullptr;
+  McRelayStation* mcrs_ = nullptr;
+};
+
+/// Fig. 14: an asynchronous sender reaches a synchronous domain through a
+/// micropipeline ARS chain, the ASRS, and a synchronous SRS chain.
+class AsyncSyncLink {
+ public:
+  AsyncSyncLink(sim::Simulation& sim, const std::string& name,
+                const fifo::FifoConfig& cfg, sim::Wire& clk_right,
+                unsigned ars_length, unsigned srs_length);
+
+  AsyncSyncLink(const AsyncSyncLink&) = delete;
+  AsyncSyncLink& operator=(const AsyncSyncLink&) = delete;
+
+  // Left interface: asynchronous 4-phase bundled data (producer side).
+  sim::Wire& put_req() noexcept { return *put_req_; }
+  sim::Wire& put_ack() noexcept { return *put_ack_; }
+  sim::Word& put_data() noexcept { return *put_data_; }
+
+  // Right interface (clk_right domain, consumer side).
+  sim::Word& data_out() noexcept { return *data_out_; }
+  sim::Wire& valid_out() noexcept { return *valid_out_; }
+  sim::Wire& stop_in() noexcept { return *stop_in_; }
+
+  AsRelayStation& asrs() noexcept { return *asrs_; }
+
+ private:
+  gates::Netlist nl_;
+  sim::Wire* put_req_ = nullptr;
+  sim::Wire* put_ack_ = nullptr;
+  sim::Word* put_data_ = nullptr;
+  sim::Word* data_out_ = nullptr;
+  sim::Wire* valid_out_ = nullptr;
+  sim::Wire* stop_in_ = nullptr;
+  AsRelayStation* asrs_ = nullptr;
+};
+
+}  // namespace mts::lip

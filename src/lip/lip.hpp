@@ -1,0 +1,9 @@
+// Umbrella header for the latency-insensitive protocol substrate and the
+// mixed-timing relay stations.
+#pragma once
+
+#include "lip/chain.hpp"          // IWYU pragma: export
+#include "lip/micropipeline.hpp"  // IWYU pragma: export
+#include "lip/relay_station.hpp"  // IWYU pragma: export
+#include "lip/relay_station_structural.hpp"  // IWYU pragma: export
+#include "lip/stations.hpp"       // IWYU pragma: export

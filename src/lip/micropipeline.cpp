@@ -1,0 +1,101 @@
+#include "lip/micropipeline.hpp"
+
+#include <utility>
+
+#include "sim/error.hpp"
+
+namespace mts::lip {
+
+MicropipelineStage::MicropipelineStage(sim::Simulation& sim, std::string name,
+                                       sim::Wire& req_in, sim::Wire& ack_in,
+                                       sim::Word& data_in, sim::Wire& req_out,
+                                       sim::Wire& ack_out, sim::Word& data_out,
+                                       const gates::DelayModel& dm)
+    : name_(std::move(name)),
+      req_in_(req_in),
+      ack_in_(ack_in),
+      data_in_(data_in),
+      req_out_(req_out),
+      ack_out_(ack_out),
+      data_out_(data_out),
+      d_latch_(dm.latch_en_to_q),
+      d_ctl_(dm.celement(2)),
+      d_data_(dm.latch_d_to_q),
+      d_bundle_(dm.gate(1)) {
+  (void)sim;
+  req_in_.on_change([this](bool, bool now) {
+    if (now) {
+      input_waiting_ = true;
+      try_capture();
+    } else {
+      // 4-phase reset: req- is answered by ack-.
+      ack_in_.write(false, d_ctl_, sim::DelayKind::kInertial);
+    }
+  });
+  ack_out_.on_change([this](bool, bool now) {
+    if (now) {
+      // Downstream accepted: reset req_out; the slot frees immediately
+      // (full-buffer concurrency) so a waiting input can be captured while
+      // the output handshake completes its reset phase.
+      req_out_.write(false, d_ctl_, sim::DelayKind::kInertial);
+      out_phase_ = OutPhase::kResetting;
+      full_ = false;
+      try_capture();
+    } else {
+      out_phase_ = OutPhase::kIdle;
+      try_send();
+    }
+  });
+}
+
+void MicropipelineStage::try_capture() {
+  if (!input_waiting_ || full_) return;
+  input_waiting_ = false;
+  full_ = true;
+  // Bundled data: data_in is stable while req_in is high.
+  latched_ = data_in_.read();
+  ack_in_.write(true, d_latch_ + d_ctl_, sim::DelayKind::kInertial);
+  try_send();
+}
+
+void MicropipelineStage::try_send() {
+  if (!full_ || out_phase_ != OutPhase::kIdle) return;
+  out_phase_ = OutPhase::kReqHigh;
+  data_out_.write(latched_, d_data_, sim::DelayKind::kInertial);
+  // Matched (bundling) delay: req_out follows the data.
+  req_out_.write(true, d_data_ + d_bundle_, sim::DelayKind::kInertial);
+}
+
+Micropipeline::Micropipeline(sim::Simulation& sim, const std::string& name,
+                             unsigned stages, sim::Wire& in_req,
+                             sim::Wire& in_ack, sim::Word& in_data,
+                             sim::Wire& out_req, sim::Wire& out_ack,
+                             sim::Word& out_data, const gates::DelayModel& dm)
+    : nl_(sim, name), n_(stages) {
+  if (stages == 0) throw ConfigError("Micropipeline: needs at least one stage");
+
+  sim::Wire* req = &in_req;
+  sim::Wire* ack = &in_ack;
+  sim::Word* data = &in_data;
+  for (unsigned i = 0; i < stages; ++i) {
+    const bool last = i + 1 == stages;
+    sim::Wire& next_req = last ? out_req : nl_.wire("s" + std::to_string(i) + ".req");
+    sim::Wire& next_ack = last ? out_ack : nl_.wire("s" + std::to_string(i) + ".ack");
+    sim::Word& next_data =
+        last ? out_data : nl_.word("s" + std::to_string(i) + ".data");
+    stages_.push_back(&nl_.add<MicropipelineStage>(
+        sim, nl_.qualified("stage" + std::to_string(i)), *req, *ack, *data,
+        next_req, next_ack, next_data, dm));
+    req = &next_req;
+    ack = &next_ack;
+    data = &next_data;
+  }
+}
+
+unsigned Micropipeline::occupancy() const {
+  unsigned count = 0;
+  for (const MicropipelineStage* s : stages_) count += s->full() ? 1u : 0u;
+  return count;
+}
+
+}  // namespace mts::lip

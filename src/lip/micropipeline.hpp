@@ -1,0 +1,88 @@
+// Asynchronous relay stations: a micropipeline FIFO (Sutherland [15]).
+//
+// Section 5.3: "A chain of asynchronous relay stations can be directly
+// implemented by using a standard asynchronous FIFO called a micropipeline.
+// Unlike the synchronous data packets, the asynchronous ones do not need a
+// validity bit: the presence of valid data packets is signaled on the
+// control wires and an ARS can wait indefinitely between receiving data
+// packets."
+//
+// Each stage is a 4-phase bundled-data full buffer: it captures a packet
+// when empty, acknowledges its sender, and forwards the packet downstream
+// as soon as the downstream handshake is idle; input and output handshakes
+// overlap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gates/delay_model.hpp"
+#include "gates/netlist.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::lip {
+
+/// One micropipeline stage. All six interface wires are caller-owned.
+class MicropipelineStage {
+ public:
+  MicropipelineStage(sim::Simulation& sim, std::string name, sim::Wire& req_in,
+                     sim::Wire& ack_in, sim::Word& data_in, sim::Wire& req_out,
+                     sim::Wire& ack_out, sim::Word& data_out,
+                     const gates::DelayModel& dm);
+
+  MicropipelineStage(const MicropipelineStage&) = delete;
+  MicropipelineStage& operator=(const MicropipelineStage&) = delete;
+
+  bool full() const noexcept { return full_; }
+
+ private:
+  enum class OutPhase { kIdle, kReqHigh, kResetting };
+
+  void try_capture();
+  void try_send();
+
+  std::string name_;
+  sim::Wire& req_in_;
+  sim::Wire& ack_in_;
+  sim::Word& data_in_;
+  sim::Wire& req_out_;
+  sim::Wire& ack_out_;
+  sim::Word& data_out_;
+
+  sim::Time d_latch_;
+  sim::Time d_ctl_;
+  sim::Time d_data_;
+  sim::Time d_bundle_;
+
+  bool full_ = false;
+  bool input_waiting_ = false;
+  OutPhase out_phase_ = OutPhase::kIdle;
+  std::uint64_t latched_ = 0;
+};
+
+/// A chain of micropipeline stages acting as the asynchronous relay-station
+/// segment of Fig. 14. Boundary wires are caller-owned; intermediate link
+/// wires live in the chain's netlist.
+class Micropipeline {
+ public:
+  Micropipeline(sim::Simulation& sim, const std::string& name, unsigned stages,
+                sim::Wire& in_req, sim::Wire& in_ack, sim::Word& in_data,
+                sim::Wire& out_req, sim::Wire& out_ack, sim::Word& out_data,
+                const gates::DelayModel& dm);
+
+  Micropipeline(const Micropipeline&) = delete;
+  Micropipeline& operator=(const Micropipeline&) = delete;
+
+  unsigned stages() const noexcept { return n_; }
+  /// Number of stages currently holding a packet, for tests.
+  unsigned occupancy() const;
+
+ private:
+  gates::Netlist nl_;
+  unsigned n_;
+  std::vector<MicropipelineStage*> stages_;
+};
+
+}  // namespace mts::lip

@@ -1,0 +1,57 @@
+#include "lip/relay_station.hpp"
+
+#include <utility>
+
+namespace mts::lip {
+
+RelayStation::RelayStation(sim::Simulation& sim, std::string name,
+                           sim::Wire& clk, sim::Word& in_data,
+                           sim::Wire& in_valid, sim::Wire& stop_out,
+                           sim::Word& out_data, sim::Wire& out_valid,
+                           sim::Wire& stop_in, const gates::DelayModel& dm)
+    : name_(std::move(name)),
+      in_data_(in_data),
+      in_valid_(in_valid),
+      stop_out_(stop_out),
+      out_data_(out_data),
+      out_valid_(out_valid),
+      stop_in_(stop_in),
+      clk_to_q_(dm.flop.clk_to_q) {
+  (void)sim;
+  sim::on_rise(clk, [this] { on_edge(); });
+}
+
+void RelayStation::on_edge() {
+  // Pre-edge samples: registered neighbours changed just after the previous
+  // edge, so these reads are the values stable during the ending cycle.
+  const bool stop_right = stop_in_.read();
+  const bool in_transfer = !aux_occupied_;  // stopOut == aux_occupied_
+
+  if (!stop_right) {
+    // Output advances: emit MR, refill from AUX (draining a stall) or from
+    // the input link.
+    out_data_.write(mr_data_, clk_to_q_, sim::DelayKind::kInertial);
+    out_valid_.write(mr_valid_, clk_to_q_, sim::DelayKind::kInertial);
+    if (aux_occupied_) {
+      mr_data_ = aux_data_;
+      mr_valid_ = aux_valid_;
+      aux_occupied_ = false;
+    } else {
+      mr_data_ = in_data_.read();
+      mr_valid_ = in_valid_.read();
+    }
+  } else if (in_transfer) {
+    // Output blocked but a packet is arriving this edge: park it in AUX and
+    // raise stopOut (paper: "on the next clock edge, the relay station
+    // raises stopOut and latches the next packet to the auxiliary
+    // register").
+    aux_data_ = in_data_.read();
+    aux_valid_ = in_valid_.read();
+    aux_occupied_ = true;
+  }
+  // else: fully stalled; hold everything.
+
+  stop_out_.write(aux_occupied_, clk_to_q_, sim::DelayKind::kInertial);
+}
+
+}  // namespace mts::lip

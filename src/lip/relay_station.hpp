@@ -1,0 +1,65 @@
+// Synchronous relay station (Carloni et al., ICCAD'99; paper Fig. 11b).
+//
+// A two-register pipeline element inserted to break long wires into
+// clock-cycle-length segments. Packets (data + valid bit) flow left to
+// right every cycle; back-pressure flows right to left on stop.
+//
+// Transfer convention (shared by every latency-insensitive component in
+// this library): a transfer occurs on a link at a clock edge iff the link's
+// stop wire was low during the cycle ending at that edge. Both endpoints
+// sample the same wire at the same edge, so packets are never duplicated or
+// dropped.
+//
+// Behaviour: the main register MR forwards one packet per cycle. When the
+// right neighbour raises stopIn, the relay station parks the in-flight
+// packet in the auxiliary register AUX and raises stopOut; on release it
+// first sends MR, then AUX (paper Section 5.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gates/delay_model.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::lip {
+
+class RelayStation {
+ public:
+  /// All wires are owned by the caller (typically a chain's netlist); the
+  /// relay station drives out_data/out_valid/stop_out with clk-to-q delay.
+  RelayStation(sim::Simulation& sim, std::string name, sim::Wire& clk,
+               sim::Word& in_data, sim::Wire& in_valid, sim::Wire& stop_out,
+               sim::Word& out_data, sim::Wire& out_valid, sim::Wire& stop_in,
+               const gates::DelayModel& dm);
+
+  RelayStation(const RelayStation&) = delete;
+  RelayStation& operator=(const RelayStation&) = delete;
+
+  /// Number of valid packets currently buffered (0..2), for tests.
+  unsigned buffered_valid() const noexcept {
+    return (mr_valid_ ? 1u : 0u) + (aux_occupied_ && aux_valid_ ? 1u : 0u);
+  }
+  bool stalled() const noexcept { return aux_occupied_; }
+
+ private:
+  void on_edge();
+
+  std::string name_;
+  sim::Word& in_data_;
+  sim::Wire& in_valid_;
+  sim::Wire& stop_out_;
+  sim::Word& out_data_;
+  sim::Wire& out_valid_;
+  sim::Wire& stop_in_;
+  sim::Time clk_to_q_;
+
+  std::uint64_t mr_data_ = 0;
+  bool mr_valid_ = false;
+  std::uint64_t aux_data_ = 0;
+  bool aux_valid_ = false;
+  bool aux_occupied_ = false;
+};
+
+}  // namespace mts::lip

@@ -1,0 +1,50 @@
+// Structural (gate-level) synchronous relay station -- Fig. 11b as an
+// actual netlist, in contrast to lip::RelayStation's behavioural model.
+//
+// Datapath: MR and AUX word registers plus a registered output stage.
+// Control reduces to remarkably little logic once the transfer convention
+// is fixed (a link transfers at an edge iff its stop was low during the
+// ending cycle):
+//
+//   aux_occupied <= stopIn                 (one flop)
+//   stopOut       = aux_occupied
+//   out           <= MR            when !stopIn
+//   MR            <= aux_occupied ? AUX : in   when !stopIn
+//   AUX           <= in            when stopIn & !aux_occupied
+//
+// The behavioural and structural models are proven equivalent in lockstep
+// by tests/lip/test_relay_structural.cpp.
+#pragma once
+
+#include <string>
+
+#include "gates/delay_model.hpp"
+#include "gates/netlist.hpp"
+#include "gates/timing.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::lip {
+
+class StructuralRelayStation {
+ public:
+  /// Same wire contract as lip::RelayStation; `domain` (optional) receives
+  /// setup/hold checks for the packet registers.
+  StructuralRelayStation(sim::Simulation& sim, const std::string& name,
+                         sim::Wire& clk, sim::Word& in_data,
+                         sim::Wire& in_valid, sim::Wire& stop_out,
+                         sim::Word& out_data, sim::Wire& out_valid,
+                         sim::Wire& stop_in, const gates::DelayModel& dm,
+                         gates::TimingDomain* domain = nullptr);
+
+  StructuralRelayStation(const StructuralRelayStation&) = delete;
+  StructuralRelayStation& operator=(const StructuralRelayStation&) = delete;
+
+  bool stalled() const noexcept { return aux_occ_->read(); }
+
+ private:
+  gates::Netlist nl_;
+  sim::Wire* aux_occ_ = nullptr;
+};
+
+}  // namespace mts::lip

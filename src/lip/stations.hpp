@@ -1,0 +1,75 @@
+// Mixed-timing relay stations (Sections 5.2 / 5.3).
+//
+// Thin wrappers: the paper derives each relay station from its FIFO
+// counterpart "by changing only the put and get controllers", which in this
+// library is FifoConfig::controller = kRelayStation. The wrappers force
+// that setting and expose packet-flavoured accessor names matching
+// Fig. 12 / Fig. 15.
+#pragma once
+
+#include <string>
+
+#include "fifo/async_sync_fifo.hpp"
+#include "fifo/mixed_clock_fifo.hpp"
+
+namespace mts::lip {
+
+/// Mixed-clock relay station (MCRS, Fig. 12): interfaces two synchronous
+/// relay chains running on different clocks.
+class McRelayStation {
+ public:
+  McRelayStation(sim::Simulation& sim, const std::string& name,
+                 fifo::FifoConfig cfg, sim::Wire& clk_put, sim::Wire& clk_get)
+      : fifo_(sim, name, relay(cfg), clk_put, clk_get) {}
+
+  // Left (put-clock) link: packetIn = {data, valid}; full is stopOut.
+  sim::Word& packet_in_data() noexcept { return fifo_.data_put(); }
+  sim::Wire& packet_in_valid() noexcept { return fifo_.req_put(); }
+  sim::Wire& stop_out() noexcept { return fifo_.stop_out(); }
+
+  // Right (get-clock) link: packetOut = {data, valid}; stopIn back-pressure.
+  sim::Word& packet_out_data() noexcept { return fifo_.data_get(); }
+  sim::Wire& packet_out_valid() noexcept { return fifo_.valid_get(); }
+  sim::Wire& stop_in() noexcept { return fifo_.stop_in(); }
+
+  fifo::MixedClockFifo& fifo() noexcept { return fifo_; }
+
+ private:
+  static fifo::FifoConfig relay(fifo::FifoConfig cfg) {
+    cfg.controller = fifo::ControllerKind::kRelayStation;
+    return cfg;
+  }
+  fifo::MixedClockFifo fifo_;
+};
+
+/// Async-sync relay station (ASRS, Fig. 15): accepts 4-phase bundled-data
+/// packets from an asynchronous domain (optionally through a micropipeline
+/// ARS chain) and emits synchronous packets toward an SRS chain.
+class AsRelayStation {
+ public:
+  AsRelayStation(sim::Simulation& sim, const std::string& name,
+                 fifo::FifoConfig cfg, sim::Wire& clk_get)
+      : fifo_(sim, name, relay(cfg), clk_get) {}
+
+  // Left link: unchanged asynchronous FIFO put interface (no validity bit:
+  // "data is enqueued only when requested").
+  sim::Wire& put_req() noexcept { return fifo_.put_req(); }
+  sim::Word& put_data() noexcept { return fifo_.put_data(); }
+  sim::Wire& put_ack() noexcept { return fifo_.put_ack(); }
+
+  // Right (get-clock) link.
+  sim::Word& packet_out_data() noexcept { return fifo_.data_get(); }
+  sim::Wire& packet_out_valid() noexcept { return fifo_.valid_get(); }
+  sim::Wire& stop_in() noexcept { return fifo_.stop_in(); }
+
+  fifo::AsyncSyncFifo& fifo() noexcept { return fifo_; }
+
+ private:
+  static fifo::FifoConfig relay(fifo::FifoConfig cfg) {
+    cfg.controller = fifo::ControllerKind::kRelayStation;
+    return cfg;
+  }
+  fifo::AsyncSyncFifo fifo_;
+};
+
+}  // namespace mts::lip

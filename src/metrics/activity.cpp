@@ -1,0 +1,23 @@
+#include "metrics/activity.hpp"
+
+#include <bit>
+
+namespace mts::metrics {
+
+void ActivityMeter::watch(sim::Wire& w, double weight) {
+  w.on_change([this, weight](bool, bool) {
+    ++transitions_;
+    weighted_ += weight;
+  });
+}
+
+void ActivityMeter::watch(sim::Word& d, double weight_per_bit) {
+  d.on_change([this, weight_per_bit](std::uint64_t old_v, std::uint64_t new_v) {
+    const auto flipped =
+        static_cast<std::uint64_t>(std::popcount(old_v ^ new_v));
+    transitions_ += flipped;
+    weighted_ += weight_per_bit * static_cast<double>(flipped);
+  });
+}
+
+}  // namespace mts::metrics

@@ -1,0 +1,43 @@
+// Switching-activity metering: counts signal transitions, optionally
+// weighted, as a first-order dynamic-energy proxy (activity x capacitance).
+// Used to quantify the paper's low-power claim: "the FIFOs offer the
+// potential for low power: data items are immobile while in the FIFO"
+// (Section 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/signal.hpp"
+
+namespace mts::metrics {
+
+class ActivityMeter {
+ public:
+  ActivityMeter() = default;
+  ActivityMeter(const ActivityMeter&) = delete;
+  ActivityMeter& operator=(const ActivityMeter&) = delete;
+
+  /// Counts every transition of `w`, weighted by `weight` (e.g. relative
+  /// node capacitance).
+  void watch(sim::Wire& w, double weight = 1.0);
+
+  /// Counts toggled BITS on every change of `d` (Hamming distance between
+  /// old and new), weighted per bit.
+  void watch(sim::Word& d, double weight_per_bit = 1.0);
+
+  std::uint64_t transitions() const noexcept { return transitions_; }
+  double weighted_activity() const noexcept { return weighted_; }
+
+  void reset() noexcept {
+    transitions_ = 0;
+    weighted_ = 0;
+  }
+
+ private:
+  std::uint64_t transitions_ = 0;
+  double weighted_ = 0;
+};
+
+}  // namespace mts::metrics

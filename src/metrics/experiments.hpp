@@ -1,0 +1,104 @@
+// Experiment harness reproducing the paper's evaluation (Section 6).
+//
+// Throughput of synchronous interfaces: the paper reports "the maximum
+// clock frequency with which that interface can be clocked". We compute it
+// from the design's critical-path analysis (put_min_period/get_min_period,
+// which mirror the constructed netlists) and then *validate* it by
+// simulation: a long saturated run at exactly those periods must finish
+// with zero setup/hold violations, zero over/underflow and a clean
+// scoreboard. validate_at() exposes the same run at arbitrary periods so
+// tests can show that faster clocks do fail.
+//
+// Throughput of asynchronous interfaces: measured directly, as in the
+// paper, by saturating the 4-phase handshake and counting operations per
+// second (MegaOps/s).
+//
+// Latency: the paper's setup -- empty FIFO, get side requesting, a single
+// put -- swept across the CLK_get phase to produce the Min and Max columns.
+#pragma once
+
+#include <cstdint>
+
+#include "fifo/config.hpp"
+#include "sim/time.hpp"
+
+namespace mts::metrics {
+
+/// Outcome of a saturated validation run at fixed clock periods.
+struct ValidationResult {
+  std::uint64_t timing_violations = 0;  ///< setup+hold in checked domains
+  std::uint64_t overflows = 0;
+  std::uint64_t underflows = 0;
+  std::uint64_t scoreboard_errors = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+
+  bool clean() const noexcept {
+    return timing_violations == 0 && overflows == 0 && underflows == 0 &&
+           scoreboard_errors == 0;
+  }
+};
+
+/// Saturated mixed-clock run (FIFO or MCRS per cfg.controller) at the given
+/// periods for `cycles` put-clock cycles.
+ValidationResult validate_mixed_clock(const fifo::FifoConfig& cfg,
+                                      sim::Time put_period, sim::Time get_period,
+                                      unsigned cycles, std::uint64_t seed = 1);
+
+/// Saturated async-sync run (FIFO or ASRS per cfg.controller); the async
+/// put side free-runs with `put_gap` idle time between handshakes.
+ValidationResult validate_async_sync(const fifo::FifoConfig& cfg,
+                                     sim::Time get_period, sim::Time put_gap,
+                                     unsigned cycles, std::uint64_t seed = 1);
+
+struct ThroughputRow {
+  double put = 0;        ///< MHz (sync) or MegaOps/s (async)
+  double get = 0;        ///< MHz
+  bool put_async = false;
+  bool validated = false;  ///< the saturated run at these rates was clean
+};
+
+/// Table 1 throughput entry for the mixed-clock FIFO / MCRS.
+ThroughputRow throughput_mixed_clock(const fifo::FifoConfig& cfg,
+                                     unsigned cycles = 1500);
+
+/// Table 1 throughput entry for the async-sync FIFO / ASRS: get from the
+/// critical path, put measured from a saturated handshake run.
+ThroughputRow throughput_async_sync(const fifo::FifoConfig& cfg,
+                                    unsigned cycles = 1500);
+
+struct LatencyRow {
+  double min_ns = 0;
+  double max_ns = 0;
+};
+
+/// Table 1 latency entry (empty FIFO, single put, CLK_get phase sweep).
+LatencyRow latency_mixed_clock(const fifo::FifoConfig& cfg, unsigned phases = 24);
+LatencyRow latency_async_sync(const fifo::FifoConfig& cfg, unsigned phases = 24);
+
+// --- Extension: the remaining two designs of the 2x2 interface matrix ---
+// (the paper designed sync-async, deferring it to a technical report, and
+// published async-async separately in [4]; these complete the matrix with
+// the same methodology).
+
+/// Sync-async: put from the critical path (validated by a saturated run
+/// against an eager asynchronous reader); get measured as MegaOps/s.
+ThroughputRow throughput_sync_async(const fifo::FifoConfig& cfg,
+                                    unsigned cycles = 1500);
+
+/// Async-async: both interfaces measured as MegaOps/s, each saturated
+/// against an eager opposite side.
+struct AsyncAsyncRow {
+  double put_mops = 0;
+  double get_mops = 0;
+  bool validated = false;
+};
+AsyncAsyncRow throughput_async_async(const fifo::FifoConfig& cfg,
+                                     unsigned handshakes = 400);
+
+/// Latency through an empty FIFO with an asynchronous receiver: the value
+/// is deterministic (no receiver clock to sweep), so min == max.
+LatencyRow latency_sync_async(const fifo::FifoConfig& cfg);
+LatencyRow latency_async_async(const fifo::FifoConfig& cfg);
+
+}  // namespace mts::metrics

@@ -1,0 +1,39 @@
+#include "metrics/stats.hpp"
+
+#include <utility>
+
+#include "sim/error.hpp"
+
+namespace mts::metrics {
+
+OccupancySampler::OccupancySampler(sim::Simulation& sim, sim::Wire& clk,
+                                   unsigned capacity,
+                                   std::function<unsigned()> occupancy)
+    : occupancy_(std::move(occupancy)), bins_(capacity + 1, 0) {
+  MTS_ASSERT(static_cast<bool>(occupancy_), "OccupancySampler: null getter");
+  (void)sim;
+  sim::on_rise(clk, [this] {
+    const unsigned level = occupancy_();
+    if (level < bins_.size()) {
+      ++bins_[level];
+    } else {
+      ++bins_.back();  // clamp out-of-range (should not happen)
+    }
+    ++samples_;
+    weighted_sum_ += level;
+    if (level > max_seen_) max_seen_ = level;
+  });
+}
+
+double OccupancySampler::mean() const noexcept {
+  return samples_ == 0 ? 0.0
+                       : static_cast<double>(weighted_sum_) /
+                             static_cast<double>(samples_);
+}
+
+double OccupancySampler::fraction_at(unsigned level) const {
+  if (samples_ == 0 || level >= bins_.size()) return 0.0;
+  return static_cast<double>(bins_[level]) / static_cast<double>(samples_);
+}
+
+}  // namespace mts::metrics

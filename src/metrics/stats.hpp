@@ -1,0 +1,41 @@
+// Occupancy statistics: samples a FIFO's fill level on every clock edge
+// and accumulates a histogram. Useful for sizing buffers ("assuming
+// appropriate buffer capacity is used", Section 1) and for the examples'
+// reporting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::metrics {
+
+class OccupancySampler {
+ public:
+  /// Samples `occupancy()` at every rising edge of `clk`; the histogram
+  /// has `capacity + 1` bins.
+  OccupancySampler(sim::Simulation& sim, sim::Wire& clk, unsigned capacity,
+                   std::function<unsigned()> occupancy);
+
+  OccupancySampler(const OccupancySampler&) = delete;
+  OccupancySampler& operator=(const OccupancySampler&) = delete;
+
+  std::uint64_t samples() const noexcept { return samples_; }
+  unsigned max_seen() const noexcept { return max_seen_; }
+  double mean() const noexcept;
+  /// Fraction of samples at exactly `level` (0 when no samples yet).
+  double fraction_at(unsigned level) const;
+  const std::vector<std::uint64_t>& histogram() const noexcept { return bins_; }
+
+ private:
+  std::function<unsigned()> occupancy_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t samples_ = 0;
+  std::uint64_t weighted_sum_ = 0;
+  unsigned max_seen_ = 0;
+};
+
+}  // namespace mts::metrics

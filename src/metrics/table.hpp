@@ -1,0 +1,34 @@
+// Result-table rendering for the benchmark harnesses: aligned ASCII output
+// plus optional CSV, so every bench can print rows in the same layout the
+// paper's Table 1 uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mts::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders aligned ASCII (with a header underline).
+  std::string to_string() const;
+
+  /// Renders CSV (no quoting: callers keep cells comma-free).
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string fmt(double value, int precision = 1);
+
+}  // namespace mts::metrics

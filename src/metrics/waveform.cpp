@@ -1,0 +1,52 @@
+#include "metrics/waveform.hpp"
+
+#include "sim/error.hpp"
+
+namespace mts::metrics {
+
+AsciiWave::AsciiWave(sim::Simulation& sim, sim::Time t0, sim::Time step,
+                     unsigned samples)
+    : sim_(sim), t0_(t0), step_(step), samples_(samples) {
+  if (step == 0 || samples == 0) {
+    throw ConfigError("AsciiWave: step and samples must be > 0");
+  }
+}
+
+void AsciiWave::watch(const std::string& label, sim::Wire& w) {
+  if (armed_) throw ConfigError("AsciiWave: watch() after arm()");
+  wires_.emplace_back(label, &w);
+}
+
+void AsciiWave::arm() {
+  if (armed_) return;
+  armed_ = true;
+  for (unsigned i = 0; i < samples_; ++i) {
+    sim_.sched().at(t0_ + i * step_, [this] {
+      for (auto& [label, wire] : wires_) {
+        history_[label].push_back(wire->read());
+      }
+    });
+  }
+}
+
+std::string AsciiWave::render() const {
+  std::string out;
+  for (const auto& [label, wire] : wires_) {
+    (void)wire;
+    out += label;
+    out.append(label.size() < 12 ? 12 - label.size() : 1, ' ');
+    auto it = history_.find(label);
+    if (it != history_.end()) {
+      for (bool b : it->second) out += b ? '#' : '_';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+const std::vector<bool>& AsciiWave::history(const std::string& label) const {
+  auto it = history_.find(label);
+  return it == history_.end() ? empty_ : it->second;
+}
+
+}  // namespace mts::metrics

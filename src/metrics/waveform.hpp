@@ -1,0 +1,48 @@
+// ASCII waveform capture: samples a set of wires on a fixed grid and
+// renders them as text timing diagrams (the harness's quick-look
+// complement to full VCD traces).
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::metrics {
+
+class AsciiWave {
+ public:
+  /// Samples every watched wire at t0, t0+step, ..., (samples times).
+  /// watch() then arm() must be called before the simulation reaches t0.
+  AsciiWave(sim::Simulation& sim, sim::Time t0, sim::Time step,
+            unsigned samples);
+
+  AsciiWave(const AsciiWave&) = delete;
+  AsciiWave& operator=(const AsciiWave&) = delete;
+
+  void watch(const std::string& label, sim::Wire& w);
+
+  /// Schedules the sampling events; call once after all watch() calls.
+  void arm();
+
+  /// Renders one line per wire: '#' for high, '_' for low.
+  std::string render() const;
+
+  /// Sampled history for one label (empty if unknown).
+  const std::vector<bool>& history(const std::string& label) const;
+
+ private:
+  sim::Simulation& sim_;
+  sim::Time t0_;
+  sim::Time step_;
+  unsigned samples_;
+  bool armed_ = false;
+  std::vector<std::pair<std::string, sim::Wire*>> wires_;
+  std::map<std::string, std::vector<bool>> history_;
+  std::vector<bool> empty_;
+};
+
+}  // namespace mts::metrics

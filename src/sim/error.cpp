@@ -1,0 +1,11 @@
+#include "sim/error.hpp"
+
+namespace mts::detail {
+
+void assertion_failed(const char* expr, const char* file, int line,
+                      const std::string& msg) {
+  throw AssertionError(std::string("assertion failed: ") + expr + " at " + file +
+                       ":" + std::to_string(line) + (msg.empty() ? "" : " -- " + msg));
+}
+
+}  // namespace mts::detail

@@ -1,0 +1,47 @@
+// Exception types and the assertion helper used across the library.
+//
+// Policy (per C++ Core Guidelines E.2/E.3): exceptions signal errors that the
+// immediate caller cannot repair -- bad configuration, protocol violations
+// detected by checkers, and broken internal invariants. Hot-path code uses
+// MTS_ASSERT, which is active in all build types because simulation
+// correctness is the product.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mts {
+
+/// Invalid user-supplied configuration (capacity 0, period 0, ...).
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// A simulated circuit violated a protocol or structural rule
+/// (multi-driver bus conflict, combinational oscillation, ...).
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An internal invariant of the library failed. Always a library bug.
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void assertion_failed(const char* expr, const char* file, int line,
+                                   const std::string& msg);
+}  // namespace detail
+
+}  // namespace mts
+
+/// Always-on invariant check; throws mts::AssertionError on failure.
+#define MTS_ASSERT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::mts::detail::assertion_failed(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                      \
+  } while (false)

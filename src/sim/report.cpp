@@ -1,0 +1,26 @@
+#include "sim/report.hpp"
+
+#include <utility>
+
+namespace mts::sim {
+
+void Report::add(Time t, Severity sev, std::string category, std::string message) {
+  ++per_category_[category];
+  if (sev == Severity::kViolation || sev == Severity::kError) ++failures_;
+  if (entries_.size() < max_entries_) {
+    entries_.push_back(ReportEntry{t, sev, std::move(category), std::move(message)});
+  }
+}
+
+std::size_t Report::count(const std::string& category) const {
+  auto it = per_category_.find(category);
+  return it == per_category_.end() ? 0 : it->second;
+}
+
+void Report::clear() {
+  entries_.clear();
+  per_category_.clear();
+  failures_ = 0;
+}
+
+}  // namespace mts::sim

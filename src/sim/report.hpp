@@ -1,0 +1,53 @@
+// Run-wide diagnostics: timing violations, protocol errors, warnings.
+//
+// Checkers (setup/hold monitors, bus-conflict detection, scoreboards) never
+// decide policy; they record findings here. Harness code inspects the counts
+// to decide pass/fail -- e.g. the max-frequency search treats any "setup" or
+// "hold" violation in the measured clock domain as a failed trial.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mts::sim {
+
+enum class Severity { kInfo, kWarning, kViolation, kError };
+
+struct ReportEntry {
+  Time time = 0;
+  Severity severity = Severity::kInfo;
+  std::string category;  ///< e.g. "setup", "hold", "bus-conflict", "scoreboard"
+  std::string message;
+};
+
+class Report {
+ public:
+  void add(Time t, Severity sev, std::string category, std::string message);
+
+  /// Number of entries at kViolation or kError severity, any category.
+  std::size_t failure_count() const noexcept { return failures_; }
+
+  /// Number of entries recorded under `category` (any severity).
+  std::size_t count(const std::string& category) const;
+
+  const std::vector<ReportEntry>& entries() const noexcept { return entries_; }
+
+  /// Drops all recorded entries and counters.
+  void clear();
+
+  /// Caps stored entries to bound memory in long runs; counters keep
+  /// counting past the cap.
+  void set_max_entries(std::size_t n) { max_entries_ = n; }
+
+ private:
+  std::vector<ReportEntry> entries_;
+  std::map<std::string, std::size_t> per_category_;
+  std::size_t failures_ = 0;
+  std::size_t max_entries_ = 10'000;
+};
+
+}  // namespace mts::sim

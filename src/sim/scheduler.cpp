@@ -1,0 +1,55 @@
+#include "sim/scheduler.hpp"
+
+#include <string>
+#include <utility>
+
+namespace mts::sim {
+
+void Scheduler::at(Time t, Callback cb) {
+  MTS_ASSERT(t >= now_, "event scheduled in the past at t=" + std::to_string(t) +
+                            " now=" + std::to_string(now_));
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Scheduler::execute(Event& e) {
+  if (e.t != now_) {
+    now_ = e.t;
+    events_at_now_ = 0;
+  }
+  if (++events_at_now_ > timestamp_budget_) {
+    throw SimulationError("combinational oscillation: more than " +
+                          std::to_string(timestamp_budget_) +
+                          " events at t=" + format_time(now_));
+  }
+  e.cb();
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Event e = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  execute(e);
+  return true;
+}
+
+void Scheduler::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().t <= t) {
+    step();
+  }
+  if (now_ < t) {
+    now_ = t;
+    events_at_now_ = 0;
+  }
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) {
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace mts::sim

@@ -1,0 +1,82 @@
+// Discrete-event scheduler.
+//
+// A min-heap of (time, sequence) ordered events. Events scheduled for the
+// same timestamp run in scheduling order, which gives the kernel
+// deterministic delta-cycle semantics: a zero-delay write scheduled while
+// processing time T runs later within T, never "before" already-pending work.
+//
+// A per-timestamp event budget guards against combinational oscillation
+// (e.g. an inverter loop with zero delay): exceeding it raises
+// SimulationError instead of hanging the process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/error.hpp"
+#include "sim/time.hpp"
+
+namespace mts::sim {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time. Starts at 0.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `t`; `t` must not be in the past.
+  void at(Time t, Callback cb);
+
+  /// Schedules `cb` at now() + delay.
+  void after(Time delay, Callback cb) { at(now_ + delay, std::move(cb)); }
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Runs the single earliest event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs every event with timestamp <= t; now() == t afterwards even if
+  /// the queue drained early.
+  void run_until(Time t);
+
+  /// Runs until the queue drains or `max_events` have executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = kDefaultRunBudget);
+
+  /// Upper bound on events executed at a single timestamp before the kernel
+  /// declares a combinational oscillation.
+  void set_timestamp_budget(std::size_t budget) { timestamp_budget_ = budget; }
+
+  static constexpr std::size_t kDefaultRunBudget = 500'000'000;
+
+ private:
+  struct Event {
+    Time t = 0;
+    std::uint64_t seq = 0;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  void execute(Event& e);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t events_at_now_ = 0;
+  std::size_t timestamp_budget_ = 4'000'000;
+};
+
+}  // namespace mts::sim

@@ -1,0 +1,125 @@
+// Signals: named, typed state carriers with delayed assignment.
+//
+// A Signal<T> holds a current value and notifies listeners when it changes.
+// Writes are scheduled through the simulation's event queue:
+//
+//   - DelayKind::kTransport models an ideal delay line: every scheduled
+//     write eventually commits, in order. Testbench stimulus uses this.
+//   - DelayKind::kInertial models a gate output: scheduling a new write
+//     cancels all still-pending writes, so pulses shorter than the gate
+//     delay are filtered out, as in VHDL's preemptive inertial model.
+//     All gate primitives use this.
+//
+// Listener callbacks run at commit time in registration order and receive
+// (old, new). Listeners registered during a notification do not observe the
+// change that was being delivered. Listeners live as long as the signal.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/error.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace mts::sim {
+
+enum class DelayKind { kTransport, kInertial };
+
+template <typename T>
+class Signal {
+ public:
+  using Listener = std::function<void(const T& old_value, const T& new_value)>;
+
+  Signal(Simulation& sim, std::string name, T initial = T{})
+      : sim_(sim), name_(std::move(name)), value_(std::move(initial)) {}
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  Simulation& simulation() const noexcept { return sim_; }
+
+  const T& read() const noexcept { return value_; }
+
+  /// Immediate assignment (no event): used for initialization and by
+  /// testbenches acting "right now". Notifies listeners on change.
+  void set(const T& v) {
+    if (v == value_) return;
+    T old = std::exchange(value_, v);
+    notify(old);
+  }
+
+  /// Schedules `v` to commit at now() + delay.
+  void write(const T& v, Time delay, DelayKind kind = DelayKind::kTransport) {
+    if (kind == DelayKind::kInertial) {
+      for (auto& txn : pending_) txn->cancelled = true;
+      pending_.clear();
+      // Gate-output shortcut: if the surviving pending set is empty and the
+      // scheduled value equals the current one, the commit would be a no-op
+      // but must still run -- a later inertial write may land in between.
+    }
+    auto txn = std::make_shared<Txn>(Txn{v, false});
+    pending_.push_back(txn);
+    sim_.sched().after(delay, [this, txn] { commit(txn); });
+  }
+
+  /// Registers a change listener; it lives as long as the signal.
+  void on_change(Listener fn) { listeners_.push_back(std::move(fn)); }
+
+  std::size_t pending_writes() const noexcept { return pending_.size(); }
+
+ private:
+  struct Txn {
+    T value;
+    bool cancelled = false;
+  };
+
+  void commit(const std::shared_ptr<Txn>& txn) {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i] == txn) {
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (txn->cancelled) return;
+    set(txn->value);
+  }
+
+  void notify(const T& old) {
+    const std::size_t n = listeners_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      listeners_[i](old, value_);
+    }
+  }
+
+  Simulation& sim_;
+  std::string name_;
+  T value_;
+  std::vector<Listener> listeners_;
+  std::vector<std::shared_ptr<Txn>> pending_;
+};
+
+/// A single-bit control or data wire.
+using Wire = Signal<bool>;
+/// A word-level data bus (the datapath is modelled at word granularity).
+using Word = Signal<std::uint64_t>;
+
+/// Invokes `fn` on every rising edge of `w`.
+inline void on_rise(Wire& w, std::function<void()> fn) {
+  w.on_change([fn = std::move(fn)](bool old, bool now) {
+    if (!old && now) fn();
+  });
+}
+
+/// Invokes `fn` on every falling edge of `w`.
+inline void on_fall(Wire& w, std::function<void()> fn) {
+  w.on_change([fn = std::move(fn)](bool old, bool now) {
+    if (old && !now) fn();
+  });
+}
+
+}  // namespace mts::sim

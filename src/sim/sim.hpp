@@ -1,0 +1,10 @@
+// Umbrella header for the discrete-event simulation kernel.
+#pragma once
+
+#include "sim/error.hpp"       // IWYU pragma: export
+#include "sim/report.hpp"      // IWYU pragma: export
+#include "sim/scheduler.hpp"   // IWYU pragma: export
+#include "sim/signal.hpp"      // IWYU pragma: export
+#include "sim/simulation.hpp"  // IWYU pragma: export
+#include "sim/time.hpp"        // IWYU pragma: export
+#include "sim/trace.hpp"       // IWYU pragma: export

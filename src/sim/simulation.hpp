@@ -1,0 +1,40 @@
+// Simulation context: one object owning the scheduler, the diagnostics
+// report and the random source. Every component takes a Simulation& and
+// keeps it for its lifetime; the Simulation must outlive all components.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "sim/report.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace mts::sim {
+
+class Simulation {
+ public:
+  /// `seed` drives every stochastic element (jitter, metastability
+  /// resolution, random stimulus) so runs are reproducible.
+  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Scheduler& sched() noexcept { return sched_; }
+  Report& report() noexcept { return report_; }
+  std::mt19937_64& rng() noexcept { return rng_; }
+
+  Time now() const noexcept { return sched_.now(); }
+  void run_until(Time t) { sched_.run_until(t); }
+  std::size_t run(std::size_t max_events = Scheduler::kDefaultRunBudget) {
+    return sched_.run(max_events);
+  }
+
+ private:
+  Scheduler sched_;
+  Report report_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace mts::sim

@@ -1,0 +1,19 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace mts::sim {
+
+std::string format_time(Time t) {
+  char buf[48];
+  if (t < kNanosecond) {
+    std::snprintf(buf, sizeof buf, "%llu ps", static_cast<unsigned long long>(t));
+  } else if (t < kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.3f ns", to_ns(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f us", static_cast<double>(t) / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace mts::sim

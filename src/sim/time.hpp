@@ -1,0 +1,43 @@
+// Simulation time: 64-bit unsigned picoseconds.
+//
+// Picosecond resolution comfortably covers the paper's technology (0.6u HP
+// CMOS, gate delays of hundreds of ps) and 64 bits give ~213 days of
+// simulated time, far beyond any run in this library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mts::sim {
+
+/// Absolute simulation time or a duration, in picoseconds.
+using Time = std::uint64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1'000;
+inline constexpr Time kMicrosecond = 1'000'000;
+inline constexpr Time kMillisecond = 1'000'000'000;
+
+namespace time_literals {
+constexpr Time operator""_ps(unsigned long long v) { return static_cast<Time>(v); }
+constexpr Time operator""_ns(unsigned long long v) { return static_cast<Time>(v) * kNanosecond; }
+constexpr Time operator""_us(unsigned long long v) { return static_cast<Time>(v) * kMicrosecond; }
+}  // namespace time_literals
+
+/// Converts a duration to fractional nanoseconds (for reporting only).
+constexpr double to_ns(Time t) { return static_cast<double>(t) / 1e3; }
+
+/// Converts a clock period to a frequency in MHz (for reporting only).
+constexpr double period_to_mhz(Time period_ps) {
+  return period_ps == 0 ? 0.0 : 1e6 / static_cast<double>(period_ps);
+}
+
+/// Converts a frequency in MHz to a period in ps (rounded down).
+constexpr Time mhz_to_period(double mhz) {
+  return mhz <= 0.0 ? 0 : static_cast<Time>(1e6 / mhz);
+}
+
+/// Renders a time as "123.456 ns" for human-readable logs.
+std::string format_time(Time t);
+
+}  // namespace mts::sim

@@ -1,0 +1,103 @@
+#include "sim/trace.hpp"
+
+#include <bitset>
+#include <utility>
+
+namespace mts::sim {
+
+VcdWriter::VcdWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw ConfigError("VcdWriter: cannot open '" + path + "' for writing");
+  }
+}
+
+VcdWriter::~VcdWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; a failed flush loses the trace tail only.
+  }
+}
+
+std::string VcdWriter::next_id() {
+  // Identifier codes are base-94 strings over the printable ASCII range.
+  std::string id;
+  std::uint64_t code = next_code_++;
+  do {
+    id.push_back(static_cast<char>('!' + code % 94));
+    code /= 94;
+  } while (code != 0);
+  return id;
+}
+
+void VcdWriter::watch(Wire& w, std::string display_name) {
+  if (started_) throw ConfigError("VcdWriter: watch() after start()");
+  Var var{next_id(), display_name.empty() ? w.name() : std::move(display_name),
+          1, w.read() ? 1u : 0u};
+  vars_.push_back(var);
+  const std::size_t index = vars_.size() - 1;
+  w.on_change([this, index, &w](bool, bool now) {
+    record(vars_[index], now ? 1u : 0u, w.simulation().now());
+  });
+}
+
+void VcdWriter::watch(Word& w, unsigned width, std::string display_name) {
+  if (started_) throw ConfigError("VcdWriter: watch() after start()");
+  if (width == 0 || width > 64) throw ConfigError("VcdWriter: width must be 1..64");
+  Var var{next_id(), display_name.empty() ? w.name() : std::move(display_name),
+          width, w.read()};
+  vars_.push_back(var);
+  const std::size_t index = vars_.size() - 1;
+  w.on_change([this, index, &w](std::uint64_t, std::uint64_t now) {
+    record(vars_[index], now, w.simulation().now());
+  });
+}
+
+void VcdWriter::start() {
+  if (started_) return;
+  started_ = true;
+  out_ << "$timescale 1ps $end\n$scope module mts $end\n";
+  for (const auto& var : vars_) {
+    out_ << "$var wire " << var.width << ' ' << var.id << ' ' << var.name
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+  for (const auto& var : vars_) {
+    if (var.width == 1) {
+      out_ << (var.initial ? '1' : '0') << var.id << '\n';
+    } else {
+      out_ << 'b';
+      for (unsigned b = var.width; b-- > 0;) out_ << ((var.initial >> b) & 1u);
+      out_ << ' ' << var.id << '\n';
+    }
+  }
+  out_ << "$end\n";
+}
+
+void VcdWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.flush();
+  out_.close();
+}
+
+void VcdWriter::advance_time(Time t) {
+  if (t != last_time_ || last_time_ == 0) {
+    out_ << '#' << t << '\n';
+    last_time_ = t;
+  }
+}
+
+void VcdWriter::record(const Var& var, std::uint64_t value, Time t) {
+  if (!started_ || finished_) return;
+  advance_time(t);
+  if (var.width == 1) {
+    out_ << (value ? '1' : '0') << var.id << '\n';
+  } else {
+    out_ << 'b';
+    for (unsigned b = var.width; b-- > 0;) out_ << ((value >> b) & 1u);
+    out_ << ' ' << var.id << '\n';
+  }
+}
+
+}  // namespace mts::sim

@@ -1,0 +1,63 @@
+// Value-change-dump (VCD) tracing.
+//
+// Usage: construct, watch() every signal of interest, start(), run the
+// simulation, then let the writer go out of scope (or call finish()).
+// watch() after start() is a ConfigError. Output loads in GTKWave.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/error.hpp"
+#include "sim/signal.hpp"
+#include "sim/time.hpp"
+
+namespace mts::sim {
+
+class VcdWriter {
+ public:
+  /// Opens `path` for writing; throws ConfigError on failure.
+  explicit VcdWriter(const std::string& path);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Registers a 1-bit signal under `display_name` (defaults to the
+  /// signal's own name).
+  void watch(Wire& w, std::string display_name = {});
+
+  /// Registers a word signal with the given displayed bit width.
+  void watch(Word& w, unsigned width, std::string display_name = {});
+
+  /// Writes the VCD header and the initial values; changes recorded from
+  /// this point on.
+  void start();
+
+  /// Flushes and closes; further changes are ignored.
+  void finish();
+
+ private:
+  struct Var {
+    std::string id;
+    std::string name;
+    unsigned width = 1;
+    std::uint64_t initial = 0;
+  };
+
+  std::string next_id();
+  void record(const Var& var, std::uint64_t value, Time t);
+  void advance_time(Time t);
+
+  std::ofstream out_;
+  std::vector<Var> vars_;
+  std::uint64_t next_code_ = 0;
+  Time last_time_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace mts::sim

@@ -1,0 +1,43 @@
+#include "sync/clock.hpp"
+
+#include <random>
+#include <utility>
+
+#include "sim/error.hpp"
+
+namespace mts::sync {
+
+Clock::Clock(sim::Simulation& sim, std::string name, const ClockConfig& config)
+    : sim_(sim), config_(config), out_(sim, std::move(name), false) {
+  if (config_.period == 0) throw ConfigError("Clock: period must be > 0");
+  if (config_.duty <= 0.0 || config_.duty >= 1.0) {
+    throw ConfigError("Clock: duty must be in (0, 1)");
+  }
+  if (config_.jitter >= config_.period / 2) {
+    throw ConfigError("Clock: jitter must be < period/2");
+  }
+  schedule_rise(config_.phase);
+}
+
+void Clock::schedule_rise(sim::Time t) {
+  sim_.sched().at(t, [this] {
+    if (!running_) return;
+    ++edges_;
+    out_.set(true);
+
+    sim::Time period = config_.period;
+    if (config_.jitter > 0) {
+      std::uniform_int_distribution<std::int64_t> dist(
+          -static_cast<std::int64_t>(config_.jitter),
+          static_cast<std::int64_t>(config_.jitter));
+      period = static_cast<sim::Time>(static_cast<std::int64_t>(period) +
+                                      dist(sim_.rng()));
+    }
+    const auto high = static_cast<sim::Time>(static_cast<double>(period) *
+                                             config_.duty);
+    sim_.sched().after(high, [this] { out_.set(false); });
+    schedule_rise(sim_.now() + period);
+  });
+}
+
+}  // namespace mts::sync

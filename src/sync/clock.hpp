@@ -1,0 +1,50 @@
+// Clock generation.
+//
+// Each synchronous interface of a mixed-timing FIFO is driven by its own
+// Clock (CLK_put / CLK_get in the paper), with independent period, phase
+// and optional cycle-to-cycle jitter. Phase sweeps of CLK_get against the
+// put instant produce the Min/Max latency columns of Table 1.
+#pragma once
+
+#include <string>
+
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::sync {
+
+struct ClockConfig {
+  sim::Time period = 0;   ///< required, > 0
+  sim::Time phase = 0;    ///< time of the first rising edge
+  double duty = 0.5;      ///< high fraction of the period, in (0, 1)
+  sim::Time jitter = 0;   ///< uniform +/- perturbation of each period
+};
+
+class Clock {
+ public:
+  /// Starts toggling immediately; the first rising edge is at `phase`.
+  Clock(sim::Simulation& sim, std::string name, const ClockConfig& config);
+
+  Clock(const Clock&) = delete;
+  Clock& operator=(const Clock&) = delete;
+
+  sim::Wire& out() noexcept { return out_; }
+  sim::Time period() const noexcept { return config_.period; }
+
+  /// Stops after the current cycle completes; the wire rests low.
+  void stop() noexcept { running_ = false; }
+
+  /// Number of rising edges generated so far.
+  std::uint64_t edges() const noexcept { return edges_; }
+
+ private:
+  void schedule_rise(sim::Time t);
+
+  sim::Simulation& sim_;
+  ClockConfig config_;
+  sim::Wire out_;
+  bool running_ = true;
+  std::uint64_t edges_ = 0;
+};
+
+}  // namespace mts::sync

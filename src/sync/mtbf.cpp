@@ -1,0 +1,28 @@
+#include "sync/mtbf.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "sim/error.hpp"
+
+namespace mts::sync {
+
+sim::Time stage_slack(const MtbfParams& p) {
+  if (p.clock_period == 0) throw ConfigError("mtbf: clock_period must be > 0");
+  const sim::Time consumed = p.dm.flop.setup + p.dm.flop.clk_to_q;
+  return p.clock_period > consumed ? p.clock_period - consumed : 0;
+}
+
+double mtbf_seconds(const MtbfParams& p) {
+  if (p.depth == 0) throw ConfigError("mtbf: depth must be >= 1");
+  if (p.data_rate_hz <= 0.0) return std::numeric_limits<double>::infinity();
+
+  const double f_clk = 1e12 / static_cast<double>(p.clock_period);
+  const double t_r = static_cast<double>(p.depth) *
+                     static_cast<double>(stage_slack(p));
+  const double tau = static_cast<double>(p.dm.meta_tau);
+  const double window_s = static_cast<double>(p.dm.meta_window) * 1e-12;
+  return std::exp(t_r / tau) / (window_s * f_clk * p.data_rate_hz);
+}
+
+}  // namespace mts::sync

@@ -1,0 +1,35 @@
+// Analytic mean-time-between-failures for synchronizer chains.
+//
+// Classic two-parameter metastability model: a flop whose data changes
+// inside the susceptibility window T_w enters metastability and resolves
+// with time constant tau; the probability that it is still unresolved after
+// slack t_r is exp(-t_r / tau). For a chain clocked with period T, each
+// stage contributes t_r = T - t_setup - t_clk_to_q of resolution slack, so
+//
+//   MTBF = exp(depth * t_r / tau) / (T_w * f_clk * f_data)
+//
+// This quantifies the paper's "arbitrarily robust with regard to
+// metastability" claim: each added stage multiplies MTBF by exp(t_r/tau).
+#pragma once
+
+#include "gates/delay_model.hpp"
+#include "sim/time.hpp"
+
+namespace mts::sync {
+
+struct MtbfParams {
+  unsigned depth = 2;          ///< number of synchronizer stages (>= 1)
+  sim::Time clock_period = 0;  ///< receiving clock period (ps)
+  double data_rate_hz = 0;     ///< average toggle rate of the async input
+  gates::DelayModel dm;        ///< supplies tau, window, flop timing
+};
+
+/// Mean time between synchronization failures, in seconds.
+/// Returns +infinity when the data rate is zero.
+double mtbf_seconds(const MtbfParams& p);
+
+/// Resolution slack per stage, in ps (0 when the clock is too fast for the
+/// flop: the synchronizer provides no protection at all).
+sim::Time stage_slack(const MtbfParams& p);
+
+}  // namespace mts::sync

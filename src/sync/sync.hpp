@@ -1,0 +1,6 @@
+// Umbrella header for clocking and synchronization.
+#pragma once
+
+#include "sync/clock.hpp"         // IWYU pragma: export
+#include "sync/mtbf.hpp"          // IWYU pragma: export
+#include "sync/synchronizer.hpp"  // IWYU pragma: export

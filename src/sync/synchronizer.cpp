@@ -1,0 +1,97 @@
+#include "sync/synchronizer.hpp"
+
+#include <random>
+
+#include "gates/combinational.hpp"
+#include "sim/report.hpp"
+
+namespace mts::sync {
+
+Synchronizer::Synchronizer(sim::Simulation& sim, const std::string& name,
+                           sim::Wire& clk, sim::Wire& in,
+                           const gates::DelayModel& dm, const SyncConfig& config,
+                           gates::TimingDomain* domain, bool initial,
+                           sim::Wire* force_high)
+    : sim_(sim), nl_(sim, name), config_(config), dm_(dm) {
+  if (config_.depth == 0) {
+    // Ablation passthrough: a buffer only; the raw asynchronous level feeds
+    // the synchronous controller directly.
+    sim::Wire& bypass = nl_.wire("bypass", initial);
+    if (force_high != nullptr) {
+      gates::gate_into(nl_, "bypassor", gates::GateOp::kOr, {&in, force_high},
+                       bypass, dm.gate(2));
+    } else {
+      gates::gate_into(nl_, "bypassbuf", gates::GateOp::kBuf, {&in}, bypass,
+                       dm.gate(1));
+    }
+    out_ = &bypass;
+    return;
+  }
+
+  sim::Wire* stage_in = &in;
+  if (config_.depth == 1 && force_high != nullptr) {
+    stage_in = &gates::make_gate(nl_, "preOr", gates::GateOp::kOr,
+                                 {stage_in, force_high}, dm);
+  }
+
+  // The veto must hold the chain in the forced state until the true input
+  // value has had time to propagate through the earlier stages: stretch it
+  // across depth-1 cycles with a small shift register (for the paper's
+  // depth 2 this degenerates to the bare veto wire).
+  std::vector<sim::Wire*> veto_taps;
+  if (force_high != nullptr && config_.depth >= 2) {
+    veto_taps.push_back(force_high);
+    sim::Wire* tap = force_high;
+    for (unsigned extra = 0; extra + 2 < config_.depth; ++extra) {
+      sim::Wire& q = nl_.wire("veto" + std::to_string(extra));
+      nl_.add<gates::Etdff>(sim, nl_.qualified("vetoff" + std::to_string(extra)),
+                            clk, *tap, nullptr, q, dm.flop, domain, false);
+      veto_taps.push_back(&q);
+      tap = &q;
+    }
+  }
+  for (unsigned stage = 0; stage < config_.depth; ++stage) {
+    sim::Wire& q = nl_.wire("s" + std::to_string(stage), initial);
+    auto& ff = nl_.add<gates::Etdff>(sim, nl_.qualified("ff" + std::to_string(stage)),
+                                     clk, *stage_in, nullptr, q, dm.flop,
+                                     domain, initial);
+    const bool front = stage == 0;
+    const bool last = stage + 1 == config_.depth;
+    if (front || config_.mode == MetaMode::kStochastic) {
+      // Front stage always absorbs async input. In stochastic mode every
+      // stage can be hit by a late-settling predecessor.
+      ff.set_async_sampling([this, front, last](bool old_value, bool new_value,
+                                                sim::Time edge) {
+        if (front) ++front_events_;
+        if (last && !front) {
+          ++failures_;
+          sim_.report().add(edge, sim::Severity::kWarning, "sync-failure",
+                            nl_.prefix() + ": metastability escaped final stage");
+        }
+        if (config_.mode == MetaMode::kDeterministic) {
+          return gates::AsyncSample{old_value, 0};
+        }
+        std::bernoulli_distribution coin(0.5);
+        std::exponential_distribution<double> settle(
+            1.0 / static_cast<double>(dm_.meta_tau));
+        const auto extra = static_cast<sim::Time>(settle(sim_.rng()));
+        return gates::AsyncSample{coin(sim_.rng()) ? new_value : old_value, extra};
+      });
+    }
+    stage_in = &q;
+    if (config_.depth >= 2 && stage + 2 == config_.depth &&
+        force_high != nullptr) {
+      // Fig. 7b: the (synchronous) veto joins just before the LAST latch so
+      // it reaches the controller one cycle after the get regardless of the
+      // chain's depth; the stretched taps keep it asserted until the true
+      // value catches up.
+      std::vector<sim::Wire*> or_inputs{stage_in};
+      or_inputs.insert(or_inputs.end(), veto_taps.begin(), veto_taps.end());
+      stage_in = &gates::make_gate(nl_, "vetoOr", gates::GateOp::kOr,
+                                   std::move(or_inputs), dm);
+    }
+  }
+  out_ = stage_in;
+}
+
+}  // namespace mts::sync

@@ -1,0 +1,85 @@
+// Synchronizer chains with a metastability model.
+//
+// The paper adds a pair of synchronizing latches to each global detector
+// output (full, ne, oe) and notes the designs "can be made arbitrarily
+// robust" by using more than two (Sections 3.2, 7). This component is that
+// chain, with the depth as a parameter:
+//
+//   depth 0  -- combinational passthrough (ablation only: demonstrates why
+//               synchronization is needed at all),
+//   depth 1  -- single flop,
+//   depth 2  -- the paper's design,
+//   depth n  -- arbitrarily robust.
+//
+// Metastability model: a flop sampling an input that changed inside its
+// setup window resolves to the old or the new value. In kDeterministic mode
+// the old value wins with zero settling (worst-case-late but reproducible:
+// used by the Table 1 benches). In kStochastic mode the value is a coin
+// flip and the settling time is drawn from Exp(tau); a settled-late output
+// can fall into the *next* stage's window, and so on down the chain. An
+// in-window sample at the final stage means unresolved metastability
+// escaped into fan-out logic: it is counted and reported as "sync-failure".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gates/delay_model.hpp"
+#include "gates/flops.hpp"
+#include "gates/netlist.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::sync {
+
+enum class MetaMode { kDeterministic, kStochastic };
+
+struct SyncConfig {
+  unsigned depth = 2;
+  MetaMode mode = MetaMode::kDeterministic;
+};
+
+class Synchronizer {
+ public:
+  /// Synchronizes `in` to `clk`. The output wire is owned by the chain.
+  /// `initial` presets every stage (the FIFO resets with empty=1 visible to
+  /// the get controller, so the ne/oe chains initialize high).
+  ///
+  /// `force_high`, when non-null, is a *synchronous* veto OR-ed into the
+  /// chain immediately after the front stage -- the paper's Fig. 7b OR gate
+  /// on the oe synchronizer: "controlled by en_get, it sets the oe to a
+  /// neutral state one clock cycle after a get operation takes place". It
+  /// must take effect one cycle early (after the front latch), otherwise a
+  /// lone resident item followed by back-to-back gets underflows. With
+  /// depth 1 the veto is OR-ed before the single stage (weaker, ablation
+  /// only); with depth 0 it is OR-ed combinationally.
+  Synchronizer(sim::Simulation& sim, const std::string& name, sim::Wire& clk,
+               sim::Wire& in, const gates::DelayModel& dm, const SyncConfig& config,
+               gates::TimingDomain* domain, bool initial = false,
+               sim::Wire* force_high = nullptr);
+
+  Synchronizer(const Synchronizer&) = delete;
+  Synchronizer& operator=(const Synchronizer&) = delete;
+
+  sim::Wire& out() noexcept { return *out_; }
+
+  /// In-window samples observed at the front stage (normal operation).
+  std::uint64_t front_events() const noexcept { return front_events_; }
+
+  /// In-window samples at the final stage: metastability escaped the chain.
+  std::uint64_t failures() const noexcept { return failures_; }
+
+  unsigned depth() const noexcept { return config_.depth; }
+
+ private:
+  sim::Simulation& sim_;
+  gates::Netlist nl_;
+  SyncConfig config_;
+  gates::DelayModel dm_;
+  sim::Wire* out_ = nullptr;
+  std::uint64_t front_events_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace mts::sync

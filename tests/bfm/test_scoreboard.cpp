@@ -1,0 +1,56 @@
+#include "bfm/scoreboard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mts::bfm {
+namespace {
+
+TEST(Scoreboard, InOrderTrafficIsClean) {
+  sim::Simulation sim;
+  Scoreboard sb(sim, "sb");
+  for (std::uint64_t i = 0; i < 100; ++i) sb.push(i);
+  for (std::uint64_t i = 0; i < 100; ++i) sb.pop_check(i);
+  EXPECT_EQ(sb.errors(), 0u);
+  EXPECT_EQ(sb.pushed(), 100u);
+  EXPECT_EQ(sb.popped(), 100u);
+  EXPECT_EQ(sb.in_flight(), 0u);
+}
+
+TEST(Scoreboard, ValueMismatchCounted) {
+  sim::Simulation sim;
+  Scoreboard sb(sim, "sb");
+  sb.push(1);
+  sb.pop_check(2);
+  EXPECT_EQ(sb.errors(), 1u);
+  EXPECT_GE(sim.report().count("scoreboard"), 1u);
+}
+
+TEST(Scoreboard, ReorderCounted) {
+  sim::Simulation sim;
+  Scoreboard sb(sim, "sb");
+  sb.push(1);
+  sb.push(2);
+  sb.pop_check(2);
+  sb.pop_check(1);
+  EXPECT_EQ(sb.errors(), 2u);
+}
+
+TEST(Scoreboard, UnderflowPopCounted) {
+  sim::Simulation sim;
+  Scoreboard sb(sim, "sb");
+  sb.pop_check(5);
+  EXPECT_EQ(sb.errors(), 1u);
+}
+
+TEST(Scoreboard, InFlightTracksBacklog) {
+  sim::Simulation sim;
+  Scoreboard sb(sim, "sb");
+  sb.push(1);
+  sb.push(2);
+  sb.push(3);
+  sb.pop_check(1);
+  EXPECT_EQ(sb.in_flight(), 2u);
+}
+
+}  // namespace
+}  // namespace mts::bfm

@@ -1,0 +1,127 @@
+#include "ctrl/burst_mode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/error.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::ctrl {
+namespace {
+
+// A two-input toggle-ish machine used to exercise the interpreter:
+//   S0 --{a+,b+} / x+--> S1 --{a-} / x---> S0
+BmSpec two_input_spec() {
+  BmSpec s;
+  s.name = "test";
+  s.num_states = 2;
+  s.input_names = {"a", "b"};
+  s.output_names = {"x"};
+  s.transitions = {
+      {0, {{0, true}, {1, true}}, {{0, true}}, 1},
+      {1, {{0, false}}, {{0, false}}, 0},
+  };
+  return s;
+}
+
+struct Fixture {
+  sim::Simulation sim;
+  sim::Wire a{sim, "a"};
+  sim::Wire b{sim, "b"};
+  sim::Wire x{sim, "x"};
+  void settle() { sim.run_until(sim.now() + 1000); }
+};
+
+TEST(BurstMode, FiresWhenFullBurstArrives) {
+  Fixture f;
+  const BmSpec spec = two_input_spec();
+  BurstModeMachine m(f.sim, "m", spec, {&f.a, &f.b}, {&f.x}, 50, 0);
+
+  f.a.set(true);
+  f.settle();
+  EXPECT_EQ(m.state(), 0u);  // partial burst: no firing
+  EXPECT_FALSE(f.x.read());
+
+  f.b.set(true);
+  f.settle();
+  EXPECT_EQ(m.state(), 1u);
+  EXPECT_TRUE(f.x.read());
+  EXPECT_EQ(m.firings(), 1u);
+}
+
+TEST(BurstMode, BurstEdgesArriveInAnyOrder) {
+  Fixture f;
+  const BmSpec spec = two_input_spec();
+  BurstModeMachine m(f.sim, "m", spec, {&f.a, &f.b}, {&f.x}, 50, 0);
+  f.b.set(true);
+  f.settle();
+  EXPECT_EQ(m.state(), 0u);
+  f.a.set(true);
+  f.settle();
+  EXPECT_EQ(m.state(), 1u);
+}
+
+TEST(BurstMode, CompletesRoundTrip) {
+  Fixture f;
+  const BmSpec spec = two_input_spec();
+  BurstModeMachine m(f.sim, "m", spec, {&f.a, &f.b}, {&f.x}, 50, 0);
+  f.a.set(true);
+  f.b.set(true);
+  f.settle();
+  f.a.set(false);
+  f.settle();
+  EXPECT_EQ(m.state(), 0u);
+  EXPECT_FALSE(f.x.read());
+  EXPECT_EQ(m.firings(), 2u);
+}
+
+TEST(BurstMode, IllegalEdgeReported) {
+  Fixture f;
+  const BmSpec spec = two_input_spec();
+  BurstModeMachine m(f.sim, "m", spec, {&f.a, &f.b}, {&f.x}, 50, 0);
+  // b- in S0 belongs to no burst.
+  f.b.set(true);
+  f.settle();
+  f.b.set(false);
+  f.settle();
+  EXPECT_GE(f.sim.report().count("bm-illegal-input"), 1u);
+}
+
+TEST(BurstMode, InitialStateSelectable) {
+  Fixture f;
+  const BmSpec spec = two_input_spec();
+  BurstModeMachine m(f.sim, "m", spec, {&f.a, &f.b}, {&f.x}, 50, 1);
+  EXPECT_EQ(m.state(), 1u);
+  f.a.set(true);  // a+ is not expected in S1 (only a-)
+  f.settle();
+  EXPECT_EQ(m.state(), 1u);
+}
+
+TEST(BmSpecValidate, RejectsBadSpecs) {
+  BmSpec s = two_input_spec();
+  s.transitions[0].to = 9;
+  EXPECT_THROW(s.validate(), ConfigError);
+
+  BmSpec empty_burst = two_input_spec();
+  empty_burst.transitions[0].in_burst.clear();
+  EXPECT_THROW(empty_burst.validate(), ConfigError);
+
+  BmSpec bad_signal = two_input_spec();
+  bad_signal.transitions[0].in_burst[0].signal = 5;
+  EXPECT_THROW(bad_signal.validate(), ConfigError);
+
+  // Ambiguity: {a+} subset of {a+, b+} from the same state.
+  BmSpec ambiguous = two_input_spec();
+  ambiguous.transitions.push_back({0, {{0, true}}, {}, 1});
+  EXPECT_THROW(ambiguous.validate(), ConfigError);
+}
+
+TEST(BurstMode, WireCountMismatchRejected) {
+  Fixture f;
+  const BmSpec spec = two_input_spec();
+  EXPECT_THROW(
+      BurstModeMachine(f.sim, "m", spec, {&f.a}, {&f.x}, 50, 0),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace mts::ctrl

@@ -1,0 +1,61 @@
+#include "ctrl/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ctrl/specs.hpp"
+
+namespace mts::ctrl {
+namespace {
+
+TEST(Dot, BurstModeExportContainsStatesAndLabels) {
+  const std::string dot = to_dot(opt_spec());
+  EXPECT_NE(dot.find("digraph \"OPT\""), std::string::npos);
+  for (const char* state : {"S0", "S1", "S2", "S3"}) {
+    EXPECT_NE(dot.find(state), std::string::npos) << state;
+  }
+  // The Fig. 10a transitions.
+  EXPECT_NE(dot.find("we1- / ptok+"), std::string::npos);
+  EXPECT_NE(dot.find("we+ / ptok-"), std::string::npos);
+  // Empty bursts render as ".".
+  EXPECT_NE(dot.find("we1+ / ."), std::string::npos);
+}
+
+TEST(Dot, PetriExportMarksInitialPlacesAndInputTransitions) {
+  const std::string dot = to_dot(dv_as_net());
+  EXPECT_NE(dot.find("digraph \"DV_as\""), std::string::npos);
+  // Initially marked places use a double circle.
+  EXPECT_NE(dot.find("p0 [shape=doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("p8 [shape=doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("p3 [shape=circle"), std::string::npos);
+  // Input transitions are shaded, output transitions are not.
+  EXPECT_NE(dot.find("label=\"we+\", style=filled"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"e_i-\"];"), std::string::npos);
+}
+
+TEST(Dot, PetriExportListsAllArcs) {
+  const PetriNet& net = dv_linear_net();
+  const std::string dot = to_dot(net);
+  std::size_t arc_count = 0;
+  for (std::size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++arc_count;
+  }
+  std::size_t expected = 0;
+  for (const PnTransition& t : net.transitions) {
+    expected += t.pre.size() + t.post.size();
+  }
+  EXPECT_EQ(arc_count, expected);
+}
+
+TEST(Dot, OutputIsParsableShape) {
+  // Structural sanity: balanced braces, one digraph, newline-terminated.
+  for (const std::string dot : {to_dot(opt_spec()), to_dot(dv_as_net())}) {
+    EXPECT_EQ(dot.front(), 'd');
+    EXPECT_EQ(dot.back(), '\n');
+    EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+              std::count(dot.begin(), dot.end(), '}'));
+  }
+}
+
+}  // namespace
+}  // namespace mts::ctrl

@@ -1,0 +1,94 @@
+#include "ctrl/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ctrl/specs.hpp"
+
+namespace mts::ctrl {
+namespace {
+
+TEST(Reachability, DvAsNetIsSafeLiveAndReversible) {
+  const ReachabilityResult r = analyze(dv_as_net());
+  EXPECT_TRUE(r.one_safe) << r.violation;
+  EXPECT_TRUE(r.deadlock_free) << r.violation;
+  EXPECT_TRUE(r.live) << r.violation;
+  EXPECT_TRUE(r.reversible) << r.violation;
+  // The DV_as ring with the concurrent we-branch: a handful of markings.
+  EXPECT_GE(r.reachable_markings, 6u);
+  EXPECT_LE(r.reachable_markings, 20u);
+}
+
+TEST(Reachability, DvLinearNetIsSafeLiveAndReversible) {
+  const ReachabilityResult r = analyze(dv_linear_net());
+  EXPECT_TRUE(r.all_good()) << r.violation;
+  // A pure 8-place ring has exactly 8 markings.
+  EXPECT_EQ(r.reachable_markings, 8u);
+}
+
+TEST(Reachability, DetectsDeadlock) {
+  PetriNet n;
+  n.name = "dead";
+  n.num_places = 2;
+  n.initial_marking = {0};
+  n.transitions = {
+      {"t0", false, 0, true, {0}, {1}},  // p1 is a sink: deadlock
+  };
+  const ReachabilityResult r = analyze(n);
+  EXPECT_TRUE(r.one_safe);
+  EXPECT_FALSE(r.deadlock_free);
+  EXPECT_FALSE(r.live);
+  EXPECT_FALSE(r.reversible);
+  EXPECT_FALSE(r.violation.empty());
+}
+
+TEST(Reachability, DetectsOneSafetyViolation) {
+  PetriNet n;
+  n.name = "unsafe";
+  n.num_places = 3;
+  n.initial_marking = {0, 2};
+  n.transitions = {
+      {"t0", false, 0, true, {0}, {1}},
+      {"t1", false, 0, true, {1}, {2}},  // p2 already marked -> violation
+      {"t2", false, 0, false, {2}, {0}},
+  };
+  const ReachabilityResult r = analyze(n);
+  EXPECT_FALSE(r.one_safe);
+  EXPECT_NE(r.violation.find("1-safety"), std::string::npos);
+}
+
+TEST(Reachability, DetectsNonLiveTransition) {
+  PetriNet n;
+  n.name = "partial";
+  n.num_places = 2;
+  n.initial_marking = {0};
+  n.transitions = {
+      {"loop", false, 0, true, {0}, {0}},   // self-loop: always enabled
+      {"never", false, 0, true, {1}, {1}},  // p1 never marked
+  };
+  const ReachabilityResult r = analyze(n);
+  EXPECT_TRUE(r.deadlock_free);
+  EXPECT_FALSE(r.live);
+  EXPECT_NE(r.violation.find("never"), std::string::npos);
+}
+
+TEST(Reachability, RejectsOversizedNets) {
+  PetriNet n;
+  n.name = "big";
+  n.num_places = 65;
+  EXPECT_THROW(analyze(n), ConfigError);
+}
+
+TEST(Reachability, SelfLoopOnMarkedPlaceIsSafe) {
+  // pre and post share a place: consume-then-produce must not be flagged.
+  PetriNet n;
+  n.name = "selfloop";
+  n.num_places = 1;
+  n.initial_marking = {0};
+  n.transitions = {{"t", false, 0, true, {0}, {0}}};
+  const ReachabilityResult r = analyze(n);
+  EXPECT_TRUE(r.all_good()) << r.violation;
+  EXPECT_EQ(r.reachable_markings, 1u);
+}
+
+}  // namespace
+}  // namespace mts::ctrl

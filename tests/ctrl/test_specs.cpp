@@ -1,0 +1,135 @@
+#include "ctrl/specs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace mts::ctrl {
+namespace {
+
+struct OptFixture {
+  sim::Simulation sim;
+  sim::Wire we1{sim, "we1"};
+  sim::Wire we{sim, "we"};
+  sim::Wire ptok{sim, "ptok"};
+  void settle() { sim.run_until(sim.now() + 1000); }
+};
+
+TEST(OptSpec, TokenArrivesOnWe1Pulse) {
+  OptFixture f;
+  BurstModeMachine opt(f.sim, "opt", opt_spec(), {&f.we1, &f.we}, {&f.ptok}, 50,
+                       kOptStateIdle);
+  EXPECT_FALSE(f.ptok.read());
+  f.we1.set(true);
+  f.settle();
+  EXPECT_FALSE(f.ptok.read());  // pulse not complete
+  f.we1.set(false);
+  f.settle();
+  EXPECT_TRUE(f.ptok.read());  // token obtained (Fig. 10a)
+  EXPECT_EQ(opt.state(), kOptStateHolding);
+}
+
+TEST(OptSpec, PutOperationReleasesToken) {
+  OptFixture f;
+  f.ptok.set(true);
+  BurstModeMachine opt(f.sim, "opt", opt_spec(), {&f.we1, &f.we}, {&f.ptok}, 50,
+                       kOptStateHolding);
+  f.we.set(true);  // put starts
+  f.settle();
+  EXPECT_FALSE(f.ptok.read());  // OPT reset
+  f.we.set(false);  // put completes; token pass done
+  f.settle();
+  EXPECT_EQ(opt.state(), kOptStateIdle);
+  // Next cycle: token can come around again.
+  f.we1.set(true);
+  f.settle();
+  f.we1.set(false);
+  f.settle();
+  EXPECT_TRUE(f.ptok.read());
+}
+
+struct DvFixture {
+  sim::Simulation sim;
+  sim::Wire we{sim, "we"};
+  sim::Wire re{sim, "re"};
+  sim::Wire e{sim, "e", true};
+  sim::Wire f_{sim, "f", false};
+  void settle() { sim.run_until(sim.now() + 1000); }
+};
+
+TEST(DvAsNet, PutSetsFullGetClearsInTwoSteps) {
+  DvFixture d;
+  PetriEngine dv(d.sim, "dv", dv_as_net(), {&d.we, &d.re}, {&d.e, &d.f_}, 25);
+  d.settle();
+  EXPECT_TRUE(d.e.read());
+  EXPECT_FALSE(d.f_.read());
+
+  // Put: we+ declares the cell not-empty then full.
+  d.we.set(true);
+  d.settle();
+  EXPECT_FALSE(d.e.read());
+  EXPECT_TRUE(d.f_.read());
+  d.we.set(false);
+  d.settle();
+
+  // Get begins: f- immediately (asynchronously, mid CLK_get cycle)...
+  d.re.set(true);
+  d.settle();
+  EXPECT_FALSE(d.f_.read());
+  EXPECT_FALSE(d.e.read());  // ...but NOT yet empty (prevents corruption)
+
+  // Get completes at the next CLK_get edge (re-): now empty.
+  d.re.set(false);
+  d.settle();
+  EXPECT_TRUE(d.e.read());
+}
+
+TEST(DvAsNet, WriteReadWriteConcurrency) {
+  DvFixture d;
+  PetriEngine dv(d.sim, "dv", dv_as_net(), {&d.we, &d.re}, {&d.e, &d.f_}, 25);
+  d.settle();
+  // Full cycle twice to prove the net is re-entrant (1-safe ring).
+  for (int round = 0; round < 2; ++round) {
+    d.we.set(true);
+    d.settle();
+    d.we.set(false);
+    d.settle();
+    d.re.set(true);
+    d.settle();
+    d.re.set(false);
+    d.settle();
+    EXPECT_TRUE(d.e.read()) << "round " << round;
+    EXPECT_FALSE(d.f_.read()) << "round " << round;
+  }
+}
+
+TEST(DvLinearNet, FullOnlyAfterWriteCompletes) {
+  DvFixture d;
+  PetriEngine dv(d.sim, "dv", dv_linear_net(), {&d.we, &d.re}, {&d.e, &d.f_}, 25);
+  d.settle();
+
+  d.we.set(true);
+  d.settle();
+  EXPECT_FALSE(d.e.read());
+  EXPECT_FALSE(d.f_.read());  // data not provably latched yet
+
+  d.we.set(false);
+  d.settle();
+  EXPECT_TRUE(d.f_.read());  // now visible to the asynchronous reader
+
+  d.re.set(true);
+  d.settle();
+  EXPECT_FALSE(d.f_.read());
+  d.re.set(false);
+  d.settle();
+  EXPECT_TRUE(d.e.read());
+}
+
+TEST(Specs, NetsValidate) {
+  EXPECT_NO_THROW(dv_as_net().validate(2, 2));
+  EXPECT_NO_THROW(dv_linear_net().validate(2, 2));
+  EXPECT_NO_THROW(opt_spec().validate());
+}
+
+}  // namespace
+}  // namespace mts::ctrl

@@ -1,0 +1,68 @@
+// Area-model tests: the Related-Work claim against the Intel organization
+// ("two synchronizers per cell ... significantly greater area overhead")
+// must fall out of the bills of materials.
+#include "fifo/area.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mts::fifo {
+namespace {
+
+FifoConfig cfg_of(unsigned capacity, unsigned width = 8) {
+  FifoConfig cfg;
+  cfg.capacity = capacity;
+  cfg.width = width;
+  return cfg;
+}
+
+TEST(Area, SynchronizerCostIsConstantForTheTokenRingDesign) {
+  // One chain on full + two on the bi-modal empty: independent of capacity.
+  const AreaEstimate a4 = area_mixed_clock(cfg_of(4));
+  const AreaEstimate a16 = area_mixed_clock(cfg_of(16));
+  EXPECT_DOUBLE_EQ(a4.synchronizer_ge, a16.synchronizer_ge);
+}
+
+TEST(Area, PerCellSyncCostGrowsLinearly) {
+  const AreaEstimate a4 = area_per_cell_sync(cfg_of(4));
+  const AreaEstimate a8 = area_per_cell_sync(cfg_of(8));
+  const AreaEstimate a16 = area_per_cell_sync(cfg_of(16));
+  EXPECT_DOUBLE_EQ(a8.synchronizer_ge, 2 * a4.synchronizer_ge);
+  EXPECT_DOUBLE_EQ(a16.synchronizer_ge, 2 * a8.synchronizer_ge);
+}
+
+TEST(Area, IntelStyleOverheadExceedsPaperDesignAtEveryCapacity) {
+  for (unsigned cap : {4u, 8u, 16u}) {
+    const AreaEstimate ours = area_mixed_clock(cfg_of(cap));
+    const AreaEstimate intel = area_per_cell_sync(cfg_of(cap));
+    EXPECT_GT(intel.synchronizer_ge, ours.synchronizer_ge) << cap;
+    EXPECT_GT(intel.total(), ours.total()) << cap;
+    // Shared parts are identical.
+    EXPECT_DOUBLE_EQ(intel.datapath_ge, ours.datapath_ge);
+    EXPECT_DOUBLE_EQ(intel.control_ge, ours.control_ge);
+  }
+}
+
+TEST(Area, DatapathScalesWithWidthAndCapacity) {
+  EXPECT_GT(area_mixed_clock(cfg_of(8, 16)).datapath_ge,
+            area_mixed_clock(cfg_of(8, 8)).datapath_ge);
+  EXPECT_GT(area_mixed_clock(cfg_of(16, 8)).datapath_ge,
+            area_mixed_clock(cfg_of(8, 8)).datapath_ge);
+}
+
+TEST(Area, DeeperSynchronizersCostMore) {
+  FifoConfig shallow = cfg_of(8);
+  FifoConfig deep = cfg_of(8);
+  deep.sync.depth = 4;
+  EXPECT_GT(area_mixed_clock(deep).synchronizer_ge,
+            area_mixed_clock(shallow).synchronizer_ge);
+  // ...but for the token-ring design the increase is 3 latches per added
+  // stage; Intel-style pays 2 per cell per added stage.
+  const double ours_delta = area_mixed_clock(deep).synchronizer_ge -
+                            area_mixed_clock(shallow).synchronizer_ge;
+  const double intel_delta = area_per_cell_sync(deep).synchronizer_ge -
+                             area_per_cell_sync(shallow).synchronizer_ge;
+  EXPECT_GT(intel_delta, ours_delta);
+}
+
+}  // namespace
+}  // namespace mts::fifo

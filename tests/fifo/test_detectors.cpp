@@ -1,0 +1,119 @@
+#include "fifo/detectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace mts::fifo {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  gates::Netlist nl{sim, "t"};
+  gates::DelayModel dm = gates::DelayModel::hp06();
+  std::vector<sim::Wire*> bits;
+
+  explicit Fixture(unsigned n, bool init) {
+    for (unsigned i = 0; i < n; ++i) {
+      bits.push_back(&nl.wire("b" + std::to_string(i), init));
+    }
+  }
+  void apply(const std::vector<bool>& pattern) {
+    for (std::size_t i = 0; i < pattern.size(); ++i) bits[i]->set(pattern[i]);
+    sim.run_until(sim.now() + 10000);
+  }
+};
+
+TEST(FullDetector, FullExactlyWhenNoTwoConsecutiveEmpty) {
+  Fixture f(4, true);  // e_i: all empty
+  sim::Wire& full = build_anticipating_full(f.nl, f.bits, f.dm);
+  f.apply({true, true, true, true});
+  EXPECT_FALSE(full.read());  // plenty of consecutive empties
+
+  // One empty cell left (cell 2): no two consecutive empties -> full.
+  f.apply({false, false, true, false});
+  EXPECT_TRUE(full.read());
+
+  // Zero empty cells: full.
+  f.apply({false, false, false, false});
+  EXPECT_TRUE(full.read());
+
+  // Two empty but not adjacent (ring): cells 0 and 2 empty -> still full
+  // by the paper's definition (no two *consecutive* empties).
+  f.apply({true, false, true, false});
+  EXPECT_TRUE(full.read());
+
+  // Two adjacent empties -> not full.
+  f.apply({true, true, false, false});
+  EXPECT_FALSE(full.read());
+
+  // Ring wrap: cells 3 and 0 adjacent.
+  f.apply({true, false, false, true});
+  EXPECT_FALSE(full.read());
+}
+
+TEST(NeDetector, EmptyExactlyWhenNoTwoConsecutiveFull) {
+  Fixture f(4, false);  // f_i: all empty
+  sim::Wire& ne = build_anticipating_empty(f.nl, f.bits, f.dm);
+  f.apply({false, false, false, false});
+  EXPECT_TRUE(ne.read());  // zero items: empty
+
+  f.apply({false, true, false, false});
+  EXPECT_TRUE(ne.read());  // one item: still "new empty"
+
+  f.apply({false, true, true, false});
+  EXPECT_FALSE(ne.read());  // two adjacent items: not empty
+
+  f.apply({true, false, false, true});
+  EXPECT_FALSE(ne.read());  // ring wrap adjacency
+}
+
+TEST(OeDetector, TrueEmptyOnlyWithZeroItems) {
+  Fixture f(4, false);
+  sim::Wire& oe = build_true_empty(f.nl, f.bits, f.dm);
+  f.apply({false, false, false, false});
+  EXPECT_TRUE(oe.read());
+  f.apply({false, false, true, false});
+  EXPECT_FALSE(oe.read());
+}
+
+TEST(ExactFull, FullOnlyWithZeroEmptyCells) {
+  Fixture f(4, true);
+  sim::Wire& full = build_exact_full(f.nl, f.bits, f.dm);
+  f.apply({false, false, false, true});
+  EXPECT_FALSE(full.read());
+  f.apply({false, false, false, false});
+  EXPECT_TRUE(full.read());
+}
+
+TEST(DetectorDelay, GrowsLogarithmicallyWithCapacity) {
+  const gates::DelayModel dm = gates::DelayModel::hp06();
+  const sim::Time d4 = detector_delay(4, 2, dm);
+  const sim::Time d8 = detector_delay(8, 2, dm);
+  const sim::Time d16 = detector_delay(16, 2, dm);
+  const sim::Time d64 = detector_delay(64, 2, dm);
+  // 4-ary OR tree: one level up to 4 cells, two levels up to 16, three up
+  // to 64.
+  EXPECT_LT(d4, d8);
+  EXPECT_EQ(d8, d16);
+  EXPECT_EQ(d8 - d4, dm.gate(4));
+  EXPECT_EQ(d64 - d16, dm.gate(4));
+  // The pair rank costs one AND2.
+  EXPECT_EQ(detector_delay(8, 2, dm) - detector_delay(8, 0, dm), dm.gate(2));
+  // Wider anticipation windows (deeper synchronizers) cost wider ANDs.
+  EXPECT_EQ(detector_delay(8, 3, dm) - detector_delay(8, 0, dm), dm.gate(3));
+}
+
+TEST(Detectors, EightAndSixteenCellPatterns) {
+  Fixture f(8, true);
+  sim::Wire& full = build_anticipating_full(f.nl, f.bits, f.dm);
+  // Alternating empty/occupied: no two consecutive empties -> full.
+  f.apply({true, false, true, false, true, false, true, false});
+  EXPECT_TRUE(full.read());
+  // Break the alternation: adjacent empties at 4,5.
+  f.apply({true, false, true, false, true, true, true, false});
+  EXPECT_FALSE(full.read());
+}
+
+}  // namespace
+}  // namespace mts::fifo

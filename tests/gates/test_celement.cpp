@@ -1,0 +1,100 @@
+#include "gates/celement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gates/netlist.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::gates {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  Netlist nl{sim, "t"};
+  DelayModel dm = DelayModel::hp06();
+  void settle(sim::Time t = 0) { sim.run_until(sim.now() + (t ? t : 2000)); }
+};
+
+TEST(CElement, RisesOnlyWhenAllInputsHigh) {
+  Fixture f;
+  sim::Wire& a = f.nl.wire("a");
+  sim::Wire& b = f.nl.wire("b");
+  sim::Wire& out = make_celement(f.nl, "c", {&a, &b}, f.dm);
+  f.settle();
+  a.set(true);
+  f.settle();
+  EXPECT_FALSE(out.read());
+  b.set(true);
+  f.settle();
+  EXPECT_TRUE(out.read());
+}
+
+TEST(CElement, HoldsUntilAllInputsLow) {
+  Fixture f;
+  sim::Wire& a = f.nl.wire("a", true);
+  sim::Wire& b = f.nl.wire("b", true);
+  sim::Wire& out = make_celement(f.nl, "c", {&a, &b}, f.dm);
+  f.settle();
+  EXPECT_TRUE(out.read());
+  a.set(false);
+  f.settle();
+  EXPECT_TRUE(out.read());  // hold
+  b.set(false);
+  f.settle();
+  EXPECT_FALSE(out.read());
+}
+
+TEST(ACElement, PlusInputsOnlyGateTheRise) {
+  Fixture f;
+  sim::Wire& req = f.nl.wire("req");
+  sim::Wire& ptok = f.nl.wire("ptok");
+  sim::Wire& e = f.nl.wire("e", true);
+  sim::Wire& we = make_acelement(f.nl, "we", {&req}, {&ptok, &e}, f.dm);
+  f.settle();
+
+  // req alone does not fire: plus inputs must also be high.
+  req.set(true);
+  f.settle();
+  EXPECT_FALSE(we.read());
+  req.set(false);
+  f.settle();
+
+  // All three high: we+ (the paper's put condition).
+  ptok.set(true);
+  req.set(true);
+  f.settle();
+  EXPECT_TRUE(we.read());
+
+  // Plus inputs dropping does NOT reset the output...
+  ptok.set(false);
+  e.set(false);
+  f.settle();
+  EXPECT_TRUE(we.read());
+
+  // ...only req- does (footnote 1).
+  req.set(false);
+  f.settle();
+  EXPECT_FALSE(we.read());
+}
+
+TEST(CElement, NoCommonInputsRejected) {
+  Fixture f;
+  sim::Wire& out = f.nl.wire("o");
+  EXPECT_THROW(f.nl.add<CElement>(f.sim, "bad", std::vector<sim::Wire*>{},
+                                  std::vector<sim::Wire*>{}, out, 10, false),
+               AssertionError);
+}
+
+TEST(CElement, InitialStateRespected) {
+  Fixture f;
+  sim::Wire& a = f.nl.wire("a");
+  sim::Wire& out = f.nl.wire("o", true);
+  f.nl.add<CElement>(f.sim, "c", std::vector<sim::Wire*>{&a},
+                     std::vector<sim::Wire*>{}, out, f.dm.celement(1), true);
+  // a=0 resets a single-input C-element at initial evaluation.
+  f.settle();
+  EXPECT_FALSE(out.read());
+}
+
+}  // namespace
+}  // namespace mts::gates

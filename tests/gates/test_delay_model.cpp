@@ -1,0 +1,67 @@
+#include "gates/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/error.hpp"
+
+namespace mts::gates {
+namespace {
+
+TEST(DelayModel, GateDelayGrowsWithFaninAndFanout) {
+  const DelayModel dm = DelayModel::hp06();
+  EXPECT_LT(dm.gate(1), dm.gate(2));
+  EXPECT_LT(dm.gate(2), dm.gate(4));
+  EXPECT_LT(dm.gate(2, 1), dm.gate(2, 4));
+}
+
+TEST(DelayModel, BufferTreeDepthIsLogarithmic) {
+  const DelayModel dm = DelayModel::hp06();
+  EXPECT_EQ(dm.buffer_tree(1), 0u);
+  EXPECT_EQ(dm.buffer_tree(4), dm.buf_stage);
+  EXPECT_EQ(dm.buffer_tree(5), 2 * dm.buf_stage);
+  EXPECT_EQ(dm.buffer_tree(16), 2 * dm.buf_stage);
+  EXPECT_EQ(dm.buffer_tree(17), 3 * dm.buf_stage);
+}
+
+TEST(DelayModel, BroadcastGrowsWithCellsAndBits) {
+  const DelayModel dm = DelayModel::hp06();
+  EXPECT_LT(dm.broadcast(4, 8), dm.broadcast(16, 8));
+  EXPECT_LT(dm.broadcast(4, 8), dm.broadcast(4, 16));
+}
+
+TEST(DelayModel, TristateGrowsWithLoad) {
+  const DelayModel dm = DelayModel::hp06();
+  EXPECT_LT(dm.tristate_bus(4, 8), dm.tristate_bus(16, 8));
+  EXPECT_LT(dm.tristate_bus(4, 8), dm.tristate_bus(4, 16));
+}
+
+TEST(DelayModel, CElementDelayGrowsWithFanin) {
+  const DelayModel dm = DelayModel::hp06();
+  EXPECT_LT(dm.celement(2), dm.celement(3));
+}
+
+TEST(DelayModel, ScaledShrinksEveryDelay) {
+  const DelayModel dm = DelayModel::hp06();
+  const DelayModel fast = dm.scaled(0.6);
+  EXPECT_LT(fast.gate(3), dm.gate(3));
+  EXPECT_LT(fast.flop.clk_to_q, dm.flop.clk_to_q);
+  EXPECT_LT(fast.broadcast(8, 10), dm.broadcast(8, 10));
+  EXPECT_LT(fast.celement(3), dm.celement(3));
+  // No delay collapses to zero.
+  EXPECT_GT(fast.load_per_fanout, 0u);
+  EXPECT_GT(fast.bus_per_cell, 0u);
+}
+
+TEST(DelayModel, ScaledRejectsNonPositiveFactor) {
+  EXPECT_THROW(DelayModel::hp06().scaled(0.0), ConfigError);
+  EXPECT_THROW(DelayModel::hp06().scaled(-1.0), ConfigError);
+}
+
+TEST(DelayModel, InvalidFaninRejected) {
+  const DelayModel dm = DelayModel::hp06();
+  EXPECT_THROW(dm.gate(0), AssertionError);
+  EXPECT_THROW(dm.celement(0), AssertionError);
+}
+
+}  // namespace
+}  // namespace mts::gates

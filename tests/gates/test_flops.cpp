@@ -1,0 +1,180 @@
+#include "gates/flops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gates/netlist.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::gates {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  Netlist nl{sim, "t"};
+  DelayModel dm = DelayModel::hp06();
+  TimingDomain dom{sim, "dom"};
+
+  void pulse_clock(sim::Wire& clk, sim::Time at) {
+    sim.sched().at(at, [&clk] { clk.set(true); });
+    sim.sched().at(at + 500, [&clk] { clk.set(false); });
+  }
+};
+
+TEST(Etdff, CapturesOnRisingEdge) {
+  Fixture f;
+  sim::Wire& clk = f.nl.wire("clk");
+  sim::Wire& d = f.nl.wire("d");
+  sim::Wire& q = f.nl.wire("q");
+  f.nl.add<Etdff>(f.sim, "ff", clk, d, nullptr, q, f.dm.flop, &f.dom);
+
+  f.sim.sched().at(1000, [&] { d.set(true); });
+  f.pulse_clock(clk, 2000);
+  f.sim.run_until(2000 + f.dm.flop.clk_to_q);
+  EXPECT_TRUE(q.read());
+  EXPECT_EQ(f.dom.violations(), 0u);
+}
+
+TEST(Etdff, IgnoresFallingEdge) {
+  Fixture f;
+  sim::Wire& clk = f.nl.wire("clk", true);
+  sim::Wire& d = f.nl.wire("d", true);
+  sim::Wire& q = f.nl.wire("q");
+  f.nl.add<Etdff>(f.sim, "ff", clk, d, nullptr, q, f.dm.flop, &f.dom);
+  f.sim.sched().at(1000, [&] { clk.set(false); });
+  f.sim.run_until(3000);
+  EXPECT_FALSE(q.read());
+}
+
+TEST(Etdff, EnableGatesCapture) {
+  Fixture f;
+  sim::Wire& clk = f.nl.wire("clk");
+  sim::Wire& d = f.nl.wire("d", true);
+  sim::Wire& en = f.nl.wire("en", false);
+  sim::Wire& q = f.nl.wire("q");
+  f.nl.add<Etdff>(f.sim, "ff", clk, d, &en, q, f.dm.flop, &f.dom);
+
+  f.pulse_clock(clk, 2000);
+  f.sim.run_until(3000);
+  EXPECT_FALSE(q.read());  // disabled: held
+
+  en.set(true);
+  f.pulse_clock(clk, 4000);
+  f.sim.run_until(5000);
+  EXPECT_TRUE(q.read());
+}
+
+TEST(Etdff, SetupViolationReported) {
+  Fixture f;
+  sim::Wire& clk = f.nl.wire("clk");
+  sim::Wire& d = f.nl.wire("d");
+  sim::Wire& q = f.nl.wire("q");
+  f.nl.add<Etdff>(f.sim, "ff", clk, d, nullptr, q, f.dm.flop, &f.dom);
+
+  // d changes 10ps before the edge: inside the setup window.
+  f.sim.sched().at(2000 - 10, [&] { d.set(true); });
+  f.pulse_clock(clk, 2000);
+  f.sim.run_until(3000);
+  EXPECT_EQ(f.dom.violations(), 1u);
+  EXPECT_EQ(f.sim.report().count("setup"), 1u);
+}
+
+TEST(Etdff, HoldViolationReported) {
+  Fixture f;
+  sim::Wire& clk = f.nl.wire("clk");
+  sim::Wire& d = f.nl.wire("d");
+  sim::Wire& q = f.nl.wire("q");
+  f.nl.add<Etdff>(f.sim, "ff", clk, d, nullptr, q, f.dm.flop, &f.dom);
+
+  f.pulse_clock(clk, 2000);
+  f.sim.sched().at(2000 + 10, [&] { d.set(true); });  // inside hold window
+  f.sim.run_until(3000);
+  EXPECT_GE(f.dom.violations(), 1u);
+  EXPECT_GE(f.sim.report().count("hold"), 1u);
+}
+
+TEST(Etdff, HoldCheckSkippedWhenEdgeWasDisabled) {
+  Fixture f;
+  sim::Wire& clk = f.nl.wire("clk");
+  sim::Wire& d = f.nl.wire("d");
+  sim::Wire& en = f.nl.wire("en", false);
+  sim::Wire& q = f.nl.wire("q");
+  f.nl.add<Etdff>(f.sim, "ff", clk, d, &en, q, f.dm.flop, &f.dom);
+
+  f.pulse_clock(clk, 2000);
+  f.sim.sched().at(2000 + 10, [&] { d.set(true); });
+  f.sim.run_until(3000);
+  EXPECT_EQ(f.dom.violations(), 0u);
+}
+
+TEST(Etdff, AsyncPolicyReplacesViolation) {
+  Fixture f;
+  sim::Wire& clk = f.nl.wire("clk");
+  sim::Wire& d = f.nl.wire("d");
+  sim::Wire& q = f.nl.wire("q");
+  auto& ff = f.nl.add<Etdff>(f.sim, "ff", clk, d, nullptr, q, f.dm.flop, &f.dom);
+  int policy_calls = 0;
+  ff.set_async_sampling([&](bool old_value, bool, sim::Time) {
+    ++policy_calls;
+    return AsyncSample{old_value, 100};  // resolve to old, settle 100ps
+  });
+
+  f.sim.sched().at(2000 - 10, [&] { d.set(true); });
+  f.pulse_clock(clk, 2000);
+  f.sim.run_until(4000);
+  EXPECT_EQ(policy_calls, 1);
+  EXPECT_EQ(f.dom.violations(), 0u);
+  EXPECT_FALSE(q.read());  // old value captured
+
+  // The next edge samples cleanly and takes the new value.
+  f.pulse_clock(clk, 6000);
+  f.sim.run_until(8000);
+  EXPECT_TRUE(q.read());
+}
+
+TEST(Etdff, DisabledDomainRecordsNothing) {
+  Fixture f;
+  f.dom.set_enabled(false);
+  sim::Wire& clk = f.nl.wire("clk");
+  sim::Wire& d = f.nl.wire("d");
+  sim::Wire& q = f.nl.wire("q");
+  f.nl.add<Etdff>(f.sim, "ff", clk, d, nullptr, q, f.dm.flop, &f.dom);
+  f.sim.sched().at(2000 - 10, [&] { d.set(true); });
+  f.pulse_clock(clk, 2000);
+  f.sim.run_until(3000);
+  EXPECT_EQ(f.dom.violations(), 0u);
+}
+
+TEST(WordRegisterTest, CapturesWordOnEnabledEdge) {
+  Fixture f;
+  sim::Wire& clk = f.nl.wire("clk");
+  sim::Word& d = f.nl.word("d");
+  sim::Wire& en = f.nl.wire("en", true);
+  sim::Word& q = f.nl.word("q");
+  f.nl.add<WordRegister>(f.sim, "reg", clk, d, &en, q, f.dm.flop, &f.dom);
+
+  f.sim.sched().at(1000, [&] { d.set(0x5A); });
+  f.pulse_clock(clk, 2000);
+  f.sim.run_until(3000);
+  EXPECT_EQ(q.read(), 0x5Au);
+
+  en.set(false);
+  f.sim.sched().at(3500, [&] { d.set(0xFF); });
+  f.pulse_clock(clk, 4000);
+  f.sim.run_until(5000);
+  EXPECT_EQ(q.read(), 0x5Au);  // disabled: held
+}
+
+TEST(WordRegisterTest, SetupViolationOnLateBusChange) {
+  Fixture f;
+  sim::Wire& clk = f.nl.wire("clk");
+  sim::Word& d = f.nl.word("d");
+  sim::Word& q = f.nl.word("q");
+  f.nl.add<WordRegister>(f.sim, "reg", clk, d, nullptr, q, f.dm.flop, &f.dom);
+  f.sim.sched().at(2000 - 5, [&] { d.set(1); });
+  f.pulse_clock(clk, 2000);
+  f.sim.run_until(3000);
+  EXPECT_EQ(f.dom.violations(), 1u);
+}
+
+}  // namespace
+}  // namespace mts::gates

@@ -1,0 +1,114 @@
+#include "gates/latch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gates/netlist.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::gates {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  Netlist nl{sim, "t"};
+  DelayModel dm = DelayModel::hp06();
+  void settle() { sim.run_until(sim.now() + 2000); }
+};
+
+TEST(SrLatchTest, SetAndReset) {
+  Fixture f;
+  sim::Wire& s = f.nl.wire("s");
+  sim::Wire& r = f.nl.wire("r");
+  sim::Wire& q = f.nl.wire("q");
+  sim::Wire& qn = f.nl.wire("qn", true);
+  f.nl.add<SrLatch>(f.sim, "sr", s, r, q, qn, f.dm.sr_latch, false);
+  f.settle();
+  EXPECT_FALSE(q.read());
+  EXPECT_TRUE(qn.read());
+
+  s.set(true);
+  f.settle();
+  EXPECT_TRUE(q.read());
+  EXPECT_FALSE(qn.read());
+
+  s.set(false);
+  f.settle();
+  EXPECT_TRUE(q.read());  // hold
+
+  r.set(true);
+  f.settle();
+  EXPECT_FALSE(q.read());
+  EXPECT_TRUE(qn.read());
+}
+
+TEST(SrLatchTest, SimultaneousSetResetReportsConflictAndSetWins) {
+  Fixture f;
+  sim::Wire& s = f.nl.wire("s");
+  sim::Wire& r = f.nl.wire("r");
+  sim::Wire& q = f.nl.wire("q");
+  sim::Wire& qn = f.nl.wire("qn", true);
+  f.nl.add<SrLatch>(f.sim, "sr", s, r, q, qn, f.dm.sr_latch, false);
+  f.settle();
+  s.set(true);
+  r.set(true);
+  f.settle();
+  EXPECT_TRUE(q.read());
+  EXPECT_GE(f.sim.report().count("sr-conflict"), 1u);
+}
+
+TEST(DLatchTest, TransparentWhileEnabled) {
+  Fixture f;
+  sim::Wire& d = f.nl.wire("d");
+  sim::Wire& en = f.nl.wire("en", true);
+  sim::Wire& q = f.nl.wire("q");
+  f.nl.add<DLatch>(f.sim, "lat", d, en, q, f.dm, false);
+  f.settle();
+  d.set(true);
+  f.settle();
+  EXPECT_TRUE(q.read());
+  d.set(false);
+  f.settle();
+  EXPECT_FALSE(q.read());
+}
+
+TEST(DLatchTest, OpaqueWhenDisabled) {
+  Fixture f;
+  sim::Wire& d = f.nl.wire("d", true);
+  sim::Wire& en = f.nl.wire("en", true);
+  sim::Wire& q = f.nl.wire("q");
+  f.nl.add<DLatch>(f.sim, "lat", d, en, q, f.dm, false);
+  f.settle();
+  EXPECT_TRUE(q.read());
+  en.set(false);
+  f.settle();
+  d.set(false);
+  f.settle();
+  EXPECT_TRUE(q.read());  // held
+  en.set(true);
+  f.settle();
+  EXPECT_FALSE(q.read());  // follows again
+}
+
+TEST(WordLatchTest, CapturesWhileEnabled) {
+  Fixture f;
+  sim::Word& d = f.nl.word("d", 1);
+  sim::Wire& en = f.nl.wire("en");
+  sim::Word& q = f.nl.word("q");
+  f.nl.add<WordLatch>(f.sim, "lat", d, en, q, f.dm);
+  f.settle();
+  EXPECT_EQ(q.read(), 0u);
+
+  d.set(0xAB);
+  en.set(true);
+  f.settle();
+  EXPECT_EQ(q.read(), 0xABu);
+
+  en.set(false);
+  f.settle();
+  d.set(0xCD);
+  f.settle();
+  EXPECT_EQ(q.read(), 0xABu);  // bundled data held after en-
+}
+
+}  // namespace
+}  // namespace mts::gates

@@ -1,0 +1,110 @@
+#include "gates/tristate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gates/netlist.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::gates {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim;
+  Netlist nl{sim, "t"};
+  void settle() { sim.run_until(sim.now() + 1000); }
+};
+
+TEST(Tristate, SingleEnabledDriverDrivesBus) {
+  Fixture f;
+  sim::Word& out = f.nl.word("bus");
+  TristateBus<std::uint64_t> bus(f.sim, "bus", out, 100);
+  sim::Wire& en = f.nl.wire("en");
+  sim::Word& v = f.nl.word("v", 0x77);
+  bus.attach_driver(en, v);
+
+  en.set(true);
+  f.settle();
+  EXPECT_EQ(out.read(), 0x77u);
+}
+
+TEST(Tristate, BusKeeperHoldsValueWhenUndriven) {
+  Fixture f;
+  sim::Word& out = f.nl.word("bus");
+  TristateBus<std::uint64_t> bus(f.sim, "bus", out, 100);
+  sim::Wire& en = f.nl.wire("en");
+  sim::Word& v = f.nl.word("v", 5);
+  bus.attach_driver(en, v);
+
+  en.set(true);
+  f.settle();
+  en.set(false);
+  v.set(9);  // driver value changes while disabled: bus unaffected
+  f.settle();
+  EXPECT_EQ(out.read(), 5u);
+}
+
+TEST(Tristate, ValueChangeWhileEnabledPropagates) {
+  Fixture f;
+  sim::Word& out = f.nl.word("bus");
+  TristateBus<std::uint64_t> bus(f.sim, "bus", out, 100);
+  sim::Wire& en = f.nl.wire("en", true);
+  sim::Word& v = f.nl.word("v", 1);
+  bus.attach_driver(en, v);
+  f.settle();
+  v.set(2);
+  f.settle();
+  EXPECT_EQ(out.read(), 2u);
+}
+
+TEST(Tristate, MultipleDriversLastTokenWins) {
+  Fixture f;
+  sim::Word& out = f.nl.word("bus");
+  TristateBus<std::uint64_t> bus(f.sim, "bus", out, 100);
+  sim::Wire& en0 = f.nl.wire("en0");
+  sim::Word& v0 = f.nl.word("v0", 10);
+  sim::Wire& en1 = f.nl.wire("en1");
+  sim::Word& v1 = f.nl.word("v1", 20);
+  bus.attach_driver(en0, v0);
+  bus.attach_driver(en1, v1);
+  EXPECT_EQ(bus.driver_count(), 2u);
+
+  en0.set(true);
+  f.settle();
+  EXPECT_EQ(out.read(), 10u);
+  en0.set(false);
+  en1.set(true);
+  f.settle();
+  EXPECT_EQ(out.read(), 20u);
+  EXPECT_EQ(f.sim.report().count("bus-conflict"), 0u);
+}
+
+TEST(Tristate, ConflictReported) {
+  Fixture f;
+  sim::Word& out = f.nl.word("bus");
+  TristateBus<std::uint64_t> bus(f.sim, "bus", out, 100);
+  sim::Wire& en0 = f.nl.wire("en0", true);
+  sim::Word& v0 = f.nl.word("v0", 10);
+  sim::Wire& en1 = f.nl.wire("en1");
+  sim::Word& v1 = f.nl.word("v1", 20);
+  bus.attach_driver(en0, v0);
+  bus.attach_driver(en1, v1);
+
+  en1.set(true);
+  f.settle();
+  EXPECT_GE(f.sim.report().count("bus-conflict"), 1u);
+}
+
+TEST(Tristate, BoolBusWorks) {
+  Fixture f;
+  sim::Wire& out = f.nl.wire("bus");
+  TristateBus<bool> bus(f.sim, "bus", out, 50);
+  sim::Wire& en = f.nl.wire("en");
+  sim::Wire& v = f.nl.wire("v", true);
+  bus.attach_driver(en, v);
+  en.set(true);
+  f.settle();
+  EXPECT_TRUE(out.read());
+}
+
+}  // namespace
+}  // namespace mts::gates

@@ -1,0 +1,134 @@
+// Randomized configuration campaign: many FIFO configurations drawn from a
+// seeded generator (capacity, width, clock ratio, traffic rates, sync
+// depth), each run briefly and held to the core invariants. Complements
+// the hand-picked parameter sweeps with breadth.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bfm/bfm.hpp"
+#include "fifo/fifo.hpp"
+#include "sync/clock.hpp"
+
+namespace mts {
+namespace {
+
+using sim::Time;
+
+struct FuzzCase {
+  unsigned capacity;
+  unsigned width;
+  double ratio;
+  double put_rate;
+  double get_rate;
+  unsigned depth;
+  std::uint64_t seed;
+};
+
+FuzzCase draw(std::mt19937_64& rng) {
+  const unsigned caps[] = {2, 3, 4, 5, 6, 8, 12, 16, 24};
+  const unsigned widths[] = {1, 4, 8, 13, 16, 32, 64};
+  std::uniform_real_distribution<double> ratio_dist(0.9, 2.6);
+  std::uniform_real_distribution<double> rate_dist(0.2, 1.0);
+  FuzzCase c;
+  c.capacity = caps[rng() % std::size(caps)];
+  c.width = widths[rng() % std::size(widths)];
+  c.ratio = ratio_dist(rng);
+  c.put_rate = rate_dist(rng);
+  c.get_rate = rate_dist(rng);
+  // Deeper synchronizers need wider anticipation windows, which need
+  // capacity headroom (FifoConfig::validate enforces this).
+  c.depth = 2 + static_cast<unsigned>(rng() % 2);  // 2 or 3
+  if (c.capacity <= c.depth) c.depth = 2;
+  c.seed = rng();
+  return c;
+}
+
+std::uint64_t mask_of(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+}
+
+TEST(FuzzCampaign, FortyRandomMixedClockConfigsHoldInvariants) {
+  std::mt19937_64 rng(20260707);
+  for (int trial = 0; trial < 40; ++trial) {
+    const FuzzCase c = draw(rng);
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": cap=" << c.capacity
+                 << " w=" << c.width << " ratio=" << c.ratio
+                 << " p=" << c.put_rate << " g=" << c.get_rate
+                 << " depth=" << c.depth << " seed=" << c.seed);
+
+    fifo::FifoConfig cfg;
+    cfg.capacity = c.capacity;
+    cfg.width = c.width;
+    cfg.sync.depth = c.depth;
+
+    sim::Simulation sim(c.seed);
+    const Time pp = fifo::SyncPutSide::min_period(cfg) * 5 / 4;
+    const Time gp = static_cast<Time>(
+        c.ratio * static_cast<double>(fifo::SyncGetSide::min_period(cfg)) *
+        1.25);
+    sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
+    sync::Clock cg(sim, "cg", {gp, 4 * pp + (c.seed % gp), 0.5, 0});
+    fifo::MixedClockFifo dut(sim, "dut", cfg, cp.out(), cg.out());
+    bfm::Scoreboard sb(sim, "sb");
+    bfm::PutMonitor pm(sim, cp.out(), dut.en_put(), dut.req_put(),
+                       dut.data_put(), sb);
+    bfm::GetMonitor gm(sim, cg.out(), dut.valid_get(), dut.data_get(), sb);
+    bfm::SyncPutDriver put(sim, "put", cp.out(), dut.req_put(), dut.data_put(),
+                           dut.full(), cfg.dm, {c.put_rate, 1},
+                           mask_of(c.width));
+    bfm::SyncGetDriver get(sim, "get", cg.out(), dut.req_get(), cfg.dm,
+                           {c.get_rate, 1});
+
+    sim.run_until(4 * pp + 250 * pp);
+    EXPECT_EQ(sb.errors(), 0u);
+    EXPECT_EQ(dut.overflow_count(), 0u);
+    EXPECT_EQ(dut.underflow_count(), 0u);
+    EXPECT_EQ(dut.put_domain().violations(), 0u);
+    EXPECT_EQ(dut.get_domain().violations(), 0u);
+    // Conservation with at most one get in flight at the snapshot instant
+    // (its cell already reads empty but the pop lands at the next edge).
+    EXPECT_GE(sb.pushed(), sb.popped() + dut.occupancy());
+    EXPECT_LE(sb.pushed(), sb.popped() + dut.occupancy() + 1);
+  }
+}
+
+TEST(FuzzCampaign, TwentyRandomAsyncSyncConfigsHoldInvariants) {
+  std::mt19937_64 rng(19700101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FuzzCase c = draw(rng);
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << ": cap=" << c.capacity
+                 << " w=" << c.width << " g=" << c.get_rate
+                 << " seed=" << c.seed);
+
+    fifo::FifoConfig cfg;
+    cfg.capacity = c.capacity;
+    cfg.width = c.width;
+    cfg.sync.depth = c.depth;
+
+    sim::Simulation sim(c.seed);
+    const Time gp = fifo::SyncGetSide::min_period(cfg) * 5 / 4;
+    sync::Clock cg(sim, "cg", {gp, 4 * gp, 0.5, 0});
+    fifo::AsyncSyncFifo dut(sim, "dut", cfg, cg.out());
+    bfm::Scoreboard sb(sim, "sb");
+    const Time gap =
+        static_cast<Time>((1.0 - c.put_rate) * 2.0 * static_cast<double>(gp));
+    bfm::AsyncPutDriver put(sim, "put", dut.put_req(), dut.put_ack(),
+                            dut.put_data(), cfg.dm, gap, mask_of(c.width),
+                            &sb);
+    bfm::SyncGetDriver get(sim, "get", cg.out(), dut.req_get(), cfg.dm,
+                           {c.get_rate, 1});
+    bfm::GetMonitor gm(sim, cg.out(), dut.valid_get(), dut.data_get(), sb);
+
+    sim.run_until(4 * gp + 250 * gp);
+    EXPECT_EQ(sb.errors(), 0u);
+    EXPECT_EQ(dut.overflow_count(), 0u);
+    EXPECT_EQ(dut.underflow_count(), 0u);
+    EXPECT_EQ(dut.get_domain().violations(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mts

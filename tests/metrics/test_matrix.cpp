@@ -1,0 +1,63 @@
+// Tests of the extension experiments completing the 2x2 interface matrix.
+#include <gtest/gtest.h>
+
+#include "metrics/experiments.hpp"
+
+namespace mts::metrics {
+namespace {
+
+fifo::FifoConfig cfg_of(unsigned capacity, unsigned width) {
+  fifo::FifoConfig cfg;
+  cfg.capacity = capacity;
+  cfg.width = width;
+  return cfg;
+}
+
+TEST(MatrixExtension, SyncAsyncThroughputValidates) {
+  const ThroughputRow row = throughput_sync_async(cfg_of(4, 8), 600);
+  EXPECT_TRUE(row.validated);
+  // The synchronous put side matches the mixed-clock put (same half).
+  const ThroughputRow mc = throughput_mixed_clock(cfg_of(4, 8), 300);
+  EXPECT_DOUBLE_EQ(row.put, mc.put);
+  // The asynchronous get side is slower than the sync put.
+  EXPECT_LT(row.get, row.put);
+  EXPECT_GT(row.get, 0.0);
+}
+
+TEST(MatrixExtension, AsyncAsyncThroughputValidates) {
+  const AsyncAsyncRow row = throughput_async_async(cfg_of(4, 8), 300);
+  EXPECT_TRUE(row.validated);
+  EXPECT_GT(row.put_mops, 100.0);
+  EXPECT_GT(row.get_mops, 100.0);
+  // In a self-timed loop the two interfaces rate-match.
+  EXPECT_NEAR(row.put_mops, row.get_mops, 0.1 * row.put_mops);
+}
+
+TEST(MatrixExtension, SyncAsyncLatencyDeterministic) {
+  const LatencyRow row = latency_sync_async(cfg_of(4, 8));
+  EXPECT_GT(row.min_ns, 0.0);
+  EXPECT_DOUBLE_EQ(row.min_ns, row.max_ns);
+  // No synchronizer crossing on the read side: lower latency than the
+  // fully synchronous design's minimum.
+  const LatencyRow mc = latency_mixed_clock(cfg_of(4, 8), 6);
+  EXPECT_LT(row.min_ns, mc.min_ns);
+}
+
+TEST(MatrixExtension, AsyncAsyncLatencyLowest) {
+  const LatencyRow aa = latency_async_async(cfg_of(4, 8));
+  const LatencyRow sa = latency_sync_async(cfg_of(4, 8));
+  EXPECT_GT(aa.min_ns, 0.0);
+  // No clock anywhere: the async-async FIFO has the lowest latency of the
+  // matrix (the [4] design's headline property).
+  EXPECT_LT(aa.min_ns, sa.min_ns);
+}
+
+TEST(MatrixExtension, LatencyGrowsWithCapacityAcrossTheMatrix) {
+  EXPECT_LT(latency_sync_async(cfg_of(4, 8)).min_ns,
+            latency_sync_async(cfg_of(16, 8)).min_ns);
+  EXPECT_LT(latency_async_async(cfg_of(4, 8)).min_ns,
+            latency_async_async(cfg_of(16, 8)).min_ns);
+}
+
+}  // namespace
+}  // namespace mts::metrics

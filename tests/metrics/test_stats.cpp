@@ -1,0 +1,69 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bfm/bfm.hpp"
+#include "fifo/fifo.hpp"
+#include "sync/clock.hpp"
+
+namespace mts::metrics {
+namespace {
+
+TEST(OccupancySampler, CountsSamplesAndLevels) {
+  sim::Simulation sim;
+  sync::Clock clk(sim, "clk", {1000, 500, 0.5, 0});
+  unsigned level = 0;
+  OccupancySampler sampler(sim, clk.out(), 4, [&level] { return level; });
+
+  // Levels 0,1,2,2 across four edges.
+  sim.sched().at(600, [&] { level = 1; });
+  sim.sched().at(1600, [&] { level = 2; });
+  sim.run_until(3600);  // edges at 500, 1500, 2500, 3500
+
+  EXPECT_EQ(sampler.samples(), 4u);
+  EXPECT_EQ(sampler.histogram()[0], 1u);
+  EXPECT_EQ(sampler.histogram()[1], 1u);
+  EXPECT_EQ(sampler.histogram()[2], 2u);
+  EXPECT_EQ(sampler.max_seen(), 2u);
+  EXPECT_DOUBLE_EQ(sampler.mean(), (0 + 1 + 2 + 2) / 4.0);
+  EXPECT_DOUBLE_EQ(sampler.fraction_at(2), 0.5);
+  EXPECT_DOUBLE_EQ(sampler.fraction_at(4), 0.0);
+}
+
+TEST(OccupancySampler, EmptyIsZero) {
+  sim::Simulation sim;
+  sync::Clock clk(sim, "clk", {1000, 500, 0.5, 0});
+  OccupancySampler sampler(sim, clk.out(), 4, [] { return 0u; });
+  EXPECT_DOUBLE_EQ(sampler.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.fraction_at(0), 0.0);
+}
+
+TEST(OccupancySampler, TracksARealFifo) {
+  sim::Simulation sim(1);
+  fifo::FifoConfig cfg;
+  cfg.capacity = 4;
+  cfg.width = 8;
+  const sim::Time pp = 2 * fifo::SyncPutSide::min_period(cfg);
+  const sim::Time gp = 2 * fifo::SyncGetSide::min_period(cfg);
+  sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
+  sync::Clock cg(sim, "cg", {gp, 4 * pp + gp / 3, 0.5, 0});
+  fifo::MixedClockFifo dut(sim, "dut", cfg, cp.out(), cg.out());
+  OccupancySampler sampler(sim, cg.out(), cfg.capacity,
+                           [&dut] { return dut.occupancy(); });
+  bfm::SyncPutDriver put(sim, "put", cp.out(), dut.req_put(), dut.data_put(),
+                         dut.full(), cfg.dm, {1.0, 1}, 0xFF);
+  bfm::SyncGetDriver get(sim, "get", cg.out(), dut.req_get(), cfg.dm, {1.0, 1});
+  sim.run_until(4 * pp + 300 * pp);
+
+  EXPECT_GT(sampler.samples(), 100u);
+  EXPECT_GT(sampler.mean(), 0.0);
+  EXPECT_LE(sampler.max_seen(), cfg.capacity);
+  double total = 0;
+  for (unsigned lvl = 0; lvl <= cfg.capacity; ++lvl) {
+    total += sampler.fraction_at(lvl);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mts::metrics

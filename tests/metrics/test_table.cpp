@@ -1,0 +1,46 @@
+#include "metrics/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/error.hpp"
+
+namespace mts::metrics {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"Version", "put", "get"});
+  t.add_row({"Mixed-Clock", "565", "549"});
+  t.add_row({"Async-Sync RS", "421", "539"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Version"), std::string::npos);
+  EXPECT_NE(s.find("Mixed-Clock"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Column values line up: "put" header column contains both numbers.
+  const auto hdr_pos = s.find("put");
+  const auto v1_pos = s.find("565");
+  ASSERT_NE(hdr_pos, std::string::npos);
+  ASSERT_NE(v1_pos, std::string::npos);
+  const auto line_start_hdr = s.rfind('\n', hdr_pos);
+  const auto line_start_v1 = s.rfind('\n', v1_pos);
+  EXPECT_EQ(hdr_pos - (line_start_hdr + 1), v1_pos - (line_start_v1 + 1));
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), ConfigError);
+  EXPECT_THROW(Table({}), ConfigError);
+}
+
+TEST(TableTest, FmtFormatsFixedPrecision) {
+  EXPECT_EQ(fmt(5.434, 2), "5.43");
+  EXPECT_EQ(fmt(565.2, 0), "565");
+}
+
+}  // namespace
+}  // namespace mts::metrics

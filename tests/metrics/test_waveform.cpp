@@ -1,0 +1,61 @@
+#include "metrics/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sync/clock.hpp"
+
+namespace mts::metrics {
+namespace {
+
+TEST(AsciiWave, CapturesClockPattern) {
+  sim::Simulation sim;
+  sync::Clock clk(sim, "clk", {1000, 0, 0.5, 0});
+  AsciiWave wave(sim, 100, 250, 8);  // samples at 100,350,...,1850
+  wave.watch("clk", clk.out());
+  wave.arm();
+  sim.run_until(2000);
+
+  // Edges at 0(+), 500(-), 1000(+), 1500(-): samples land H H L L H H L L.
+  const auto& h = wave.history("clk");
+  ASSERT_EQ(h.size(), 8u);
+  const std::vector<bool> want{true, true, false, false, true, true, false,
+                               false};
+  EXPECT_EQ(h, want);
+  const std::string text = wave.render();
+  EXPECT_NE(text.find("clk"), std::string::npos);
+  EXPECT_NE(text.find("##__##__"), std::string::npos);
+}
+
+TEST(AsciiWave, MultipleWiresRenderOnePerLine) {
+  sim::Simulation sim;
+  sim::Wire a(sim, "a", true);
+  sim::Wire b(sim, "b", false);
+  AsciiWave wave(sim, 0, 10, 4);
+  wave.watch("a", a);
+  wave.watch("b", b);
+  wave.arm();
+  sim.run_until(100);
+  const std::string text = wave.render();
+  EXPECT_NE(text.find("####"), std::string::npos);
+  EXPECT_NE(text.find("____"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(AsciiWave, ConfigErrors) {
+  sim::Simulation sim;
+  sim::Wire a(sim, "a");
+  EXPECT_THROW(AsciiWave(sim, 0, 0, 4), ConfigError);
+  EXPECT_THROW(AsciiWave(sim, 0, 10, 0), ConfigError);
+  AsciiWave wave(sim, 0, 10, 4);
+  wave.arm();
+  EXPECT_THROW(wave.watch("a", a), ConfigError);
+}
+
+TEST(AsciiWave, UnknownLabelGivesEmptyHistory) {
+  sim::Simulation sim;
+  AsciiWave wave(sim, 0, 10, 1);
+  EXPECT_TRUE(wave.history("nope").empty());
+}
+
+}  // namespace
+}  // namespace mts::metrics

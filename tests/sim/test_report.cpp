@@ -1,0 +1,50 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mts::sim {
+namespace {
+
+TEST(Report, CountsBySeverityAndCategory) {
+  Report r;
+  r.add(10, Severity::kInfo, "note", "hello");
+  r.add(20, Severity::kViolation, "setup", "flop x");
+  r.add(30, Severity::kError, "scoreboard", "mismatch");
+  r.add(40, Severity::kWarning, "setup", "marginal");
+  EXPECT_EQ(r.failure_count(), 2u);
+  EXPECT_EQ(r.count("setup"), 2u);
+  EXPECT_EQ(r.count("scoreboard"), 1u);
+  EXPECT_EQ(r.count("absent"), 0u);
+  EXPECT_EQ(r.entries().size(), 4u);
+}
+
+TEST(Report, ClearResetsEverything) {
+  Report r;
+  r.add(1, Severity::kError, "x", "y");
+  r.clear();
+  EXPECT_EQ(r.failure_count(), 0u);
+  EXPECT_EQ(r.count("x"), 0u);
+  EXPECT_TRUE(r.entries().empty());
+}
+
+TEST(Report, EntryCapBoundsStorageButNotCounters) {
+  Report r;
+  r.set_max_entries(3);
+  for (int i = 0; i < 10; ++i) r.add(1, Severity::kError, "cat", "m");
+  EXPECT_EQ(r.entries().size(), 3u);
+  EXPECT_EQ(r.count("cat"), 10u);
+  EXPECT_EQ(r.failure_count(), 10u);
+}
+
+TEST(Report, EntriesPreserveFields) {
+  Report r;
+  r.add(123, Severity::kViolation, "hold", "flop q");
+  const ReportEntry& e = r.entries().front();
+  EXPECT_EQ(e.time, 123u);
+  EXPECT_EQ(e.severity, Severity::kViolation);
+  EXPECT_EQ(e.category, "hold");
+  EXPECT_EQ(e.message, "flop q");
+}
+
+}  // namespace
+}  // namespace mts::sim

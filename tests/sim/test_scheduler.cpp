@@ -1,0 +1,132 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mts::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(30, [&] { order.push_back(3); });
+  s.at(10, [&] { order.push_back(1); });
+  s.at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Scheduler, SameTimestampRunsInSchedulingOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    s.at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, EventsScheduledDuringExecutionRun) {
+  Scheduler s;
+  int hits = 0;
+  s.at(10, [&] {
+    ++hits;
+    s.after(5, [&] { ++hits; });
+  });
+  s.run();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(s.now(), 15u);
+}
+
+TEST(Scheduler, ZeroDelayEventRunsAtSameTimeAfterCurrent) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(10, [&] {
+    s.after(0, [&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  s.at(10, [&] { order.push_back(3); });
+  s.run();
+  // The zero-delay event was scheduled after both time-10 events existed,
+  // so it runs last within t=10.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Scheduler, RejectsPastEvents) {
+  Scheduler s;
+  s.at(10, [] {});
+  s.run();
+  EXPECT_THROW(s.at(5, [] {}), AssertionError);
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeEvenWhenIdle) {
+  Scheduler s;
+  s.run_until(1000);
+  EXPECT_EQ(s.now(), 1000u);
+}
+
+TEST(Scheduler, RunUntilDoesNotExecuteLaterEvents) {
+  Scheduler s;
+  int hits = 0;
+  s.at(50, [&] { ++hits; });
+  s.at(150, [&] { ++hits; });
+  s.run_until(100);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(s.now(), 100u);
+  s.run_until(200);
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Scheduler, RunUntilInclusiveOfBoundary) {
+  Scheduler s;
+  int hits = 0;
+  s.at(100, [&] { ++hits; });
+  s.run_until(100);
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Scheduler, OscillationGuardThrows) {
+  Scheduler s;
+  s.set_timestamp_budget(100);
+  std::function<void()> loop = [&] { s.after(0, loop); };
+  s.at(10, loop);
+  EXPECT_THROW(s.run(), SimulationError);
+}
+
+TEST(Scheduler, RunBudgetStopsExecution) {
+  Scheduler s;
+  int hits = 0;
+  std::function<void()> loop = [&] {
+    ++hits;
+    s.after(1, loop);
+  };
+  s.at(0, loop);
+  EXPECT_EQ(s.run(100), 100u);
+  EXPECT_EQ(hits, 100);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.at(1, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, PendingCountsQueuedEvents) {
+  Scheduler s;
+  s.at(1, [] {});
+  s.at(2, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+}
+
+}  // namespace
+}  // namespace mts::sim

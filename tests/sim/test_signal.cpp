@@ -1,0 +1,122 @@
+#include "sim/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mts::sim {
+namespace {
+
+TEST(Signal, InitialValue) {
+  Simulation sim;
+  Wire w(sim, "w", true);
+  EXPECT_TRUE(w.read());
+  Word d(sim, "d", 42);
+  EXPECT_EQ(d.read(), 42u);
+}
+
+TEST(Signal, SetNotifiesOnChangeOnly) {
+  Simulation sim;
+  Wire w(sim, "w");
+  int changes = 0;
+  w.on_change([&](bool, bool) { ++changes; });
+  w.set(false);  // no change
+  EXPECT_EQ(changes, 0);
+  w.set(true);
+  EXPECT_EQ(changes, 1);
+  w.set(true);  // no change
+  EXPECT_EQ(changes, 1);
+}
+
+TEST(Signal, ListenerSeesOldAndNewValues) {
+  Simulation sim;
+  Word d(sim, "d", 7);
+  std::uint64_t seen_old = 0, seen_new = 0;
+  d.on_change([&](const std::uint64_t& o, const std::uint64_t& n) {
+    seen_old = o;
+    seen_new = n;
+  });
+  d.set(9);
+  EXPECT_EQ(seen_old, 7u);
+  EXPECT_EQ(seen_new, 9u);
+}
+
+TEST(Signal, TransportWritesAllCommitInOrder) {
+  Simulation sim;
+  Wire w(sim, "w");
+  std::vector<bool> history;
+  w.on_change([&](bool, bool n) { history.push_back(n); });
+  w.write(true, 10, DelayKind::kTransport);
+  w.write(false, 20, DelayKind::kTransport);
+  w.write(true, 30, DelayKind::kTransport);
+  sim.run();
+  EXPECT_EQ(history, (std::vector<bool>{true, false, true}));
+}
+
+TEST(Signal, InertialWriteCancelsPending) {
+  Simulation sim;
+  Wire w(sim, "w");
+  int changes = 0;
+  w.on_change([&](bool, bool) { ++changes; });
+  w.write(true, 100, DelayKind::kInertial);
+  // Before the first commits, the driver changes its mind: pulse filtered.
+  sim.run_until(50);
+  w.write(false, 100, DelayKind::kInertial);
+  sim.run();
+  EXPECT_EQ(changes, 0);
+  EXPECT_FALSE(w.read());
+}
+
+TEST(Signal, InertialGlitchFilteredButSteadyValuePasses) {
+  Simulation sim;
+  Wire w(sim, "w");
+  w.write(true, 100, DelayKind::kInertial);
+  sim.run();
+  EXPECT_TRUE(w.read());
+}
+
+TEST(Signal, PendingWritesTracked) {
+  Simulation sim;
+  Wire w(sim, "w");
+  w.write(true, 10, DelayKind::kTransport);
+  w.write(true, 20, DelayKind::kTransport);
+  EXPECT_EQ(w.pending_writes(), 2u);
+  sim.run();
+  EXPECT_EQ(w.pending_writes(), 0u);
+}
+
+TEST(Signal, EdgeHelpers) {
+  Simulation sim;
+  Wire w(sim, "w");
+  int rises = 0, falls = 0;
+  on_rise(w, [&] { ++rises; });
+  on_fall(w, [&] { ++falls; });
+  w.set(true);
+  w.set(false);
+  w.set(true);
+  EXPECT_EQ(rises, 2);
+  EXPECT_EQ(falls, 1);
+}
+
+TEST(Signal, ListenersAddedDuringNotificationMissThatEvent) {
+  Simulation sim;
+  Wire w(sim, "w");
+  int second_listener_hits = 0;
+  w.on_change([&](bool, bool) {
+    w.on_change([&](bool, bool) { ++second_listener_hits; });
+  });
+  w.set(true);
+  EXPECT_EQ(second_listener_hits, 0);
+  w.set(false);
+  EXPECT_EQ(second_listener_hits, 1);
+}
+
+TEST(Signal, NameAndSimulationAccessors) {
+  Simulation sim;
+  Wire w(sim, "top.sub.w");
+  EXPECT_EQ(w.name(), "top.sub.w");
+  EXPECT_EQ(&w.simulation(), &sim);
+}
+
+}  // namespace
+}  // namespace mts::sim

@@ -1,0 +1,53 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/error.hpp"
+
+namespace mts::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(Time, LiteralsScaleCorrectly) {
+  EXPECT_EQ(5_ps, 5u);
+  EXPECT_EQ(3_ns, 3000u);
+  EXPECT_EQ(2_us, 2'000'000u);
+}
+
+TEST(Time, PeriodFrequencyRoundTrip) {
+  EXPECT_DOUBLE_EQ(period_to_mhz(1000), 1000.0);  // 1 ns -> 1 GHz
+  EXPECT_DOUBLE_EQ(period_to_mhz(2000), 500.0);
+  EXPECT_EQ(mhz_to_period(500.0), 2000u);
+  EXPECT_EQ(mhz_to_period(0.0), 0u);
+  EXPECT_DOUBLE_EQ(period_to_mhz(0), 0.0);
+}
+
+TEST(Time, ToNs) {
+  EXPECT_DOUBLE_EQ(to_ns(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_ns(0), 0.0);
+}
+
+TEST(Time, FormatTimeChoosesUnits) {
+  EXPECT_EQ(format_time(250), "250 ps");
+  EXPECT_EQ(format_time(1500), "1.500 ns");
+  EXPECT_EQ(format_time(2'500'000), "2.500 us");
+}
+
+TEST(AssertionMacro, ThrowsWithContext) {
+  try {
+    MTS_ASSERT(false, "context message");
+    FAIL() << "should have thrown";
+  } catch (const AssertionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("context message"), std::string::npos);
+    EXPECT_NE(what.find("test_time.cpp"), std::string::npos);
+  }
+}
+
+TEST(AssertionMacro, PassesSilently) {
+  EXPECT_NO_THROW(MTS_ASSERT(1 + 1 == 2, "never"));
+}
+
+}  // namespace
+}  // namespace mts::sim

@@ -1,0 +1,81 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/signal.hpp"
+
+namespace mts::sim {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "mts_trace_test.vcd";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(TraceTest, HeaderContainsDefinitionsAndInitialValues) {
+  Simulation sim;
+  Wire w(sim, "clk", true);
+  Word d(sim, "bus", 5);
+  {
+    VcdWriter vcd(path_);
+    vcd.watch(w);
+    vcd.watch(d, 8, "data");
+    vcd.start();
+  }
+  const std::string text = read_file(path_);
+  EXPECT_NE(text.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 8 \" data $end"), std::string::npos);
+  EXPECT_NE(text.find("1!"), std::string::npos);
+  EXPECT_NE(text.find("b00000101 \""), std::string::npos);
+}
+
+TEST_F(TraceTest, RecordsChangesWithTimestamps) {
+  Simulation sim;
+  Wire w(sim, "w");
+  VcdWriter vcd(path_);
+  vcd.watch(w);
+  vcd.start();
+  sim.sched().at(100, [&] { w.set(true); });
+  sim.sched().at(250, [&] { w.set(false); });
+  sim.run();
+  vcd.finish();
+  const std::string text = read_file(path_);
+  EXPECT_NE(text.find("#100\n1!"), std::string::npos);
+  EXPECT_NE(text.find("#250\n0!"), std::string::npos);
+}
+
+TEST_F(TraceTest, WatchAfterStartThrows) {
+  Simulation sim;
+  Wire w(sim, "w");
+  VcdWriter vcd(path_);
+  vcd.start();
+  EXPECT_THROW(vcd.watch(w), ConfigError);
+}
+
+TEST_F(TraceTest, BadWidthThrows) {
+  Simulation sim;
+  Word d(sim, "d");
+  VcdWriter vcd(path_);
+  EXPECT_THROW(vcd.watch(d, 0), ConfigError);
+  EXPECT_THROW(vcd.watch(d, 65), ConfigError);
+}
+
+TEST(Trace, UnwritablePathThrows) {
+  EXPECT_THROW(VcdWriter("/nonexistent_dir_xyz/out.vcd"), ConfigError);
+}
+
+}  // namespace
+}  // namespace mts::sim

@@ -1,0 +1,76 @@
+#include "sync/mtbf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/error.hpp"
+
+namespace mts::sync {
+namespace {
+
+MtbfParams base() {
+  MtbfParams p;
+  p.depth = 2;
+  p.clock_period = 2000;
+  p.data_rate_hz = 100e6;
+  p.dm = gates::DelayModel::hp06();
+  return p;
+}
+
+TEST(Mtbf, EachStageMultipliesMtbfExponentially) {
+  MtbfParams p = base();
+  const double m1 = mtbf_seconds([&] { p.depth = 1; return p; }());
+  const double m2 = mtbf_seconds([&] { p.depth = 2; return p; }());
+  const double m3 = mtbf_seconds([&] { p.depth = 3; return p; }());
+  const double slack = static_cast<double>(stage_slack(p));
+  const double factor = std::exp(slack / static_cast<double>(p.dm.meta_tau));
+  EXPECT_NEAR(m2 / m1, factor, factor * 1e-9);
+  EXPECT_NEAR(m3 / m2, factor, factor * 1e-9);
+}
+
+TEST(Mtbf, SlowerClockImprovesMtbf) {
+  MtbfParams fast = base();
+  MtbfParams slow = base();
+  slow.clock_period = 4000;
+  EXPECT_GT(mtbf_seconds(slow), mtbf_seconds(fast));
+}
+
+TEST(Mtbf, HigherDataRateDegradesMtbf) {
+  MtbfParams quiet = base();
+  MtbfParams busy = base();
+  busy.data_rate_hz = 10 * quiet.data_rate_hz;
+  EXPECT_LT(mtbf_seconds(busy), mtbf_seconds(quiet));
+}
+
+TEST(Mtbf, ZeroDataRateIsInfinite) {
+  MtbfParams p = base();
+  p.data_rate_hz = 0;
+  EXPECT_TRUE(std::isinf(mtbf_seconds(p)));
+}
+
+TEST(Mtbf, TooFastClockHasZeroSlack) {
+  MtbfParams p = base();
+  p.clock_period = p.dm.flop.setup;  // faster than the flop itself
+  EXPECT_EQ(stage_slack(p), 0u);
+}
+
+TEST(Mtbf, InvalidParamsRejected) {
+  MtbfParams p = base();
+  p.depth = 0;
+  EXPECT_THROW(mtbf_seconds(p), ConfigError);
+  MtbfParams q = base();
+  q.clock_period = 0;
+  EXPECT_THROW(stage_slack(q), ConfigError);
+}
+
+TEST(Mtbf, PaperDepthTwoIsConservativeDefault) {
+  // Sanity: at the paper's scale (hundreds of MHz, 100 MHz data), two
+  // stages give astronomically large MTBF while zero-slack gives none.
+  MtbfParams p = base();
+  EXPECT_GT(mtbf_seconds(p), 3.15e7 /* one year in seconds */);
+}
+
+}  // namespace
+}  // namespace mts::sync

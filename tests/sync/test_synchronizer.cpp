@@ -1,0 +1,103 @@
+#include "sync/synchronizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sync/clock.hpp"
+
+namespace mts::sync {
+namespace {
+
+struct Fixture {
+  sim::Simulation sim{3};
+  gates::DelayModel dm = gates::DelayModel::hp06();
+  gates::TimingDomain dom{sim, "dom"};
+};
+
+TEST(Synchronizer, DepthTwoDelaysByTwoEdges) {
+  Fixture f;
+  Clock clk(f.sim, "clk", {2000, 1000, 0.5, 0});
+  sim::Wire in(f.sim, "in");
+  Synchronizer s(f.sim, "sync", clk.out(), in, f.dm,
+                 {2, MetaMode::kDeterministic}, &f.dom);
+
+  // Change the input mid-cycle, far from any edge.
+  f.sim.sched().at(1600, [&] { in.set(true); });
+  // Edge at 3000 samples stage 0; edge at 5000 samples stage 1.
+  f.sim.run_until(4900);
+  EXPECT_FALSE(s.out().read());
+  f.sim.run_until(5000 + f.dm.flop.clk_to_q);
+  EXPECT_TRUE(s.out().read());
+  EXPECT_EQ(f.dom.violations(), 0u);
+}
+
+TEST(Synchronizer, DepthZeroIsPassthrough) {
+  Fixture f;
+  Clock clk(f.sim, "clk", {2000, 1000, 0.5, 0});
+  sim::Wire in(f.sim, "in");
+  Synchronizer s(f.sim, "sync", clk.out(), in, f.dm,
+                 {0, MetaMode::kDeterministic}, &f.dom);
+  f.sim.sched().at(1600, [&] { in.set(true); });
+  f.sim.run_until(1600 + f.dm.gate(1));
+  EXPECT_TRUE(s.out().read());
+}
+
+TEST(Synchronizer, InWindowChangeResolvesToOldValueDeterministically) {
+  Fixture f;
+  Clock clk(f.sim, "clk", {2000, 1000, 0.5, 0});
+  sim::Wire in(f.sim, "in");
+  Synchronizer s(f.sim, "sync", clk.out(), in, f.dm,
+                 {2, MetaMode::kDeterministic}, &f.dom);
+
+  // Change 10ps before the edge at 3000: the front stage is metastable and
+  // resolves to the OLD value; the change is only seen at the NEXT edge.
+  f.sim.sched().at(2990, [&] { in.set(true); });
+  f.sim.run_until(7000 - 100);
+  EXPECT_FALSE(s.out().read());  // edge 5000 propagated old=0 to stage 1
+  f.sim.run_until(7000 + f.dm.flop.clk_to_q);
+  EXPECT_TRUE(s.out().read());
+  EXPECT_EQ(s.front_events(), 1u);
+  EXPECT_EQ(s.failures(), 0u);
+  EXPECT_EQ(f.dom.violations(), 0u);  // absorbed by the policy, not reported
+}
+
+TEST(Synchronizer, InitialValuePresetsChain) {
+  Fixture f;
+  Clock clk(f.sim, "clk", {2000, 1000, 0.5, 0});
+  sim::Wire in(f.sim, "in", true);
+  Synchronizer s(f.sim, "sync", clk.out(), in, f.dm,
+                 {2, MetaMode::kDeterministic}, &f.dom, true);
+  EXPECT_TRUE(s.out().read());
+  f.sim.run_until(10000);
+  EXPECT_TRUE(s.out().read());  // stays high: input is high
+}
+
+TEST(Synchronizer, StochasticModeEventuallyPassesValues) {
+  Fixture f;
+  Clock clk(f.sim, "clk", {2000, 1000, 0.5, 0});
+  sim::Wire in(f.sim, "in");
+  Synchronizer s(f.sim, "sync", clk.out(), in, f.dm, {2, MetaMode::kStochastic},
+                 &f.dom);
+  f.sim.sched().at(2990, [&] { in.set(true); });  // in-window
+  f.sim.run_until(20000);
+  EXPECT_TRUE(s.out().read());
+  EXPECT_EQ(s.front_events(), 1u);
+}
+
+TEST(Synchronizer, DepthCountsStages) {
+  Fixture f;
+  Clock clk(f.sim, "clk", {2000, 1000, 0.5, 0});
+  sim::Wire in(f.sim, "in");
+  Synchronizer s3(f.sim, "s3", clk.out(), in, f.dm,
+                  {3, MetaMode::kDeterministic}, &f.dom);
+  EXPECT_EQ(s3.depth(), 3u);
+
+  // A depth-3 chain needs three edges to pass a clean change.
+  f.sim.sched().at(1600, [&] { in.set(true); });
+  f.sim.run_until(6900);
+  EXPECT_FALSE(s3.out().read());
+  f.sim.run_until(7000 + f.dm.flop.clk_to_q);
+  EXPECT_TRUE(s3.out().read());
+}
+
+}  // namespace
+}  // namespace mts::sync

@@ -1,0 +1,67 @@
+// The stretched-veto mechanism of deep synchronizer chains (Fig. 7b
+// generalized): the veto must take effect one cycle after assertion and
+// persist for depth-1 cycles, for any depth.
+#include <gtest/gtest.h>
+
+#include "sync/clock.hpp"
+#include "sync/synchronizer.hpp"
+
+namespace mts::sync {
+namespace {
+
+using sim::Time;
+
+struct Fixture {
+  sim::Simulation sim{1};
+  gates::DelayModel dm = gates::DelayModel::hp06();
+  Time period = 2000;
+  Clock clk{sim, "clk", {period, period, 0.5, 0}};
+  sim::Wire in{sim, "in"};
+  sim::Wire veto{sim, "veto"};
+};
+
+class VetoDepth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VetoDepth, VetoLandsNextCycleForAnyDepth) {
+  const unsigned depth = GetParam();
+  Fixture f;
+  Synchronizer s(f.sim, "sync", f.clk.out(), f.in, f.dm,
+                 {depth, MetaMode::kDeterministic}, nullptr, false, &f.veto);
+  // Input low throughout; assert the veto mid-cycle 5.
+  f.sim.sched().at(5 * f.period + 500, [&] { f.veto.set(true); });
+  f.sim.sched().at(6 * f.period + 500, [&] { f.veto.set(false); });
+
+  // One edge after assertion (edge at 6*period, output settles clk-to-q
+  // later): the chain output must be forced high.
+  f.sim.run_until(6 * f.period + f.dm.flop.clk_to_q + 400);
+  EXPECT_TRUE(s.out().read()) << "depth " << depth;
+}
+
+TEST_P(VetoDepth, VetoPersistsDepthMinusOneCycles) {
+  const unsigned depth = GetParam();
+  Fixture f;
+  Synchronizer s(f.sim, "sync", f.clk.out(), f.in, f.dm,
+                 {depth, MetaMode::kDeterministic}, nullptr, false, &f.veto);
+  // Single-cycle veto pulse during cycle 5..6.
+  f.sim.sched().at(5 * f.period + 500, [&] { f.veto.set(true); });
+  f.sim.sched().at(6 * f.period + 500, [&] { f.veto.set(false); });
+
+  // The forced high must persist through edges 6 .. 6+depth-2 (the stale
+  // window), i.e. the output stays high until the true input value (low)
+  // has propagated through every earlier stage.
+  for (unsigned k = 0; k + 1 < depth; ++k) {
+    f.sim.run_until((6 + k) * f.period + f.dm.flop.clk_to_q + 400);
+    EXPECT_TRUE(s.out().read()) << "depth " << depth << " cycle +" << k;
+  }
+  // After the window, the chain returns to the true (low) input.
+  f.sim.run_until((6 + depth) * f.period + f.dm.flop.clk_to_q + 400);
+  EXPECT_FALSE(s.out().read()) << "depth " << depth;
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, VetoDepth, ::testing::Values(2u, 3u, 4u, 5u),
+                         [](const ::testing::TestParamInfo<unsigned>& i) {
+                           return "depth" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace mts::sync
