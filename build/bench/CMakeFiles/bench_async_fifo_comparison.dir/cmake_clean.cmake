@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_fifo_comparison.dir/bench_async_fifo_comparison.cpp.o"
+  "CMakeFiles/bench_async_fifo_comparison.dir/bench_async_fifo_comparison.cpp.o.d"
+  "bench_async_fifo_comparison"
+  "bench_async_fifo_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_fifo_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

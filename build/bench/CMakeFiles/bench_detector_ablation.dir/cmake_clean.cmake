@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_ablation.dir/bench_detector_ablation.cpp.o"
+  "CMakeFiles/bench_detector_ablation.dir/bench_detector_ablation.cpp.o.d"
+  "bench_detector_ablation"
+  "bench_detector_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matrix_extension.dir/bench_matrix_extension.cpp.o"
+  "CMakeFiles/bench_matrix_extension.dir/bench_matrix_extension.cpp.o.d"
+  "bench_matrix_extension"
+  "bench_matrix_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matrix_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

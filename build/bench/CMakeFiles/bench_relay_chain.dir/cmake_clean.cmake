@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relay_chain.dir/bench_relay_chain.cpp.o"
+  "CMakeFiles/bench_relay_chain.dir/bench_relay_chain.cpp.o.d"
+  "bench_relay_chain"
+  "bench_relay_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relay_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_async_dsp_bridge.dir/async_dsp_bridge.cpp.o"
+  "CMakeFiles/example_async_dsp_bridge.dir/async_dsp_bridge.cpp.o.d"
+  "example_async_dsp_bridge"
+  "example_async_dsp_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_async_dsp_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

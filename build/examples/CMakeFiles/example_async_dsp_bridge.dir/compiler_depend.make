@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_async_dsp_bridge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_report.dir/design_report.cpp.o"
+  "CMakeFiles/example_design_report.dir/design_report.cpp.o.d"
+  "example_design_report"
+  "example_design_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

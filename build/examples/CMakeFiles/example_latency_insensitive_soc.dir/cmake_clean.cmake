@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_latency_insensitive_soc.dir/latency_insensitive_soc.cpp.o"
+  "CMakeFiles/example_latency_insensitive_soc.dir/latency_insensitive_soc.cpp.o.d"
+  "example_latency_insensitive_soc"
+  "example_latency_insensitive_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_latency_insensitive_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

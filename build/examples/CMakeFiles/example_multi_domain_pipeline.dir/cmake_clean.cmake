@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_domain_pipeline.dir/multi_domain_pipeline.cpp.o"
+  "CMakeFiles/example_multi_domain_pipeline.dir/multi_domain_pipeline.cpp.o.d"
+  "example_multi_domain_pipeline"
+  "example_multi_domain_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_domain_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_soc_clock_bridge.dir/soc_clock_bridge.cpp.o"
+  "CMakeFiles/example_soc_clock_bridge.dir/soc_clock_bridge.cpp.o.d"
+  "example_soc_clock_bridge"
+  "example_soc_clock_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_soc_clock_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

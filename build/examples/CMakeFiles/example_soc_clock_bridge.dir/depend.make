@@ -1,0 +1,2 @@
+# Empty dependencies file for example_soc_clock_bridge.
+# This may be replaced when dependencies are built.

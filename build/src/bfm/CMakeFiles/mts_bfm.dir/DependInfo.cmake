@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bfm/async_drivers.cpp" "src/bfm/CMakeFiles/mts_bfm.dir/async_drivers.cpp.o" "gcc" "src/bfm/CMakeFiles/mts_bfm.dir/async_drivers.cpp.o.d"
+  "/root/repo/src/bfm/rs_drivers.cpp" "src/bfm/CMakeFiles/mts_bfm.dir/rs_drivers.cpp.o" "gcc" "src/bfm/CMakeFiles/mts_bfm.dir/rs_drivers.cpp.o.d"
+  "/root/repo/src/bfm/sync_drivers.cpp" "src/bfm/CMakeFiles/mts_bfm.dir/sync_drivers.cpp.o" "gcc" "src/bfm/CMakeFiles/mts_bfm.dir/sync_drivers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/mts_gates.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_bfm.dir/async_drivers.cpp.o"
+  "CMakeFiles/mts_bfm.dir/async_drivers.cpp.o.d"
+  "CMakeFiles/mts_bfm.dir/rs_drivers.cpp.o"
+  "CMakeFiles/mts_bfm.dir/rs_drivers.cpp.o.d"
+  "CMakeFiles/mts_bfm.dir/sync_drivers.cpp.o"
+  "CMakeFiles/mts_bfm.dir/sync_drivers.cpp.o.d"
+  "libmts_bfm.a"
+  "libmts_bfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_bfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

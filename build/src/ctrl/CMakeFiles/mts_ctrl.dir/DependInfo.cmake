@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/burst_mode.cpp" "src/ctrl/CMakeFiles/mts_ctrl.dir/burst_mode.cpp.o" "gcc" "src/ctrl/CMakeFiles/mts_ctrl.dir/burst_mode.cpp.o.d"
+  "/root/repo/src/ctrl/dot.cpp" "src/ctrl/CMakeFiles/mts_ctrl.dir/dot.cpp.o" "gcc" "src/ctrl/CMakeFiles/mts_ctrl.dir/dot.cpp.o.d"
+  "/root/repo/src/ctrl/petri.cpp" "src/ctrl/CMakeFiles/mts_ctrl.dir/petri.cpp.o" "gcc" "src/ctrl/CMakeFiles/mts_ctrl.dir/petri.cpp.o.d"
+  "/root/repo/src/ctrl/reachability.cpp" "src/ctrl/CMakeFiles/mts_ctrl.dir/reachability.cpp.o" "gcc" "src/ctrl/CMakeFiles/mts_ctrl.dir/reachability.cpp.o.d"
+  "/root/repo/src/ctrl/specs.cpp" "src/ctrl/CMakeFiles/mts_ctrl.dir/specs.cpp.o" "gcc" "src/ctrl/CMakeFiles/mts_ctrl.dir/specs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

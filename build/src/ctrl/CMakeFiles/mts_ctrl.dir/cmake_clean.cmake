@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_ctrl.dir/burst_mode.cpp.o"
+  "CMakeFiles/mts_ctrl.dir/burst_mode.cpp.o.d"
+  "CMakeFiles/mts_ctrl.dir/dot.cpp.o"
+  "CMakeFiles/mts_ctrl.dir/dot.cpp.o.d"
+  "CMakeFiles/mts_ctrl.dir/petri.cpp.o"
+  "CMakeFiles/mts_ctrl.dir/petri.cpp.o.d"
+  "CMakeFiles/mts_ctrl.dir/reachability.cpp.o"
+  "CMakeFiles/mts_ctrl.dir/reachability.cpp.o.d"
+  "CMakeFiles/mts_ctrl.dir/specs.cpp.o"
+  "CMakeFiles/mts_ctrl.dir/specs.cpp.o.d"
+  "libmts_ctrl.a"
+  "libmts_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

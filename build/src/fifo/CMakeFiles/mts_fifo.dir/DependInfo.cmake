@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fifo/area.cpp" "src/fifo/CMakeFiles/mts_fifo.dir/area.cpp.o" "gcc" "src/fifo/CMakeFiles/mts_fifo.dir/area.cpp.o.d"
+  "/root/repo/src/fifo/async_async_fifo.cpp" "src/fifo/CMakeFiles/mts_fifo.dir/async_async_fifo.cpp.o" "gcc" "src/fifo/CMakeFiles/mts_fifo.dir/async_async_fifo.cpp.o.d"
+  "/root/repo/src/fifo/async_sync_fifo.cpp" "src/fifo/CMakeFiles/mts_fifo.dir/async_sync_fifo.cpp.o" "gcc" "src/fifo/CMakeFiles/mts_fifo.dir/async_sync_fifo.cpp.o.d"
+  "/root/repo/src/fifo/async_timing.cpp" "src/fifo/CMakeFiles/mts_fifo.dir/async_timing.cpp.o" "gcc" "src/fifo/CMakeFiles/mts_fifo.dir/async_timing.cpp.o.d"
+  "/root/repo/src/fifo/baseline_shift_fifo.cpp" "src/fifo/CMakeFiles/mts_fifo.dir/baseline_shift_fifo.cpp.o" "gcc" "src/fifo/CMakeFiles/mts_fifo.dir/baseline_shift_fifo.cpp.o.d"
+  "/root/repo/src/fifo/cell_parts.cpp" "src/fifo/CMakeFiles/mts_fifo.dir/cell_parts.cpp.o" "gcc" "src/fifo/CMakeFiles/mts_fifo.dir/cell_parts.cpp.o.d"
+  "/root/repo/src/fifo/config.cpp" "src/fifo/CMakeFiles/mts_fifo.dir/config.cpp.o" "gcc" "src/fifo/CMakeFiles/mts_fifo.dir/config.cpp.o.d"
+  "/root/repo/src/fifo/detectors.cpp" "src/fifo/CMakeFiles/mts_fifo.dir/detectors.cpp.o" "gcc" "src/fifo/CMakeFiles/mts_fifo.dir/detectors.cpp.o.d"
+  "/root/repo/src/fifo/interface_sides.cpp" "src/fifo/CMakeFiles/mts_fifo.dir/interface_sides.cpp.o" "gcc" "src/fifo/CMakeFiles/mts_fifo.dir/interface_sides.cpp.o.d"
+  "/root/repo/src/fifo/mixed_clock_fifo.cpp" "src/fifo/CMakeFiles/mts_fifo.dir/mixed_clock_fifo.cpp.o" "gcc" "src/fifo/CMakeFiles/mts_fifo.dir/mixed_clock_fifo.cpp.o.d"
+  "/root/repo/src/fifo/sync_async_fifo.cpp" "src/fifo/CMakeFiles/mts_fifo.dir/sync_async_fifo.cpp.o" "gcc" "src/fifo/CMakeFiles/mts_fifo.dir/sync_async_fifo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/mts_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/mts_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/mts_ctrl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

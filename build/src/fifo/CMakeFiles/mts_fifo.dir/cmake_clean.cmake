@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_fifo.dir/area.cpp.o"
+  "CMakeFiles/mts_fifo.dir/area.cpp.o.d"
+  "CMakeFiles/mts_fifo.dir/async_async_fifo.cpp.o"
+  "CMakeFiles/mts_fifo.dir/async_async_fifo.cpp.o.d"
+  "CMakeFiles/mts_fifo.dir/async_sync_fifo.cpp.o"
+  "CMakeFiles/mts_fifo.dir/async_sync_fifo.cpp.o.d"
+  "CMakeFiles/mts_fifo.dir/async_timing.cpp.o"
+  "CMakeFiles/mts_fifo.dir/async_timing.cpp.o.d"
+  "CMakeFiles/mts_fifo.dir/baseline_shift_fifo.cpp.o"
+  "CMakeFiles/mts_fifo.dir/baseline_shift_fifo.cpp.o.d"
+  "CMakeFiles/mts_fifo.dir/cell_parts.cpp.o"
+  "CMakeFiles/mts_fifo.dir/cell_parts.cpp.o.d"
+  "CMakeFiles/mts_fifo.dir/config.cpp.o"
+  "CMakeFiles/mts_fifo.dir/config.cpp.o.d"
+  "CMakeFiles/mts_fifo.dir/detectors.cpp.o"
+  "CMakeFiles/mts_fifo.dir/detectors.cpp.o.d"
+  "CMakeFiles/mts_fifo.dir/interface_sides.cpp.o"
+  "CMakeFiles/mts_fifo.dir/interface_sides.cpp.o.d"
+  "CMakeFiles/mts_fifo.dir/mixed_clock_fifo.cpp.o"
+  "CMakeFiles/mts_fifo.dir/mixed_clock_fifo.cpp.o.d"
+  "CMakeFiles/mts_fifo.dir/sync_async_fifo.cpp.o"
+  "CMakeFiles/mts_fifo.dir/sync_async_fifo.cpp.o.d"
+  "libmts_fifo.a"
+  "libmts_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

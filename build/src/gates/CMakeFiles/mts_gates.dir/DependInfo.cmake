@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gates/celement.cpp" "src/gates/CMakeFiles/mts_gates.dir/celement.cpp.o" "gcc" "src/gates/CMakeFiles/mts_gates.dir/celement.cpp.o.d"
+  "/root/repo/src/gates/combinational.cpp" "src/gates/CMakeFiles/mts_gates.dir/combinational.cpp.o" "gcc" "src/gates/CMakeFiles/mts_gates.dir/combinational.cpp.o.d"
+  "/root/repo/src/gates/delay_model.cpp" "src/gates/CMakeFiles/mts_gates.dir/delay_model.cpp.o" "gcc" "src/gates/CMakeFiles/mts_gates.dir/delay_model.cpp.o.d"
+  "/root/repo/src/gates/flops.cpp" "src/gates/CMakeFiles/mts_gates.dir/flops.cpp.o" "gcc" "src/gates/CMakeFiles/mts_gates.dir/flops.cpp.o.d"
+  "/root/repo/src/gates/latch.cpp" "src/gates/CMakeFiles/mts_gates.dir/latch.cpp.o" "gcc" "src/gates/CMakeFiles/mts_gates.dir/latch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_gates.dir/celement.cpp.o"
+  "CMakeFiles/mts_gates.dir/celement.cpp.o.d"
+  "CMakeFiles/mts_gates.dir/combinational.cpp.o"
+  "CMakeFiles/mts_gates.dir/combinational.cpp.o.d"
+  "CMakeFiles/mts_gates.dir/delay_model.cpp.o"
+  "CMakeFiles/mts_gates.dir/delay_model.cpp.o.d"
+  "CMakeFiles/mts_gates.dir/flops.cpp.o"
+  "CMakeFiles/mts_gates.dir/flops.cpp.o.d"
+  "CMakeFiles/mts_gates.dir/latch.cpp.o"
+  "CMakeFiles/mts_gates.dir/latch.cpp.o.d"
+  "libmts_gates.a"
+  "libmts_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_lip.dir/chain.cpp.o"
+  "CMakeFiles/mts_lip.dir/chain.cpp.o.d"
+  "CMakeFiles/mts_lip.dir/micropipeline.cpp.o"
+  "CMakeFiles/mts_lip.dir/micropipeline.cpp.o.d"
+  "CMakeFiles/mts_lip.dir/relay_station.cpp.o"
+  "CMakeFiles/mts_lip.dir/relay_station.cpp.o.d"
+  "CMakeFiles/mts_lip.dir/relay_station_structural.cpp.o"
+  "CMakeFiles/mts_lip.dir/relay_station_structural.cpp.o.d"
+  "libmts_lip.a"
+  "libmts_lip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_lip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/activity.cpp" "src/metrics/CMakeFiles/mts_metrics.dir/activity.cpp.o" "gcc" "src/metrics/CMakeFiles/mts_metrics.dir/activity.cpp.o.d"
+  "/root/repo/src/metrics/experiments.cpp" "src/metrics/CMakeFiles/mts_metrics.dir/experiments.cpp.o" "gcc" "src/metrics/CMakeFiles/mts_metrics.dir/experiments.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/metrics/CMakeFiles/mts_metrics.dir/stats.cpp.o" "gcc" "src/metrics/CMakeFiles/mts_metrics.dir/stats.cpp.o.d"
+  "/root/repo/src/metrics/table.cpp" "src/metrics/CMakeFiles/mts_metrics.dir/table.cpp.o" "gcc" "src/metrics/CMakeFiles/mts_metrics.dir/table.cpp.o.d"
+  "/root/repo/src/metrics/waveform.cpp" "src/metrics/CMakeFiles/mts_metrics.dir/waveform.cpp.o" "gcc" "src/metrics/CMakeFiles/mts_metrics.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fifo/CMakeFiles/mts_fifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfm/CMakeFiles/mts_bfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/mts_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/mts_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/mts_gates.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

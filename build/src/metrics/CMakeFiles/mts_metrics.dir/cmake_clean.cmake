@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_metrics.dir/activity.cpp.o"
+  "CMakeFiles/mts_metrics.dir/activity.cpp.o.d"
+  "CMakeFiles/mts_metrics.dir/experiments.cpp.o"
+  "CMakeFiles/mts_metrics.dir/experiments.cpp.o.d"
+  "CMakeFiles/mts_metrics.dir/stats.cpp.o"
+  "CMakeFiles/mts_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/mts_metrics.dir/table.cpp.o"
+  "CMakeFiles/mts_metrics.dir/table.cpp.o.d"
+  "CMakeFiles/mts_metrics.dir/waveform.cpp.o"
+  "CMakeFiles/mts_metrics.dir/waveform.cpp.o.d"
+  "libmts_metrics.a"
+  "libmts_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_sim.dir/error.cpp.o"
+  "CMakeFiles/mts_sim.dir/error.cpp.o.d"
+  "CMakeFiles/mts_sim.dir/report.cpp.o"
+  "CMakeFiles/mts_sim.dir/report.cpp.o.d"
+  "CMakeFiles/mts_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/mts_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mts_sim.dir/time.cpp.o"
+  "CMakeFiles/mts_sim.dir/time.cpp.o.d"
+  "CMakeFiles/mts_sim.dir/trace.cpp.o"
+  "CMakeFiles/mts_sim.dir/trace.cpp.o.d"
+  "libmts_sim.a"
+  "libmts_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/clock.cpp" "src/sync/CMakeFiles/mts_sync.dir/clock.cpp.o" "gcc" "src/sync/CMakeFiles/mts_sync.dir/clock.cpp.o.d"
+  "/root/repo/src/sync/mtbf.cpp" "src/sync/CMakeFiles/mts_sync.dir/mtbf.cpp.o" "gcc" "src/sync/CMakeFiles/mts_sync.dir/mtbf.cpp.o.d"
+  "/root/repo/src/sync/synchronizer.cpp" "src/sync/CMakeFiles/mts_sync.dir/synchronizer.cpp.o" "gcc" "src/sync/CMakeFiles/mts_sync.dir/synchronizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/mts_gates.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_sync.dir/clock.cpp.o"
+  "CMakeFiles/mts_sync.dir/clock.cpp.o.d"
+  "CMakeFiles/mts_sync.dir/mtbf.cpp.o"
+  "CMakeFiles/mts_sync.dir/mtbf.cpp.o.d"
+  "CMakeFiles/mts_sync.dir/synchronizer.cpp.o"
+  "CMakeFiles/mts_sync.dir/synchronizer.cpp.o.d"
+  "libmts_sync.a"
+  "libmts_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

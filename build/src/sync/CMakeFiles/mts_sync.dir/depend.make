@@ -1,0 +1,2 @@
+# Empty dependencies file for mts_sync.
+# This may be replaced when dependencies are built.

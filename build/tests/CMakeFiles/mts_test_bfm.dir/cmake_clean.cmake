@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_test_bfm.dir/bfm/test_drivers.cpp.o"
+  "CMakeFiles/mts_test_bfm.dir/bfm/test_drivers.cpp.o.d"
+  "CMakeFiles/mts_test_bfm.dir/bfm/test_scoreboard.cpp.o"
+  "CMakeFiles/mts_test_bfm.dir/bfm/test_scoreboard.cpp.o.d"
+  "mts_test_bfm"
+  "mts_test_bfm.pdb"
+  "mts_test_bfm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_test_bfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ctrl/test_burst_mode.cpp" "tests/CMakeFiles/mts_test_ctrl.dir/ctrl/test_burst_mode.cpp.o" "gcc" "tests/CMakeFiles/mts_test_ctrl.dir/ctrl/test_burst_mode.cpp.o.d"
+  "/root/repo/tests/ctrl/test_dot.cpp" "tests/CMakeFiles/mts_test_ctrl.dir/ctrl/test_dot.cpp.o" "gcc" "tests/CMakeFiles/mts_test_ctrl.dir/ctrl/test_dot.cpp.o.d"
+  "/root/repo/tests/ctrl/test_petri.cpp" "tests/CMakeFiles/mts_test_ctrl.dir/ctrl/test_petri.cpp.o" "gcc" "tests/CMakeFiles/mts_test_ctrl.dir/ctrl/test_petri.cpp.o.d"
+  "/root/repo/tests/ctrl/test_reachability.cpp" "tests/CMakeFiles/mts_test_ctrl.dir/ctrl/test_reachability.cpp.o" "gcc" "tests/CMakeFiles/mts_test_ctrl.dir/ctrl/test_reachability.cpp.o.d"
+  "/root/repo/tests/ctrl/test_specs.cpp" "tests/CMakeFiles/mts_test_ctrl.dir/ctrl/test_specs.cpp.o" "gcc" "tests/CMakeFiles/mts_test_ctrl.dir/ctrl/test_specs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lip/CMakeFiles/mts_lip.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mts_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fifo/CMakeFiles/mts_fifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/mts_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/mts_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfm/CMakeFiles/mts_bfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/mts_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_test_ctrl.dir/ctrl/test_burst_mode.cpp.o"
+  "CMakeFiles/mts_test_ctrl.dir/ctrl/test_burst_mode.cpp.o.d"
+  "CMakeFiles/mts_test_ctrl.dir/ctrl/test_dot.cpp.o"
+  "CMakeFiles/mts_test_ctrl.dir/ctrl/test_dot.cpp.o.d"
+  "CMakeFiles/mts_test_ctrl.dir/ctrl/test_petri.cpp.o"
+  "CMakeFiles/mts_test_ctrl.dir/ctrl/test_petri.cpp.o.d"
+  "CMakeFiles/mts_test_ctrl.dir/ctrl/test_reachability.cpp.o"
+  "CMakeFiles/mts_test_ctrl.dir/ctrl/test_reachability.cpp.o.d"
+  "CMakeFiles/mts_test_ctrl.dir/ctrl/test_specs.cpp.o"
+  "CMakeFiles/mts_test_ctrl.dir/ctrl/test_specs.cpp.o.d"
+  "mts_test_ctrl"
+  "mts_test_ctrl.pdb"
+  "mts_test_ctrl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_test_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fifo/test_ablation.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_ablation.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_ablation.cpp.o.d"
+  "/root/repo/tests/fifo/test_area.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_area.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_area.cpp.o.d"
+  "/root/repo/tests/fifo/test_async_async.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_async_async.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_async_async.cpp.o.d"
+  "/root/repo/tests/fifo/test_async_sync.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_async_sync.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_async_sync.cpp.o.d"
+  "/root/repo/tests/fifo/test_async_timing.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_async_timing.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_async_timing.cpp.o.d"
+  "/root/repo/tests/fifo/test_baseline.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_baseline.cpp.o.d"
+  "/root/repo/tests/fifo/test_cell_parts.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_cell_parts.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_cell_parts.cpp.o.d"
+  "/root/repo/tests/fifo/test_detectors.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_detectors.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_detectors.cpp.o.d"
+  "/root/repo/tests/fifo/test_detectors_property.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_detectors_property.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_detectors_property.cpp.o.d"
+  "/root/repo/tests/fifo/test_mixed_clock.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_mixed_clock.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_mixed_clock.cpp.o.d"
+  "/root/repo/tests/fifo/test_protocol_outcomes.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_protocol_outcomes.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_protocol_outcomes.cpp.o.d"
+  "/root/repo/tests/fifo/test_sync_async.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_sync_async.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_sync_async.cpp.o.d"
+  "/root/repo/tests/fifo/test_timing.cpp" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_timing.cpp.o" "gcc" "tests/CMakeFiles/mts_test_fifo.dir/fifo/test_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lip/CMakeFiles/mts_lip.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mts_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fifo/CMakeFiles/mts_fifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/mts_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/mts_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfm/CMakeFiles/mts_bfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/mts_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

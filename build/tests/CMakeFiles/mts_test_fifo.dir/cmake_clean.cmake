@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_ablation.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_ablation.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_area.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_area.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_async_async.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_async_async.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_async_sync.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_async_sync.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_async_timing.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_async_timing.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_baseline.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_baseline.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_cell_parts.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_cell_parts.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_detectors.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_detectors.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_detectors_property.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_detectors_property.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_mixed_clock.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_mixed_clock.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_protocol_outcomes.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_protocol_outcomes.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_sync_async.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_sync_async.cpp.o.d"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_timing.cpp.o"
+  "CMakeFiles/mts_test_fifo.dir/fifo/test_timing.cpp.o.d"
+  "mts_test_fifo"
+  "mts_test_fifo.pdb"
+  "mts_test_fifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_test_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

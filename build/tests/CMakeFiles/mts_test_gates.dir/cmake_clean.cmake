@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_test_gates.dir/gates/test_celement.cpp.o"
+  "CMakeFiles/mts_test_gates.dir/gates/test_celement.cpp.o.d"
+  "CMakeFiles/mts_test_gates.dir/gates/test_combinational.cpp.o"
+  "CMakeFiles/mts_test_gates.dir/gates/test_combinational.cpp.o.d"
+  "CMakeFiles/mts_test_gates.dir/gates/test_delay_model.cpp.o"
+  "CMakeFiles/mts_test_gates.dir/gates/test_delay_model.cpp.o.d"
+  "CMakeFiles/mts_test_gates.dir/gates/test_flops.cpp.o"
+  "CMakeFiles/mts_test_gates.dir/gates/test_flops.cpp.o.d"
+  "CMakeFiles/mts_test_gates.dir/gates/test_gates_property.cpp.o"
+  "CMakeFiles/mts_test_gates.dir/gates/test_gates_property.cpp.o.d"
+  "CMakeFiles/mts_test_gates.dir/gates/test_latch.cpp.o"
+  "CMakeFiles/mts_test_gates.dir/gates/test_latch.cpp.o.d"
+  "CMakeFiles/mts_test_gates.dir/gates/test_tristate.cpp.o"
+  "CMakeFiles/mts_test_gates.dir/gates/test_tristate.cpp.o.d"
+  "mts_test_gates"
+  "mts_test_gates.pdb"
+  "mts_test_gates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_test_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

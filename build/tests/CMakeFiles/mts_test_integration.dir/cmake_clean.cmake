@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_test_integration.dir/integration/test_determinism.cpp.o"
+  "CMakeFiles/mts_test_integration.dir/integration/test_determinism.cpp.o.d"
+  "CMakeFiles/mts_test_integration.dir/integration/test_fuzz_campaign.cpp.o"
+  "CMakeFiles/mts_test_integration.dir/integration/test_fuzz_campaign.cpp.o.d"
+  "CMakeFiles/mts_test_integration.dir/integration/test_property_traffic.cpp.o"
+  "CMakeFiles/mts_test_integration.dir/integration/test_property_traffic.cpp.o.d"
+  "CMakeFiles/mts_test_integration.dir/integration/test_topologies.cpp.o"
+  "CMakeFiles/mts_test_integration.dir/integration/test_topologies.cpp.o.d"
+  "mts_test_integration"
+  "mts_test_integration.pdb"
+  "mts_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_test_lip.dir/lip/test_chain.cpp.o"
+  "CMakeFiles/mts_test_lip.dir/lip/test_chain.cpp.o.d"
+  "CMakeFiles/mts_test_lip.dir/lip/test_micropipeline.cpp.o"
+  "CMakeFiles/mts_test_lip.dir/lip/test_micropipeline.cpp.o.d"
+  "CMakeFiles/mts_test_lip.dir/lip/test_relay_property.cpp.o"
+  "CMakeFiles/mts_test_lip.dir/lip/test_relay_property.cpp.o.d"
+  "CMakeFiles/mts_test_lip.dir/lip/test_relay_station.cpp.o"
+  "CMakeFiles/mts_test_lip.dir/lip/test_relay_station.cpp.o.d"
+  "CMakeFiles/mts_test_lip.dir/lip/test_relay_structural.cpp.o"
+  "CMakeFiles/mts_test_lip.dir/lip/test_relay_structural.cpp.o.d"
+  "CMakeFiles/mts_test_lip.dir/lip/test_stations.cpp.o"
+  "CMakeFiles/mts_test_lip.dir/lip/test_stations.cpp.o.d"
+  "mts_test_lip"
+  "mts_test_lip.pdb"
+  "mts_test_lip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_test_lip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_activity.cpp.o"
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_activity.cpp.o.d"
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_experiments.cpp.o"
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_experiments.cpp.o.d"
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_matrix.cpp.o"
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_matrix.cpp.o.d"
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_stats.cpp.o"
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_stats.cpp.o.d"
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_table.cpp.o"
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_table.cpp.o.d"
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_waveform.cpp.o"
+  "CMakeFiles/mts_test_metrics.dir/metrics/test_waveform.cpp.o.d"
+  "mts_test_metrics"
+  "mts_test_metrics.pdb"
+  "mts_test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

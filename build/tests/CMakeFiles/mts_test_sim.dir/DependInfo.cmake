@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_fuzz_netlist.cpp" "tests/CMakeFiles/mts_test_sim.dir/sim/test_fuzz_netlist.cpp.o" "gcc" "tests/CMakeFiles/mts_test_sim.dir/sim/test_fuzz_netlist.cpp.o.d"
+  "/root/repo/tests/sim/test_report.cpp" "tests/CMakeFiles/mts_test_sim.dir/sim/test_report.cpp.o" "gcc" "tests/CMakeFiles/mts_test_sim.dir/sim/test_report.cpp.o.d"
+  "/root/repo/tests/sim/test_scheduler.cpp" "tests/CMakeFiles/mts_test_sim.dir/sim/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/mts_test_sim.dir/sim/test_scheduler.cpp.o.d"
+  "/root/repo/tests/sim/test_signal.cpp" "tests/CMakeFiles/mts_test_sim.dir/sim/test_signal.cpp.o" "gcc" "tests/CMakeFiles/mts_test_sim.dir/sim/test_signal.cpp.o.d"
+  "/root/repo/tests/sim/test_time.cpp" "tests/CMakeFiles/mts_test_sim.dir/sim/test_time.cpp.o" "gcc" "tests/CMakeFiles/mts_test_sim.dir/sim/test_time.cpp.o.d"
+  "/root/repo/tests/sim/test_trace.cpp" "tests/CMakeFiles/mts_test_sim.dir/sim/test_trace.cpp.o" "gcc" "tests/CMakeFiles/mts_test_sim.dir/sim/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lip/CMakeFiles/mts_lip.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mts_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fifo/CMakeFiles/mts_fifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/mts_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/mts_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bfm/CMakeFiles/mts_bfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/mts_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mts_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

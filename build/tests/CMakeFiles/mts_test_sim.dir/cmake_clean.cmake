@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_test_sim.dir/sim/test_fuzz_netlist.cpp.o"
+  "CMakeFiles/mts_test_sim.dir/sim/test_fuzz_netlist.cpp.o.d"
+  "CMakeFiles/mts_test_sim.dir/sim/test_report.cpp.o"
+  "CMakeFiles/mts_test_sim.dir/sim/test_report.cpp.o.d"
+  "CMakeFiles/mts_test_sim.dir/sim/test_scheduler.cpp.o"
+  "CMakeFiles/mts_test_sim.dir/sim/test_scheduler.cpp.o.d"
+  "CMakeFiles/mts_test_sim.dir/sim/test_signal.cpp.o"
+  "CMakeFiles/mts_test_sim.dir/sim/test_signal.cpp.o.d"
+  "CMakeFiles/mts_test_sim.dir/sim/test_time.cpp.o"
+  "CMakeFiles/mts_test_sim.dir/sim/test_time.cpp.o.d"
+  "CMakeFiles/mts_test_sim.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/mts_test_sim.dir/sim/test_trace.cpp.o.d"
+  "mts_test_sim"
+  "mts_test_sim.pdb"
+  "mts_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mts_test_sync.dir/sync/test_clock.cpp.o"
+  "CMakeFiles/mts_test_sync.dir/sync/test_clock.cpp.o.d"
+  "CMakeFiles/mts_test_sync.dir/sync/test_mtbf.cpp.o"
+  "CMakeFiles/mts_test_sync.dir/sync/test_mtbf.cpp.o.d"
+  "CMakeFiles/mts_test_sync.dir/sync/test_synchronizer.cpp.o"
+  "CMakeFiles/mts_test_sync.dir/sync/test_synchronizer.cpp.o.d"
+  "CMakeFiles/mts_test_sync.dir/sync/test_veto.cpp.o"
+  "CMakeFiles/mts_test_sync.dir/sync/test_veto.cpp.o.d"
+  "mts_test_sync"
+  "mts_test_sync.pdb"
+  "mts_test_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mts_test_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

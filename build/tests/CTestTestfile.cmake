@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mts_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/mts_test_gates[1]_include.cmake")
+include("/root/repo/build/tests/mts_test_sync[1]_include.cmake")
+include("/root/repo/build/tests/mts_test_ctrl[1]_include.cmake")
+include("/root/repo/build/tests/mts_test_fifo[1]_include.cmake")
+include("/root/repo/build/tests/mts_test_lip[1]_include.cmake")
+include("/root/repo/build/tests/mts_test_bfm[1]_include.cmake")
+include("/root/repo/build/tests/mts_test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/mts_test_integration[1]_include.cmake")
