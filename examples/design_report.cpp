@@ -93,6 +93,13 @@ int main(int argc, char** argv) {
                   "##################################################",
                   occ.fraction_at(lvl) * 100.0);
     }
+
+    const sim::KernelStats& ks = sim.report().kernel();
+    std::printf("\nkernel (occupancy run): %llu events executed, "
+                "peak queue depth %llu, pool high-water %llu slots\n",
+                static_cast<unsigned long long>(ks.events_executed),
+                static_cast<unsigned long long>(ks.peak_queue_depth),
+                static_cast<unsigned long long>(ks.pool_high_water));
   }
 
   // Controller specifications as Graphviz.

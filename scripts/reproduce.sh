@@ -1,23 +1,29 @@
 #!/usr/bin/env bash
 # Rebuilds everything, runs the full test suite, and regenerates every
-# table/figure in EXPERIMENTS.md. Outputs land in test_output.txt and
-# bench_output.txt at the repository root.
+# table/figure in EXPERIMENTS.md. All outputs (logs, VCD traces,
+# BENCH_kernel.json) land in out/, which is gitignored.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+repo="$PWD"
 
 cmake -B build -G Ninja
 cmake --build build
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+mkdir -p out
+ctest --test-dir build 2>&1 | tee out/test_output.txt
 
-{
-  for b in build/bench/bench_*; do
+# Benchmarks run from out/ so that generated artifacts (fig3_*.vcd from
+# bench_fig3_protocols, BENCH_kernel.json from bench_kernel_perf) are
+# written there instead of the repository root.
+(
+  cd out
+  for b in "$repo"/build/bench/bench_*; do
     echo "===================================================================="
     echo "== $(basename "$b")"
     echo "===================================================================="
     "$b"
     echo
   done
-} 2>&1 | tee bench_output.txt
+) 2>&1 | tee out/bench_output.txt
 
-echo "done: see test_output.txt and bench_output.txt"
+echo "done: see out/test_output.txt, out/bench_output.txt, out/*.vcd"

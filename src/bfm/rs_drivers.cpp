@@ -15,7 +15,7 @@ RsSource::RsSource(sim::Simulation& sim, std::string name, sim::Wire& clk,
       value_mask_(value_mask),
       sb_(sb) {
   (void)name;
-  sim::on_rise(clk, [this] { on_edge(); });
+  clk.on_rise([this] { on_edge(); });
 }
 
 void RsSource::on_edge() {
@@ -49,7 +49,7 @@ RsSink::RsSink(sim::Simulation& sim, std::string name, sim::Wire& clk,
       stall_rate_(stall_rate),
       sb_(sb) {
   (void)name;
-  sim::on_rise(clk, [this] { on_edge(); });
+  clk.on_rise([this] { on_edge(); });
 }
 
 void RsSink::on_edge() {

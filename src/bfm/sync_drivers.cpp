@@ -16,7 +16,7 @@ SyncPutDriver::SyncPutDriver(sim::Simulation& sim, std::string name,
       value_mask_(value_mask),
       next_value_(rate.first_value) {
   (void)name;
-  sim::on_rise(clk, [this] {
+  clk.on_rise([this] {
     sim_.sched().after(react_delay_, [this] {
       // The sender gates its own request with the same synchronized full
       // flag the put controller uses, so an offered put always lands.
@@ -45,7 +45,7 @@ SyncGetDriver::SyncGetDriver(sim::Simulation& sim, std::string name,
       react_delay_(dm.flop.clk_to_q + 1),
       rate_(rate) {
   (void)name;
-  sim::on_rise(clk, [this] {
+  clk.on_rise([this] {
     sim_.sched().after(react_delay_, [this] {
       if (!enabled_) {
         req_get_.set(false);
@@ -60,7 +60,7 @@ SyncGetDriver::SyncGetDriver(sim::Simulation& sim, std::string name,
 PutMonitor::PutMonitor(sim::Simulation& sim, sim::Wire& clk, sim::Wire& en_put,
                        sim::Wire& req_put, sim::Word& data_put, Scoreboard& sb) {
   (void)sim;
-  sim::on_rise(clk, [this, &en_put, &req_put, &data_put, &sb] {
+  clk.on_rise([this, &en_put, &req_put, &data_put, &sb] {
     // Pre-edge values: en_put/req_put/data_put were stable during the
     // ending cycle; this edge commits the enqueue.
     if (en_put.read() && req_put.read()) {
@@ -73,7 +73,7 @@ PutMonitor::PutMonitor(sim::Simulation& sim, sim::Wire& clk, sim::Wire& en_put,
 GetMonitor::GetMonitor(sim::Simulation& sim, sim::Wire& clk,
                        sim::Wire& valid_get, sim::Word& data_get,
                        Scoreboard& sb) {
-  sim::on_rise(clk, [this, &sim, &valid_get, &data_get, &sb] {
+  clk.on_rise([this, &sim, &valid_get, &data_get, &sb] {
     // valid_get is high at the sampling edge exactly when a valid word
     // leaves: FIFO mode gates it with en_get, relay-station mode with
     // !(empty | stopIn).

@@ -80,14 +80,14 @@ AsyncSyncFifo::AsyncSyncFifo(sim::Simulation& sim, const std::string& name,
     ack_terms.push_back(we[i]);
 
     sim::Wire* fw = f_[i];
-    sim::on_rise(*we[i], [this, fw] {
+    we[i]->on_rise([this, fw] {
       if (fw->read()) {
         ++overflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "overflow",
                           nl_.prefix() + ": put into a full cell");
       }
     });
-    sim::on_rise(get_part.re(), [this, fw] {
+    get_part.re().on_rise([this, fw] {
       if (!fw->read()) {
         ++underflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "underflow",

@@ -18,8 +18,8 @@ BaselineShiftFifo::BaselineShiftFifo(sim::Simulation& sim,
   valid_get_ = &nl_.wire("valid_get");
   empty_ = &nl_.wire("empty", true);
 
-  sim::on_rise(clk_put, [this] { on_put_edge(); });
-  sim::on_rise(clk_get, [this] { on_get_edge(); });
+  clk_put.on_rise([this] { on_put_edge(); });
+  clk_get.on_rise([this] { on_get_edge(); });
 }
 
 void BaselineShiftFifo::on_put_edge() {

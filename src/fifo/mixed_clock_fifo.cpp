@@ -86,7 +86,7 @@ MixedClockFifo::MixedClockFifo(sim::Simulation& sim, const std::string& name,
     // get on an empty cell is a protocol failure (the max-frequency search
     // and the detector ablations count these).
     sim::Wire* fw = f_[i];
-    sim::on_rise(put_part.we(), [this, fw] {
+    put_part.we().on_rise([this, fw] {
       ++data_moves_;  // one register write per enqueue; data never moves again
       if (fw->read()) {
         ++overflows_;
@@ -94,7 +94,7 @@ MixedClockFifo::MixedClockFifo(sim::Simulation& sim, const std::string& name,
                           nl_.prefix() + ": put into a full cell");
       }
     });
-    sim::on_rise(get_part.re(), [this, fw] {
+    get_part.re().on_rise([this, fw] {
       if (!fw->read()) {
         ++underflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "underflow",

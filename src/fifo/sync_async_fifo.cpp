@@ -68,14 +68,14 @@ SyncAsyncFifo::SyncAsyncFifo(sim::Simulation& sim, const std::string& name,
     ack_terms.push_back(re[i]);
 
     sim::Wire* fw = f_[i];
-    sim::on_rise(put_part.we(), [this, fw] {
+    put_part.we().on_rise([this, fw] {
       if (fw->read()) {
         ++overflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "overflow",
                           nl_.prefix() + ": put into a full cell");
       }
     });
-    sim::on_rise(*re[i], [this, fw] {
+    re[i]->on_rise([this, fw] {
       if (!fw->read()) {
         ++underflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "underflow",

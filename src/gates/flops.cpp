@@ -16,9 +16,7 @@ Etdff::Etdff(sim::Simulation& sim, std::string name, sim::Wire& clk, sim::Wire& 
       domain_(domain) {
   q_.set(initial);
   d_old_ = d_.read();
-  clk.on_change([this](bool old, bool now) {
-    if (!old && now) on_clock_edge();
-  });
+  clk.on_rise([this] { on_clock_edge(); });
   d_.on_change([this](bool old, bool) { on_data_change(old); });
 }
 
@@ -78,9 +76,7 @@ WordRegister::WordRegister(sim::Simulation& sim, std::string name, sim::Wire& cl
       timing_(timing),
       domain_(domain) {
   q_.set(initial);
-  clk.on_change([this](bool old, bool now) {
-    if (!old && now) on_clock_edge();
-  });
+  clk.on_rise([this] { on_clock_edge(); });
   d_.on_change([this](std::uint64_t, std::uint64_t) {
     const Time t = sim_.now();
     if (edge_seen_ && last_edge_enabled_ && t - last_edge_ < timing_.hold &&

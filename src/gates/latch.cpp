@@ -41,9 +41,7 @@ DLatch::DLatch(sim::Simulation& sim, std::string name, sim::Wire& d, sim::Wire& 
   (void)name;
   q_.set(initial);
   d_.on_change([this](bool, bool) { update(false); });
-  en_.on_change([this](bool old, bool now) {
-    if (!old && now) update(true);
-  });
+  en_.on_rise([this] { update(true); });
   sim.sched().after(0, [this] {
     if (en_.read()) update(true);
   });
@@ -59,9 +57,7 @@ WordLatch::WordLatch(sim::Simulation& sim, std::string name, sim::Word& d,
     : d_(d), en_(en), q_(q), d_to_q_(dm.latch_d_to_q), en_to_q_(dm.latch_en_to_q) {
   (void)name;
   d_.on_change([this](std::uint64_t, std::uint64_t) { update(false); });
-  en_.on_change([this](bool old, bool now) {
-    if (!old && now) update(true);
-  });
+  en_.on_rise([this] { update(true); });
   sim.sched().after(0, [this] {
     if (en_.read()) update(true);
   });

@@ -18,7 +18,7 @@ RelayStation::RelayStation(sim::Simulation& sim, std::string name,
       stop_in_(stop_in),
       clk_to_q_(dm.flop.clk_to_q) {
   (void)sim;
-  sim::on_rise(clk, [this] { on_edge(); });
+  clk.on_rise([this] { on_edge(); });
 }
 
 void RelayStation::on_edge() {

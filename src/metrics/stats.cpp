@@ -12,7 +12,7 @@ OccupancySampler::OccupancySampler(sim::Simulation& sim, sim::Wire& clk,
     : occupancy_(std::move(occupancy)), bins_(capacity + 1, 0) {
   MTS_ASSERT(static_cast<bool>(occupancy_), "OccupancySampler: null getter");
   (void)sim;
-  sim::on_rise(clk, [this] {
+  clk.on_rise([this] {
     const unsigned level = occupancy_();
     if (level < bins_.size()) {
       ++bins_[level];

@@ -1,0 +1,23 @@
+// Kernel health counters, cheap enough to maintain unconditionally.
+//
+// Scheduler::stats() returns a snapshot; Simulation refreshes the copy held
+// by sim::Report after every run()/run_until() so harnesses and reports can
+// surface kernel behaviour without external profilers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mts::sim {
+
+struct KernelStats {
+  /// Total events executed since construction.
+  std::uint64_t events_executed = 0;
+  /// Maximum number of simultaneously pending events (delta ring + heap).
+  std::size_t peak_queue_depth = 0;
+  /// Event slots ever allocated (ring capacity + heap capacity): the pool
+  /// high-water mark. Constant once the workload reaches steady state.
+  std::size_t pool_high_water = 0;
+};
+
+}  // namespace mts::sim

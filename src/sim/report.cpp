@@ -21,6 +21,7 @@ void Report::clear() {
   entries_.clear();
   per_category_.clear();
   failures_ = 0;
+  kernel_ = KernelStats{};
 }
 
 }  // namespace mts::sim

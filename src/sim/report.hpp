@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/kernel_stats.hpp"
 #include "sim/time.hpp"
 
 namespace mts::sim {
@@ -43,11 +44,17 @@ class Report {
   /// counting past the cap.
   void set_max_entries(std::size_t n) { max_entries_ = n; }
 
+  /// Kernel health counters, refreshed by Simulation after run()/run_until()
+  /// so harnesses can report them alongside the timing findings.
+  void set_kernel(const KernelStats& s) noexcept { kernel_ = s; }
+  const KernelStats& kernel() const noexcept { return kernel_; }
+
  private:
   std::vector<ReportEntry> entries_;
   std::map<std::string, std::size_t> per_category_;
   std::size_t failures_ = 0;
   std::size_t max_entries_ = 10'000;
+  KernelStats kernel_;
 };
 
 }  // namespace mts::sim

@@ -1,0 +1,57 @@
+// A growable power-of-two ring buffer (FIFO) for move-only elements.
+//
+// Backing storage for the scheduler's "delta ring" of current-timestamp
+// events: push_back/pop_front are O(1) with no allocation once the buffer
+// has grown to the workload's high-water mark, so the steady-state event
+// loop recycles the same slots forever (the buffer is the event pool).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mts::sim {
+
+template <typename T>
+class RingBuffer {
+ public:
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return buf_.size(); }
+
+  void push_back(T v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(v);
+    ++size_;
+  }
+
+  /// Precondition: !empty(). Moves the front element out; its slot is
+  /// immediately reusable.
+  T pop_front() {
+    T v = std::move(buf_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return v;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? kInitialCapacity : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mts::sim

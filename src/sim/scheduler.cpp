@@ -1,42 +1,64 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
 namespace mts::sim {
 
-void Scheduler::at(Time t, Callback cb) {
-  MTS_ASSERT(t >= now_, "event scheduled in the past at t=" + std::to_string(t) +
-                            " now=" + std::to_string(now_));
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
-}
-
-void Scheduler::execute(Event& e) {
-  if (e.t != now_) {
-    now_ = e.t;
-    events_at_now_ = 0;
-  }
+void Scheduler::run_one_from_ring() {
   if (++events_at_now_ > timestamp_budget_) {
     throw SimulationError("combinational oscillation: more than " +
                           std::to_string(timestamp_budget_) +
                           " events at t=" + format_time(now_));
   }
+  // Move the callback out before invoking: it may schedule new events and
+  // grow the ring while running.
+  Callback cb = ring_.pop_front();
+  ++stats_.events_executed;
+  cb();
+}
+
+void Scheduler::run_one_from_heap() {
+  if (heap_.size() > 1) std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event e = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = e.t;
+  events_at_now_ = 1;
+  // Scheduling order: siblings at this timestamp (larger seq than e) enter
+  // the delta ring before e runs, so e's zero-delay children -- appended to
+  // the ring during execution -- land after them. The common case (no
+  // sibling) skips the ring entirely.
+  while (!heap_.empty() && heap_.front().t == e.t) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    ring_.push_back(std::move(heap_.back().cb));
+    heap_.pop_back();
+  }
+  ++stats_.events_executed;
   e.cb();
 }
 
 bool Scheduler::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the callback is moved out via const_cast,
-  // which is safe because the element is popped immediately after.
-  Event e = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  execute(e);
+  if (!ring_.empty()) {
+    run_one_from_ring();
+  } else if (!heap_.empty()) {
+    run_one_from_heap();
+  } else {
+    return false;
+  }
   return true;
 }
 
 void Scheduler::run_until(Time t) {
-  while (!queue_.empty() && queue_.top().t <= t) {
-    step();
+  for (;;) {
+    if (!ring_.empty()) {
+      if (now_ > t) break;  // time already advanced past the horizon
+      run_one_from_ring();
+    } else if (!heap_.empty() && heap_.front().t <= t) {
+      run_one_from_heap();
+    } else {
+      break;
+    }
   }
   if (now_ < t) {
     now_ = t;
@@ -46,7 +68,14 @@ void Scheduler::run_until(Time t) {
 
 std::size_t Scheduler::run(std::size_t max_events) {
   std::size_t executed = 0;
-  while (executed < max_events && step()) {
+  while (executed < max_events) {
+    if (!ring_.empty()) {
+      run_one_from_ring();
+    } else if (!heap_.empty()) {
+      run_one_from_heap();
+    } else {
+      break;
+    }
     ++executed;
   }
   return executed;

@@ -1,29 +1,43 @@
 // Discrete-event scheduler.
 //
-// A min-heap of (time, sequence) ordered events. Events scheduled for the
-// same timestamp run in scheduling order, which gives the kernel
-// deterministic delta-cycle semantics: a zero-delay write scheduled while
-// processing time T runs later within T, never "before" already-pending work.
+// Two-level queue: a FIFO "delta ring" holds events at the current
+// timestamp (the dominant case -- zero-delay gate writes and delta cycles),
+// and a binary min-heap of (time, sequence) holds future events. When the
+// ring drains, the earliest heap timestamp is promoted: every heap event at
+// that time moves into the ring in scheduling order before any of them runs,
+// so same-timestamp events always execute in scheduling order regardless of
+// which level they entered through. This gives the kernel deterministic
+// delta-cycle semantics: a zero-delay write scheduled while processing time
+// T runs later within T, never "before" already-pending work.
+//
+// Callbacks are small-buffer-optimized (sim/callback.hpp) and both levels
+// recycle their storage, so the steady-state hot loop performs zero heap
+// allocations per event.
 //
 // A per-timestamp event budget guards against combinational oscillation
 // (e.g. an inverter loop with zero delay): exceeding it raises
 // SimulationError instead of hanging the process.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/error.hpp"
+#include "sim/kernel_stats.hpp"
+#include "sim/ring.hpp"
 #include "sim/time.hpp"
 
 namespace mts::sim {
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceFunction<void()>;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -32,14 +46,39 @@ class Scheduler {
   /// Current simulation time. Starts at 0.
   Time now() const noexcept { return now_; }
 
-  /// Schedules `cb` at absolute time `t`; `t` must not be in the past.
-  void at(Time t, Callback cb);
+  /// Schedules `f` at absolute time `t`; `t` must not be in the past.
+  /// Takes any void() callable and type-erases it directly into queue
+  /// storage -- no intermediate Callback move on the scheduling fast path.
+  template <typename F, typename = std::enable_if_t<
+                            std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void at(Time t, F&& f) {
+    MTS_ASSERT(t >= now_, "event scheduled in the past at t=" +
+                              std::to_string(t) +
+                              " now=" + std::to_string(now_));
+    if (t == now_) {
+      // Same-timestamp events always have a later sequence number than
+      // anything still in the heap at this time (those were promoted into
+      // the ring before execution started), so FIFO order is scheduling
+      // order.
+      ring_.push_back(Callback(std::forward<F>(f)));
+    } else {
+      heap_.emplace_back(t, next_seq_++, std::forward<F>(f));
+      // A singleton heap is already a heap; skip the sift (the dominant
+      // case for self-rescheduling chains).
+      if (heap_.size() > 1) std::push_heap(heap_.begin(), heap_.end(), Later{});
+    }
+    note_push();
+  }
 
-  /// Schedules `cb` at now() + delay.
-  void after(Time delay, Callback cb) { at(now_ + delay, std::move(cb)); }
+  /// Schedules `f` at now() + delay.
+  template <typename F, typename = std::enable_if_t<
+                            std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void after(Time delay, F&& f) {
+    at(now_ + delay, std::forward<F>(f));
+  }
 
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return ring_.empty() && heap_.empty(); }
+  std::size_t pending() const noexcept { return ring_.size() + heap_.size(); }
 
   /// Runs the single earliest event. Returns false if the queue is empty.
   bool step();
@@ -56,10 +95,20 @@ class Scheduler {
   /// declares a combinational oscillation.
   void set_timestamp_budget(std::size_t budget) { timestamp_budget_ = budget; }
 
+  /// Snapshot of the kernel health counters.
+  KernelStats stats() const noexcept {
+    KernelStats s = stats_;
+    s.pool_high_water = ring_.capacity() + heap_.capacity();
+    return s;
+  }
+
   static constexpr std::size_t kDefaultRunBudget = 500'000'000;
 
  private:
   struct Event {
+    template <typename F>
+    Event(Time time, std::uint64_t sequence, F&& f)
+        : t(time), seq(sequence), cb(std::forward<F>(f)) {}
     Time t = 0;
     std::uint64_t seq = 0;
     Callback cb;
@@ -70,13 +119,27 @@ class Scheduler {
     }
   };
 
-  void execute(Event& e);
+  /// Pops and runs the front delta-ring event (which is at now()).
+  void run_one_from_ring();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Advances now() to the earliest heap timestamp and runs its first event
+  /// directly; any sibling events at the same timestamp are first moved into
+  /// the delta ring (in scheduling order) so they run before the executed
+  /// event's zero-delay children. Precondition: ring empty, heap non-empty.
+  void run_one_from_heap();
+
+  void note_push() noexcept {
+    const std::size_t depth = ring_.size() + heap_.size();
+    if (depth > stats_.peak_queue_depth) stats_.peak_queue_depth = depth;
+  }
+
+  RingBuffer<Callback> ring_;  ///< events at now(), FIFO order
+  std::vector<Event> heap_;    ///< future events, min-heap via Later
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t events_at_now_ = 0;
   std::size_t timestamp_budget_ = 4'000'000;
+  KernelStats stats_;
 };
 
 }  // namespace mts::sim

@@ -1,8 +1,10 @@
 // Umbrella header for the discrete-event simulation kernel.
 #pragma once
 
-#include "sim/error.hpp"       // IWYU pragma: export
-#include "sim/report.hpp"      // IWYU pragma: export
+#include "sim/callback.hpp"      // IWYU pragma: export
+#include "sim/error.hpp"         // IWYU pragma: export
+#include "sim/kernel_stats.hpp"  // IWYU pragma: export
+#include "sim/report.hpp"        // IWYU pragma: export
 #include "sim/scheduler.hpp"   // IWYU pragma: export
 #include "sim/signal.hpp"      // IWYU pragma: export
 #include "sim/simulation.hpp"  // IWYU pragma: export

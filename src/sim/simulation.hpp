@@ -26,9 +26,14 @@ class Simulation {
   std::mt19937_64& rng() noexcept { return rng_; }
 
   Time now() const noexcept { return sched_.now(); }
-  void run_until(Time t) { sched_.run_until(t); }
+  void run_until(Time t) {
+    sched_.run_until(t);
+    report_.set_kernel(sched_.stats());
+  }
   std::size_t run(std::size_t max_events = Scheduler::kDefaultRunBudget) {
-    return sched_.run(max_events);
+    const std::size_t n = sched_.run(max_events);
+    report_.set_kernel(sched_.stats());
+    return n;
   }
 
  private:

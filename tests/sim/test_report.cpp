@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/signal.hpp"
+
 namespace mts::sim {
 namespace {
 
@@ -44,6 +46,29 @@ TEST(Report, EntriesPreserveFields) {
   EXPECT_EQ(e.severity, Severity::kViolation);
   EXPECT_EQ(e.category, "hold");
   EXPECT_EQ(e.message, "flop q");
+}
+
+TEST(Report, SurfacesKernelStatsAfterRun) {
+  Simulation sim;
+  Wire w(sim, "w");
+  for (int i = 0; i < 5; ++i) {
+    w.write((i % 2) == 0, static_cast<Time>(i + 1), DelayKind::kTransport);
+  }
+  sim.run();
+  const KernelStats& ks = sim.report().kernel();
+  EXPECT_EQ(ks.events_executed, 5u);
+  EXPECT_GE(ks.peak_queue_depth, 5u);
+  EXPECT_GT(ks.pool_high_water, 0u);
+}
+
+TEST(Report, ClearResetsKernelStats) {
+  Report r;
+  KernelStats ks;
+  ks.events_executed = 7;
+  r.set_kernel(ks);
+  EXPECT_EQ(r.kernel().events_executed, 7u);
+  r.clear();
+  EXPECT_EQ(r.kernel().events_executed, 0u);
 }
 
 }  // namespace

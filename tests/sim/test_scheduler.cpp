@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace mts::sim {
@@ -126,6 +128,72 @@ TEST(Scheduler, PendingCountsQueuedEvents) {
   s.at(1, [] {});
   s.at(2, [] {});
   EXPECT_EQ(s.pending(), 2u);
+}
+
+// Events at one timestamp enter through both queue levels: those scheduled
+// before time advances sit in the future heap, those scheduled while the
+// timestamp is executing go straight to the delta ring. Scheduling order
+// must hold across that boundary.
+TEST(Scheduler, FifoOrderAcrossRingHeapBoundary) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(5, [&] {
+    order.push_back(1);
+    s.at(5, [&] { order.push_back(4); });  // ring entry
+    s.at(5, [&] { order.push_back(5); });  // ring entry
+  });
+  s.at(5, [&] { order.push_back(2); });  // heap sibling of the first event
+  s.at(5, [&] { order.push_back(3); });  // heap sibling of the first event
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+// The per-timestamp budget must count ring events belonging to a timestamp
+// that was entered via the heap, and must reset when time advances.
+TEST(Scheduler, OscillationBudgetSpansBothQueueLevels) {
+  Scheduler s;
+  s.set_timestamp_budget(50);
+  std::function<void()> loop = [&] { s.after(0, loop); };
+  s.at(7, loop);  // enters at t=7 through the heap, then loops in the ring
+  EXPECT_THROW(s.run(), SimulationError);
+
+  Scheduler ok;
+  ok.set_timestamp_budget(50);
+  int hits = 0;
+  std::function<void()> advance = [&] {
+    if (++hits < 200) ok.after(1, advance);
+  };
+  ok.at(0, advance);
+  ok.run();  // 200 events, but only one per timestamp: budget never trips
+  EXPECT_EQ(hits, 200);
+}
+
+TEST(Scheduler, StatsCountExecutedEventsAndPeakDepth) {
+  Scheduler s;
+  EXPECT_EQ(s.stats().events_executed, 0u);
+  for (int i = 0; i < 8; ++i) {
+    s.at(static_cast<Time>(i + 1), [] {});
+  }
+  EXPECT_EQ(s.stats().peak_queue_depth, 8u);
+  s.run();
+  EXPECT_EQ(s.stats().events_executed, 8u);
+  EXPECT_GE(s.stats().pool_high_water, 8u);
+}
+
+// Steady-state chains must recycle queue storage rather than grow it: the
+// pool high-water mark after a million-event chain stays at the small
+// initial footprint.
+TEST(Scheduler, SteadyStateChainDoesNotGrowPools) {
+  Scheduler s;
+  std::uint64_t count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100'000) s.after(1, tick);
+  };
+  s.at(1, tick);
+  s.run();
+  EXPECT_EQ(count, 100'000u);
+  // One outstanding event at a time: a handful of slots at most.
+  EXPECT_LE(s.stats().pool_high_water, 64u);
 }
 
 }  // namespace

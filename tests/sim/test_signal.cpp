@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 namespace mts::sim {
@@ -116,6 +117,113 @@ TEST(Signal, NameAndSimulationAccessors) {
   Wire w(sim, "top.sub.w");
   EXPECT_EQ(w.name(), "top.sub.w");
   EXPECT_EQ(&w.simulation(), &sim);
+}
+
+TEST(Signal, MemberEdgeListenersFireOnMatchingEdgeOnly) {
+  Simulation sim;
+  Wire w(sim, "w");
+  int rises = 0, falls = 0, changes = 0;
+  w.on_rise([&] { ++rises; });
+  w.on_fall([&] { ++falls; });
+  w.on_change([&](bool, bool) { ++changes; });
+  w.set(true);
+  w.set(false);
+  w.set(true);
+  EXPECT_EQ(rises, 2);
+  EXPECT_EQ(falls, 1);
+  EXPECT_EQ(changes, 3);
+}
+
+// Edge and change listeners interleave in registration order within one
+// notification.
+TEST(Signal, EdgeAndChangeListenersRunInRegistrationOrder) {
+  Simulation sim;
+  Wire w(sim, "w");
+  std::vector<int> order;
+  w.on_change([&](bool, bool) { order.push_back(1); });
+  w.on_rise([&] { order.push_back(2); });
+  w.on_change([&](bool, bool) { order.push_back(3); });
+  w.set(true);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// Edge listeners registered while a notification is being delivered must
+// not observe the in-flight change -- same guarantee as on_change, and the
+// registration must not invalidate the listener list mid-dispatch.
+TEST(Signal, EdgeListenersAddedDuringNotificationMissThatEvent) {
+  Simulation sim;
+  Wire w(sim, "w");
+  int late_rises = 0;
+  w.on_rise([&] { w.on_rise([&] { ++late_rises; }); });
+  w.set(true);
+  EXPECT_EQ(late_rises, 0);
+  w.set(false);
+  w.set(true);
+  // First rise registered one new listener; the second rise registered
+  // another and fired the first.
+  EXPECT_EQ(late_rises, 1);
+}
+
+// Transaction slots are recycled through the free list: a long sequence of
+// write+commit cycles must not grow the pool past the peak number of
+// simultaneously outstanding writes.
+TEST(Signal, TransactionPoolRecyclesSlots) {
+  Simulation sim;
+  Wire w(sim, "w");
+  bool v = false;
+  for (int i = 0; i < 10'000; ++i) {
+    v = !v;
+    w.write(v, 1, DelayKind::kTransport);
+    sim.run();
+  }
+  EXPECT_LE(w.pool_slots(), 4u);
+}
+
+// Regression for the seed's O(n) pending-list erase: with thousands of
+// transport writes outstanding, each commit must be O(1), so the whole
+// burst commits in time proportional to n, not n^2. Guarded by comparing
+// pool growth (which is linear by construction) rather than wall-clock:
+// every slot is used exactly once and the sim completes within the default
+// run budget.
+TEST(Signal, ThousandsOfPendingTransportWritesCommitLinearly) {
+  Simulation sim;
+  Word w(sim, "w");
+  constexpr std::uint64_t kWrites = 20'000;
+  for (std::uint64_t i = 0; i < kWrites; ++i) {
+    w.write(i + 1, static_cast<Time>(i + 1), DelayKind::kTransport);
+  }
+  EXPECT_EQ(w.pending_writes(), kWrites);
+  EXPECT_EQ(w.pool_slots(), kWrites);  // all outstanding at once
+  sim.run();
+  EXPECT_EQ(w.pending_writes(), 0u);
+  EXPECT_EQ(w.read(), kWrites);
+  // A second identical burst reuses the recycled slots: no pool growth.
+  for (std::uint64_t i = 0; i < kWrites; ++i) {
+    w.write(i + 1, static_cast<Time>(i + 1), DelayKind::kTransport);
+  }
+  EXPECT_EQ(w.pool_slots(), kWrites);
+  sim.run();
+}
+
+// An inertial write cancels every pending write in O(1) via the generation
+// watermark; cancelled transactions still recycle their slots.
+TEST(Signal, InertialCancellationRecyclesCancelledSlots) {
+  Simulation sim;
+  Wire w(sim, "w");
+  for (int i = 0; i < 100; ++i) {
+    w.write(true, static_cast<Time>(i + 10), DelayKind::kTransport);
+  }
+  w.write(false, 1, DelayKind::kInertial);  // cancels all 100
+  EXPECT_EQ(w.pending_writes(), 1u);
+  sim.run();
+  EXPECT_FALSE(w.read());
+  const std::size_t pool_after_cancel = w.pool_slots();
+  // The freed slots satisfy the next burst without new allocations.
+  for (int i = 0; i < 100; ++i) {
+    w.write(true, static_cast<Time>(i + 10), DelayKind::kTransport);
+  }
+  EXPECT_EQ(w.pool_slots(), pool_after_cancel);
+  sim.run();
 }
 
 }  // namespace
