@@ -1,5 +1,9 @@
 #include "bfm/async_drivers.hpp"
 
+#include <utility>
+
+#include "sim/fault.hpp"
+
 namespace mts::bfm {
 
 AsyncPutDriver::AsyncPutDriver(sim::Simulation& sim, std::string name,
@@ -8,13 +12,13 @@ AsyncPutDriver::AsyncPutDriver(sim::Simulation& sim, std::string name,
                                sim::Time gap, std::uint64_t value_mask,
                                Scoreboard* sb)
     : sim_(sim),
+      name_(std::move(name)),
       put_req_(put_req),
       put_data_(put_data),
       dm_(dm),
       gap_(gap),
       value_mask_(value_mask),
       sb_(sb) {
-  (void)name;
   put_ack.on_change([this](bool, bool now) {
     if (now) {
       // Enqueue complete: the data item is latched in a cell.
@@ -36,11 +40,27 @@ void AsyncPutDriver::issue_one() { issue(); }
 
 void AsyncPutDriver::issue() {
   if (!enabled_) return;
-  put_data_.set(next_value_ & value_mask_);
+  const std::uint64_t value = next_value_ & value_mask_;
+  // Fault injection: a bundling fault lags the data behind its request,
+  // modelling a matched-delay line whose datapath slowed more under PVT
+  // variation than the delay line compensating it. Past
+  // fifo::async_put_data_margin() the receiving latch captures stale data.
+  sim::Time lag = 0;
+  if (sim::FaultPlan* fp = sim_.faults()) {
+    if (const sim::BundlingFault* bf = fp->bundling(name_)) {
+      lag = bf->data_lag;
+      if (lag > 0) fp->note("bundling.lag");
+    }
+  }
+  if (lag == 0) {
+    put_data_.set(value);
+  } else {
+    put_data_.write(value, lag, sim::DelayKind::kTransport);
+  }
   // Record the expectation at issue time: with a single sender, enqueue
   // order equals issue order, and a fast receiver may observe the item
   // before the acknowledgment propagates back to us.
-  if (sb_ != nullptr) sb_->push(next_value_ & value_mask_);
+  if (sb_ != nullptr) sb_->push(value);
   ++next_value_;
   // Bundling: req rises one gate after the data is stable.
   put_req_.write(true, dm_.gate(1), sim::DelayKind::kTransport);

@@ -44,6 +44,7 @@ class AsyncPutDriver {
   void issue();
 
   sim::Simulation& sim_;
+  std::string name_;  ///< fault-plan site key for bundling violations
   sim::Wire& put_req_;
   sim::Word& put_data_;
   gates::DelayModel dm_;

@@ -25,4 +25,21 @@ double async_put_mops_estimate(const FifoConfig& cfg) {
   return cycle == 0 ? 0.0 : 1e6 / static_cast<double>(cycle);
 }
 
+sim::Time async_put_data_margin(const FifoConfig& cfg) {
+  const gates::DelayModel& dm = cfg.dm;
+  const unsigned n = cfg.capacity;
+
+  // Request edge to the cell's we edge, traversed once in each handshake
+  // direction: broadcast to all cells, asymmetric C-element, we buffering.
+  const sim::Time req_to_we =
+      dm.broadcast(n, 1) + dm.celement(3) + dm.broadcast(1, cfg.width);
+
+  return dm.gate(1)                             // sender's req+ bundling gate
+         + req_to_we                            // req+ -> we+ (latch opens)
+         + gates::tree_depth(n, 2) * dm.gate(2) // we+ -> ack tree
+         + dm.gate(2, 4)                        // global put_ack buffer
+         + dm.gate(1)                           // sender's req- reaction
+         + req_to_we;                           // req- -> we- (latch closes)
+}
+
 }  // namespace mts::fifo

@@ -23,4 +23,15 @@ sim::Time async_put_cycle_estimate(const FifoConfig& cfg);
 /// The same quantity as a rate in MegaOps/s.
 double async_put_mops_estimate(const FifoConfig& cfg);
 
+/// Bundled-data margin of the asynchronous put interface: how much later
+/// than its nominal launch instant the data may arrive at the cell's REG
+/// latch and still be captured. The 4-phase protocol holds the latch
+/// transparent from we+ (request broadcast -> C-element -> latch-enable
+/// load) until we- (acknowledge out, request withdrawn, C-element
+/// released), so the margin spans the request's full forward path plus the
+/// handshake's return path. A sim::BundlingFault with data_lag beyond this
+/// margin must corrupt every enqueue; below it, none (the fault suite pins
+/// both sides of the threshold).
+sim::Time async_put_data_margin(const FifoConfig& cfg);
+
 }  // namespace mts::fifo

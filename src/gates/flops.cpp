@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "sim/fault.hpp"
+#include "sim/simulation.hpp"
+
 namespace mts::gates {
 
 Etdff::Etdff(sim::Simulation& sim, std::string name, sim::Wire& clk, sim::Wire& d,
@@ -49,7 +52,17 @@ void Etdff::on_clock_edge() {
 
   bool value = d_.read();
   Time extra = 0;
-  const bool in_window = d_changed_ && (t - d_last_change_) < timing_.setup;
+  bool in_window = d_changed_ && (t - d_last_change_) < timing_.setup;
+  // Fault injection: an armed plan can stretch the susceptibility window of
+  // asynchronously sampled flops (synchronizer stages), forcing samples
+  // that were nominally safe to go metastable. One branch when unarmed.
+  if (policy_ && !in_window && d_changed_) {
+    if (sim::FaultPlan* fp = sim_.faults()) {
+      if (const sim::MetaFault* mf = fp->meta(name_)) {
+        in_window = (t - d_last_change_) < mf->widened_window(timing_.setup);
+      }
+    }
+  }
   if (in_window) {
     if (policy_) {
       const AsyncSample s = policy_(d_old_, value, t);

@@ -1,0 +1,190 @@
+#include "metrics/coverage.hpp"
+
+#include <sstream>
+
+#include "fifo/async_sync_fifo.hpp"
+#include "fifo/mixed_clock_fifo.hpp"
+
+namespace mts::metrics {
+
+std::uint64_t Coverage::hits(const std::string& bin) const {
+  const auto it = bins_.find(bin);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Coverage::missing() const {
+  std::vector<std::string> out;
+  for (const auto& [bin, n] : bins_) {
+    if (n == 0) out.push_back(bin);
+  }
+  return out;
+}
+
+bool Coverage::all_hit() const {
+  for (const auto& [bin, n] : bins_) {
+    if (n == 0) return false;
+  }
+  return !bins_.empty();
+}
+
+std::string Coverage::summary() const {
+  std::ostringstream os;
+  std::size_t covered = 0;
+  for (const auto& [bin, n] : bins_) {
+    if (n > 0) ++covered;
+  }
+  os << name_ << ": " << covered << "/" << bins_.size() << " bins hit";
+  const auto miss = missing();
+  if (!miss.empty()) {
+    os << "; missing:";
+    for (const auto& m : miss) os << " " << m;
+  }
+  return os.str();
+}
+
+void Coverage::report_into(sim::Report& r, sim::Time t) const {
+  r.add(t, sim::Severity::kInfo, "coverage", summary());
+  for (const auto& [bin, n] : bins_) {
+    if (n > 0) {
+      r.add(t, sim::Severity::kInfo, "coverage",
+            "bin " + bin + " hits=" + std::to_string(n));
+    } else {
+      r.add(t, sim::Severity::kWarning, "coverage-miss",
+            "bin " + bin + " never hit");
+    }
+  }
+}
+
+void Coverage::bin_rise(const std::string& bin, sim::Wire& w) {
+  w.on_rise([c = slot(bin)] { ++*c; });
+}
+
+void Coverage::bin_fall(const std::string& bin, sim::Wire& w) {
+  w.on_fall([c = slot(bin)] { ++*c; });
+}
+
+void Coverage::bin_nth_rise(const std::string& bin, sim::Wire& w, unsigned n) {
+  w.on_rise([c = slot(bin), seen = 0u, n]() mutable {
+    if (++seen >= n) ++*c;
+  });
+}
+
+void Coverage::bin_nth_fall(const std::string& bin, sim::Wire& w, unsigned n) {
+  w.on_fall([c = slot(bin), seen = 0u, n]() mutable {
+    if (++seen >= n) ++*c;
+  });
+}
+
+namespace {
+
+/// Shared occupancy-bucket listener body: recomputes occupancy on any cell
+/// flag change and bumps the matching coarse bucket. `nearfull` means the
+/// put side is one item (or less) from stalling, which for capacity 2
+/// coincides with any non-empty state -- the campaign treats the buckets
+/// as reachability classes, not a histogram.
+///
+/// Only meaningful for the FIFO controller: a relay-station put side
+/// enqueues every cycle (void items carry v=0), so the cell-flag count
+/// includes bubbles and never returns to zero once traffic starts. Relay
+/// configurations cover the empty/full states through the oe/full detector
+/// bins instead.
+template <typename Fifo>
+void attach_occ_buckets(Coverage& cov, const std::string& prefix, Fifo& f) {
+  if (f.config().controller != fifo::ControllerKind::kFifo) return;
+  cov.define(prefix + ".occ.empty");
+  cov.define(prefix + ".occ.some");
+  cov.define(prefix + ".occ.nearfull");
+  struct Probe {
+    Fifo* f;
+    std::uint64_t* empty;
+    std::uint64_t* some;
+    std::uint64_t* nearfull;
+    unsigned cap;
+    void operator()() const {
+      const unsigned occ = f->occupancy();
+      if (occ == 0) ++*empty;
+      if (occ >= 1) ++*some;
+      if (occ + 1 >= cap) ++*nearfull;
+    }
+  };
+  static_assert(sizeof(Probe) <= 40, "keep the probe within a listener cell");
+  const Probe p{&f, cov.counter(prefix + ".occ.empty"),
+                cov.counter(prefix + ".occ.some"),
+                cov.counter(prefix + ".occ.nearfull"), f.config().capacity};
+  for (unsigned i = 0; i < f.config().capacity; ++i) {
+    f.cell_f(i).on_change([p](bool, bool) { p(); });
+  }
+}
+
+}  // namespace
+
+void cover_mixed_clock_fifo(Coverage& cov, const std::string& prefix,
+                            fifo::MixedClockFifo& f) {
+  cov.bin_rise(prefix + ".full.rise", f.full_raw());
+  cov.bin_fall(prefix + ".full.fall", f.full_raw());
+  cov.bin_rise(prefix + ".ne.rise", f.ne_raw());
+  cov.bin_fall(prefix + ".ne.fall", f.ne_raw());
+  cov.bin_rise(prefix + ".oe.rise", f.oe_raw());
+  cov.bin_fall(prefix + ".oe.fall", f.oe_raw());
+  // Ring wraps: the put (get) token is back at cell 0 when its full flag
+  // sets (clears) for the second time -- the first set/clear is startup.
+  cov.bin_nth_rise(prefix + ".ptok.wrap", f.cell_f(0), 2);
+  cov.bin_nth_fall(prefix + ".gtok.wrap", f.cell_f(0), 2);
+  attach_occ_buckets(cov, prefix, f);
+}
+
+void cover_async_sync_fifo(Coverage& cov, const std::string& prefix,
+                           fifo::AsyncSyncFifo& f) {
+  cov.bin_rise(prefix + ".ne.rise", f.ne_raw());
+  cov.bin_fall(prefix + ".ne.fall", f.ne_raw());
+  cov.bin_rise(prefix + ".oe.rise", f.oe_raw());
+  cov.bin_fall(prefix + ".oe.fall", f.oe_raw());
+  cov.bin_nth_rise(prefix + ".ptok.wrap", f.cell_f(0), 2);
+  cov.bin_nth_fall(prefix + ".gtok.wrap", f.cell_f(0), 2);
+  attach_occ_buckets(cov, prefix, f);
+}
+
+void cover_stall_valid(Coverage& cov, const std::string& prefix,
+                       sim::Wire& clk, sim::Wire& valid, sim::Wire& stop) {
+  for (const char* bin :
+       {".sv.idle", ".sv.flow", ".sv.backpressure", ".sv.stall"}) {
+    cov.define(prefix + bin);
+  }
+  struct Probe {
+    const sim::Wire* valid;
+    const sim::Wire* stop;
+    std::uint64_t* cells[4];  // [valid][stop]
+    void operator()() const {
+      const unsigned idx =
+          (valid->read() ? 2u : 0u) + (stop->read() ? 1u : 0u);
+      ++*cells[idx];
+    }
+  };
+  Probe p{&valid, &stop,
+          {cov.counter(prefix + ".sv.idle"),
+           cov.counter(prefix + ".sv.backpressure"),
+           cov.counter(prefix + ".sv.flow"),
+           cov.counter(prefix + ".sv.stall")}};
+  clk.on_rise([p] { p(); });
+}
+
+void cover_occupancy_histogram(Coverage& cov, const std::string& prefix,
+                               fifo::MixedClockFifo& f) {
+  if (f.config().controller != fifo::ControllerKind::kFifo) return;
+  const unsigned cap = f.config().capacity;
+  std::vector<std::uint64_t*> cells;
+  cells.reserve(cap + 1);
+  for (unsigned k = 0; k <= cap; ++k) {
+    cells.push_back(cov.counter(prefix + ".occ." + std::to_string(k)));
+  }
+  struct Probe {
+    fifo::MixedClockFifo* f;
+    std::vector<std::uint64_t*> cells;
+    void operator()() const { ++*cells.at(f->occupancy()); }
+  };
+  for (unsigned i = 0; i < cap; ++i) {
+    f.cell_f(i).on_change([p = Probe{&f, cells}](bool, bool) { p(); });
+  }
+}
+
+}  // namespace mts::metrics

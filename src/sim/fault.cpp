@@ -1,0 +1,31 @@
+#include "sim/fault.hpp"
+
+#include <sstream>
+
+namespace mts::sim {
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "FaultPlan{seed=" << seed_;
+  for (const auto& [site, f] : meta_) {
+    os << ", meta[" << (site.empty() ? "*" : site)
+       << "]={window_scale=" << f.window_scale
+       << ", tau_scale=" << f.tau_scale << ", p_new=" << f.p_new
+       << ", escape_threshold=" << f.escape_threshold << "}";
+  }
+  for (const auto& [site, f] : clocks_) {
+    os << ", clock[" << (site.empty() ? "*" : site)
+       << "]={extra_jitter=" << f.extra_jitter << ", drift=" << f.drift << "}";
+  }
+  for (const auto& [site, f] : bundling_) {
+    os << ", bundling[" << (site.empty() ? "*" : site)
+       << "]={data_lag=" << f.data_lag << "}";
+  }
+  for (const auto& [kind, n] : counts_) {
+    os << ", " << kind << "=" << n;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace mts::sim

@@ -1,0 +1,151 @@
+// Fault injection: a seeded plan of timing/metastability faults that the
+// simulation's components consult at their hazard points.
+//
+// The paper's central claim is robustness -- synchronizer depth makes the
+// mixed-clock FIFO "arbitrarily robust with regard to metastability", and
+// the relay stations preserve latency-insensitive correctness under
+// arbitrary stalling. A FaultPlan turns that claim into an executable,
+// falsifiable experiment: it *causes* the rare events the analytic MTBF
+// model only predicts, at an accelerated (but still model-derived) rate,
+// and the fault test suite checks that the designs fail exactly where the
+// theory says they must (depth-1 synchronizers, under-margined bundled
+// data) and survive everywhere else.
+//
+// Supported fault kinds, each keyed by a substring match on the component
+// or signal name ("" matches every site):
+//
+//   MetaFault      -- stretches a synchronizer flop's susceptibility window
+//                     (more samples go metastable) and its resolution time
+//                     constant tau (resolutions settle later), per the
+//                     two-parameter MTBF model MTBF = exp(t_r/tau)/(Tw f f).
+//                     Consulted by gates::Etdff (window) and
+//                     sync::Synchronizer (resolution draw); the site key is
+//                     the stage flop's qualified name, so "Sync.ff0" hits
+//                     every chain's front stage and "neSync" a whole chain.
+//   ClockFault     -- multiplicative drift plus extra uniform cycle-to-cycle
+//                     jitter on a sync::Clock.
+//   BundlingFault  -- delays the bundled data of a 4-phase async put
+//                     relative to its request, modelling a matched-delay
+//                     line whose datapath slowed more than the delay line
+//                     under PVT variation. Consulted by bfm::AsyncPutDriver;
+//                     fifo::async_put_data_margin() documents the margin
+//                     past which this must corrupt data.
+//
+// Arming: Simulation::arm_faults(&plan). Components test a single nullable
+// pointer on their hazard paths, so an unarmed simulation pays one
+// predictable branch and produces bit-identical traces to a build without
+// the subsystem (the golden-waveform test pins this).
+//
+// Fault randomness comes from the plan's own seeded RNG, not the
+// simulation's, so arming a plan never perturbs the stimulus/metastability
+// draws of other stochastic elements.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mts::sim {
+
+/// Metastability acceleration for synchronizer stages.
+struct MetaFault {
+  double window_scale = 1.0;  ///< stretches the susceptibility window
+  double tau_scale = 1.0;     ///< stretches the resolution time constant
+  double p_new = 0.5;         ///< probability a metastable sample resolves new
+  /// When > 0, a resolution draw at a chain's *final* stage settling later
+  /// than this counts as "meta.escape": unresolved metastability reached
+  /// fan-out logic. Tests set it to the receiving clock's resolution slack.
+  Time escape_threshold = 0;
+
+  /// The stretched susceptibility window for a nominal window `w`.
+  Time widened_window(Time w) const {
+    return static_cast<Time>(static_cast<double>(w) * window_scale);
+  }
+};
+
+/// Period perturbation for one clock.
+struct ClockFault {
+  Time extra_jitter = 0;  ///< extra uniform +/- perturbation per cycle
+  double drift = 1.0;     ///< multiplicative period stretch (PVT drift)
+};
+
+/// Bundled-data timing violation on an asynchronous put interface.
+struct BundlingFault {
+  /// Extra transport delay on the data wires relative to the request: the
+  /// amount by which the datapath outran its matched-delay line. Corrupts
+  /// enqueued data once it exceeds fifo::async_put_data_margin().
+  Time data_lag = 0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // --- site registration (substring match; "" matches everything) ---
+  void inject_meta(std::string site_substr, MetaFault f) {
+    meta_.emplace_back(std::move(site_substr), f);
+  }
+  void inject_clock(std::string name_substr, ClockFault f) {
+    clocks_.emplace_back(std::move(name_substr), f);
+  }
+  void inject_bundling(std::string site_substr, BundlingFault f) {
+    bundling_.emplace_back(std::move(site_substr), f);
+  }
+
+  // --- site lookup (components call these at hazard points) ---
+  const MetaFault* meta(const std::string& site) const {
+    return find(meta_, site);
+  }
+  const ClockFault* clock(const std::string& name) const {
+    return find(clocks_, name);
+  }
+  const BundlingFault* bundling(const std::string& site) const {
+    return find(bundling_, site);
+  }
+
+  /// Fault-dedicated random stream (independent of Simulation::rng()).
+  std::mt19937_64& rng() noexcept { return rng_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Injection accounting, keyed by kind: "meta.sample" (front-stage
+  /// in-window samples), "meta.escape" (final-stage resolutions past the
+  /// escape threshold), "clock.perturb", "bundling.lag".
+  void note(const std::string& kind) { ++counts_[kind]; }
+  std::uint64_t count(const std::string& kind) const {
+    const auto it = counts_.find(kind);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// One-line reproduction record for test failure messages: the seed and
+  /// every registered fault with its parameters.
+  std::string describe() const;
+
+ private:
+  template <typename F>
+  static const F* find(const std::vector<std::pair<std::string, F>>& sites,
+                       const std::string& name) {
+    for (const auto& [substr, fault] : sites) {
+      if (substr.empty() || name.find(substr) != std::string::npos) {
+        return &fault;
+      }
+    }
+    return nullptr;
+  }
+
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+  std::vector<std::pair<std::string, MetaFault>> meta_;
+  std::vector<std::pair<std::string, ClockFault>> clocks_;
+  std::vector<std::pair<std::string, BundlingFault>> bundling_;
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace mts::sim

@@ -3,6 +3,7 @@
 
 #include "sim/callback.hpp"      // IWYU pragma: export
 #include "sim/error.hpp"         // IWYU pragma: export
+#include "sim/fault.hpp"         // IWYU pragma: export
 #include "sim/kernel_stats.hpp"  // IWYU pragma: export
 #include "sim/report.hpp"        // IWYU pragma: export
 #include "sim/scheduler.hpp"   // IWYU pragma: export

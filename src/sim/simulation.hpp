@@ -12,6 +12,8 @@
 
 namespace mts::sim {
 
+class FaultPlan;
+
 class Simulation {
  public:
   /// `seed` drives every stochastic element (jitter, metastability
@@ -24,6 +26,14 @@ class Simulation {
   Scheduler& sched() noexcept { return sched_; }
   Report& report() noexcept { return report_; }
   std::mt19937_64& rng() noexcept { return rng_; }
+
+  /// Arms (or, with nullptr, disarms) a fault-injection plan. Components
+  /// consult the plan at their hazard points (flop sampling windows, clock
+  /// period generation, bundled-data launches); with no plan armed those
+  /// paths cost one branch on this pointer and behave nominally. The plan
+  /// must outlive the simulation or be disarmed first.
+  void arm_faults(FaultPlan* plan) noexcept { faults_ = plan; }
+  FaultPlan* faults() const noexcept { return faults_; }
 
   Time now() const noexcept { return sched_.now(); }
   void run_until(Time t) {
@@ -40,6 +50,7 @@ class Simulation {
   Scheduler sched_;
   Report report_;
   std::mt19937_64 rng_;
+  FaultPlan* faults_ = nullptr;
 };
 
 }  // namespace mts::sim

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/error.hpp"
+#include "sim/fault.hpp"
 
 namespace mts::sync {
 
@@ -32,6 +33,25 @@ void Clock::schedule_rise(sim::Time t) {
           static_cast<std::int64_t>(config_.jitter));
       period = static_cast<sim::Time>(static_cast<std::int64_t>(period) +
                                       dist(sim_.rng()));
+    }
+    // Fault injection: an armed plan can add PVT drift and extra
+    // cycle-to-cycle jitter to this clock. One branch when unarmed.
+    if (sim::FaultPlan* fp = sim_.faults()) {
+      if (const sim::ClockFault* cf = fp->clock(out_.name())) {
+        auto p = static_cast<std::int64_t>(static_cast<double>(period) *
+                                           cf->drift);
+        if (cf->extra_jitter > 0) {
+          std::uniform_int_distribution<std::int64_t> extra(
+              -static_cast<std::int64_t>(cf->extra_jitter),
+              static_cast<std::int64_t>(cf->extra_jitter));
+          p += extra(fp->rng());
+        }
+        // Keep the clock alive under extreme parameters: never shrink a
+        // cycle below a quarter of the nominal period.
+        const auto floor = static_cast<std::int64_t>(config_.period / 4 + 1);
+        period = static_cast<sim::Time>(p < floor ? floor : p);
+        fp->note("clock.perturb");
+      }
     }
     const auto high = static_cast<sim::Time>(static_cast<double>(period) *
                                              config_.duty);

@@ -3,6 +3,7 @@
 #include <random>
 
 #include "gates/combinational.hpp"
+#include "sim/fault.hpp"
 #include "sim/report.hpp"
 
 namespace mts::sync {
@@ -60,8 +61,9 @@ Synchronizer::Synchronizer(sim::Simulation& sim, const std::string& name,
     if (front || config_.mode == MetaMode::kStochastic) {
       // Front stage always absorbs async input. In stochastic mode every
       // stage can be hit by a late-settling predecessor.
-      ff.set_async_sampling([this, front, last](bool old_value, bool new_value,
-                                                sim::Time edge) {
+      ff.set_async_sampling([this, &ff, front, last](bool old_value,
+                                                     bool new_value,
+                                                     sim::Time edge) {
         if (front) ++front_events_;
         if (last && !front) {
           ++failures_;
@@ -71,11 +73,39 @@ Synchronizer::Synchronizer(sim::Simulation& sim, const std::string& name,
         if (config_.mode == MetaMode::kDeterministic) {
           return gates::AsyncSample{old_value, 0};
         }
-        std::bernoulli_distribution coin(0.5);
-        std::exponential_distribution<double> settle(
-            1.0 / static_cast<double>(dm_.meta_tau));
-        const auto extra = static_cast<sim::Time>(settle(sim_.rng()));
-        return gates::AsyncSample{coin(sim_.rng()) ? new_value : old_value, extra};
+        // Fault injection: an armed plan stretches tau (resolutions settle
+        // later) and biases the resolved value; its draws come from the
+        // plan's own RNG so arming never perturbs baseline stochastic runs.
+        // The site key is the stage flop's full name (e.g. "...neSync.ff0"),
+        // the same key the Etdff window hook matches, so a plan can stress
+        // just the front stages ("Sync.ff0") or a whole chain ("neSync").
+        double tau = static_cast<double>(dm_.meta_tau);
+        double p_new = 0.5;
+        std::mt19937_64* rng = &sim_.rng();
+        sim::FaultPlan* fp = sim_.faults();
+        const sim::MetaFault* mf =
+            fp != nullptr ? fp->meta(ff.name()) : nullptr;
+        if (mf != nullptr) {
+          tau *= mf->tau_scale;
+          p_new = mf->p_new;
+          rng = &fp->rng();
+          if (front) fp->note("meta.sample");
+        }
+        std::bernoulli_distribution coin(p_new);
+        std::exponential_distribution<double> settle(1.0 / tau);
+        const auto extra = static_cast<sim::Time>(settle(*rng));
+        if (mf != nullptr && last && mf->escape_threshold > 0 &&
+            extra > mf->escape_threshold) {
+          // The final stage will not settle within the receiving clock's
+          // resolution slack: unresolved metastability reaches fan-out
+          // logic mid-cycle (the event the MTBF model rates).
+          fp->note("meta.escape");
+          sim_.report().add(edge, sim::Severity::kWarning, "meta-escape",
+                            nl_.prefix() +
+                                ": injected metastability settled " +
+                                std::to_string(extra) + "ps after sampling");
+        }
+        return gates::AsyncSample{coin(*rng) ? new_value : old_value, extra};
       });
     }
     stage_in = &q;

@@ -1,0 +1,31 @@
+// Shared helpers for the fault-injection suite: the MTS_FAULT_SEED
+// environment override (the nightly CI job derives a fresh seed from the
+// date) and the standard reproduction hint printed on failures.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace mts::faulttest {
+
+/// Seed for this run: MTS_FAULT_SEED if set (decimal), else `fallback`.
+/// Every fault test draws its randomness from a FaultPlan or Simulation
+/// seeded with this value, so one number reproduces a failing run exactly.
+inline std::uint64_t fault_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("MTS_FAULT_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+  }
+  return fallback;
+}
+
+/// One-line reproduction command for GTest failure messages.
+inline std::string repro_hint(const std::string& gtest_filter,
+                              std::uint64_t seed) {
+  return "repro: MTS_FAULT_SEED=" + std::to_string(seed) +
+         " ./tests/mts_test_faults --gtest_filter=" + gtest_filter;
+}
+
+}  // namespace mts::faulttest

@@ -1,0 +1,101 @@
+// Unit tests for the FaultPlan container itself: site matching, the
+// dedicated random stream, injection accounting, and the describe() record
+// that failing fault tests print for reproduction.
+#include "sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace mts::sim {
+namespace {
+
+TEST(FaultPlan, SubstringSiteMatching) {
+  FaultPlan plan(1);
+  plan.inject_meta("neSync", MetaFault{2.0, 3.0, 0.5, 0});
+  EXPECT_NE(plan.meta("dut.get.neSync"), nullptr);
+  EXPECT_NE(plan.meta("dut.get.neSync.ff0"), nullptr);
+  EXPECT_EQ(plan.meta("dut.get.oeSync"), nullptr);
+  EXPECT_EQ(plan.meta("dut.put.fullSync"), nullptr);
+  EXPECT_EQ(plan.clock("clk_put"), nullptr);  // different kind, no match
+}
+
+TEST(FaultPlan, EmptySubstringMatchesEverySite) {
+  FaultPlan plan(1);
+  plan.inject_meta("", MetaFault{5.0, 10.0, 0.5, 100});
+  const MetaFault* f = plan.meta("anything.at.all");
+  ASSERT_NE(f, nullptr);
+  EXPECT_DOUBLE_EQ(f->window_scale, 5.0);
+  EXPECT_DOUBLE_EQ(f->tau_scale, 10.0);
+  EXPECT_EQ(f->escape_threshold, 100);
+}
+
+TEST(FaultPlan, FirstRegisteredMatchWins) {
+  FaultPlan plan(1);
+  plan.inject_clock("clk_get", ClockFault{0, 1.5});
+  plan.inject_clock("", ClockFault{0, 0.9});
+  EXPECT_DOUBLE_EQ(plan.clock("clk_get")->drift, 1.5);
+  EXPECT_DOUBLE_EQ(plan.clock("clk_put")->drift, 0.9);
+}
+
+TEST(FaultPlan, WidenedWindowScalesTheNominalWindow) {
+  MetaFault f;
+  f.window_scale = 4.0;
+  EXPECT_EQ(f.widened_window(100), 400);
+  MetaFault unit;  // default scale leaves the window untouched
+  EXPECT_EQ(unit.widened_window(100), 100);
+}
+
+TEST(FaultPlan, RngIsSeededAndIndependentOfSimulation) {
+  FaultPlan a(42), b(42), c(43);
+  EXPECT_EQ(a.seed(), 42u);
+  EXPECT_EQ(a.rng()(), b.rng()());  // same seed, same stream
+  EXPECT_NE(a.rng()(), c.rng()());  // (overwhelmingly likely)
+
+  // Drawing from the plan must not advance the simulation's stream.
+  Simulation sim(7);
+  const auto probe = sim.rng()();
+  Simulation sim2(7);
+  FaultPlan plan(99);
+  sim2.arm_faults(&plan);
+  for (int i = 0; i < 100; ++i) plan.rng()();
+  EXPECT_EQ(sim2.rng()(), probe);
+}
+
+TEST(FaultPlan, ArmingIsVisibleThroughTheSimulation) {
+  Simulation sim(1);
+  EXPECT_EQ(sim.faults(), nullptr);
+  FaultPlan plan(5);
+  sim.arm_faults(&plan);
+  EXPECT_EQ(sim.faults(), &plan);
+  sim.arm_faults(nullptr);
+  EXPECT_EQ(sim.faults(), nullptr);
+}
+
+TEST(FaultPlan, CountsInjectionEvents) {
+  FaultPlan plan(1);
+  EXPECT_EQ(plan.count("meta.escape"), 0u);
+  plan.note("meta.escape");
+  plan.note("meta.escape");
+  plan.note("bundling.lag");
+  EXPECT_EQ(plan.count("meta.escape"), 2u);
+  EXPECT_EQ(plan.count("bundling.lag"), 1u);
+  EXPECT_EQ(plan.count("clock.perturb"), 0u);
+}
+
+TEST(FaultPlan, DescribeRecordsSeedFaultsAndCounters) {
+  FaultPlan plan(31337);
+  plan.inject_meta("neSync", MetaFault{4.0, 8.0, 0.75, 2500});
+  plan.inject_clock("clk_get", ClockFault{120, 1.25});
+  plan.inject_bundling("put", BundlingFault{1800});
+  plan.note("meta.escape");
+  const std::string d = plan.describe();
+  EXPECT_NE(d.find("31337"), std::string::npos);
+  EXPECT_NE(d.find("neSync"), std::string::npos);
+  EXPECT_NE(d.find("clk_get"), std::string::npos);
+  EXPECT_NE(d.find("1800"), std::string::npos);
+  EXPECT_NE(d.find("meta.escape"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mts::sim

@@ -2,12 +2,19 @@
 // seeded generator (capacity, width, clock ratio, traffic rates, sync
 // depth), each run briefly and held to the core invariants. Complements
 // the hand-picked parameter sweeps with breadth.
+//
+// Every trial's full parameter set (including its per-trial seed) is in the
+// SCOPED_TRACE, so a failure message is its own repro recipe: rerun the
+// printed gtest filter -- the campaign generators are seeded with the
+// constants below and are fully deterministic.
 #include <gtest/gtest.h>
 
 #include <random>
 
 #include "bfm/bfm.hpp"
 #include "fifo/fifo.hpp"
+#include "lip/chain.hpp"
+#include "metrics/coverage.hpp"
 #include "sync/clock.hpp"
 
 namespace mts {
@@ -92,6 +99,127 @@ TEST(FuzzCampaign, FortyRandomMixedClockConfigsHoldInvariants) {
     EXPECT_GE(sb.pushed(), sb.popped() + dut.occupancy());
     EXPECT_LE(sb.pushed(), sb.popped() + dut.occupancy() + 1);
   }
+}
+
+struct RelayFuzzCase {
+  unsigned capacity;
+  unsigned left;   // SRS/ARS chain length on the producer side
+  unsigned right;  // SRS chain length on the consumer side
+  double ratio;
+  double valid_rate;
+  double stall_rate;  // the sink's random stop duty cycle
+  bool pause;         // pause the source mid-run so the link drains
+  std::uint64_t seed;
+};
+
+RelayFuzzCase draw_relay(std::mt19937_64& rng) {
+  const unsigned caps[] = {4, 6, 8};
+  std::uniform_real_distribution<double> ratio_dist(0.9, 1.6);
+  std::uniform_real_distribution<double> valid_dist(0.4, 1.0);
+  std::uniform_real_distribution<double> stall_dist(0.05, 0.7);
+  RelayFuzzCase c;
+  c.capacity = caps[rng() % std::size(caps)];
+  c.left = static_cast<unsigned>(rng() % 5);
+  c.right = static_cast<unsigned>(rng() % 5);
+  c.ratio = ratio_dist(rng);
+  c.valid_rate = valid_dist(rng);
+  c.stall_rate = stall_dist(rng);
+  c.pause = (rng() & 1) != 0;
+  c.seed = rng();
+  return c;
+}
+
+TEST(FuzzCampaign, RelayChainTopologiesHoldInvariantsAndCoverEveryBin) {
+  // Fig. 11a / Fig. 14 topology mixes: SRS chains of random length on both
+  // sides of the MCRS, and ARS chains feeding the ASRS, under random valid
+  // rates and random stop duty cycles. Coverage aggregates across trials
+  // (shared bin prefixes); the campaign as a whole must reach every
+  // detector transition, both token-ring wraps and all four stall x valid
+  // combinations on both link flavours.
+  std::mt19937_64 rng(20260806);
+  metrics::Coverage cov("relay-campaign");
+
+  for (int trial = 0; trial < 12; ++trial) {
+    const RelayFuzzCase c = draw_relay(rng);
+    SCOPED_TRACE(::testing::Message()
+                 << "mc trial " << trial << ": cap=" << c.capacity
+                 << " srs=" << c.left << "+" << c.right
+                 << " ratio=" << c.ratio << " v=" << c.valid_rate
+                 << " st=" << c.stall_rate << " pause=" << c.pause
+                 << " seed=" << c.seed);
+
+    fifo::FifoConfig cfg;
+    cfg.capacity = c.capacity;
+    cfg.width = 8;
+    cfg.controller = fifo::ControllerKind::kRelayStation;
+
+    sim::Simulation sim(c.seed);
+    const Time pp = 2 * fifo::SyncPutSide::min_period(cfg);
+    const Time gp = static_cast<Time>(
+        c.ratio * 2.0 * static_cast<double>(fifo::SyncGetSide::min_period(cfg)));
+    sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
+    sync::Clock cg(sim, "cg", {gp, 4 * pp + (c.seed % gp), 0.5, 0});
+    lip::MixedClockLink link(sim, "link", cfg, cp.out(), cg.out(), c.left,
+                             c.right);
+    bfm::Scoreboard sb(sim, "sb");
+    bfm::RsSource src(sim, "src", cp.out(), link.data_in(), link.valid_in(),
+                      link.stop_out(), cfg.dm, c.valid_rate, 0xFF, sb);
+    bfm::RsSink sink(sim, "sink", cg.out(), link.data_out(), link.valid_out(),
+                     link.stop_in(), cfg.dm, c.stall_rate, sb);
+    metrics::cover_stall_valid(cov, "mc", cg.out(), link.valid_out(),
+                               link.stop_in());
+    metrics::cover_mixed_clock_fifo(cov, "mcrs", link.mcrs().fifo());
+    if (c.pause) {
+      sim.sched().at(4 * pp + 500 * pp, [&src] { src.set_enabled(false); });
+      sim.sched().at(4 * pp + 700 * pp, [&src] { src.set_enabled(true); });
+    }
+    sim.run_until(4 * pp + 900 * pp);
+    EXPECT_EQ(sb.errors(), 0u);
+    EXPECT_EQ(link.mcrs().fifo().overflow_count(), 0u);
+    EXPECT_EQ(link.mcrs().fifo().underflow_count(), 0u);
+    EXPECT_GT(sink.received_valid(), 50u);
+  }
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const RelayFuzzCase c = draw_relay(rng);
+    SCOPED_TRACE(::testing::Message()
+                 << "as trial " << trial << ": cap=" << c.capacity
+                 << " ars=" << c.left % 4 << " srs=" << c.right
+                 << " v=" << c.valid_rate << " st=" << c.stall_rate
+                 << " seed=" << c.seed);
+
+    fifo::FifoConfig cfg;
+    cfg.capacity = c.capacity;
+    cfg.width = 8;
+    cfg.controller = fifo::ControllerKind::kRelayStation;
+
+    sim::Simulation sim(c.seed);
+    const Time gp = 2 * fifo::SyncGetSide::min_period(cfg);
+    sync::Clock cg(sim, "cg", {gp, 4 * gp, 0.5, 0});
+    lip::AsyncSyncLink link(sim, "link", cfg, cg.out(), c.left % 4, c.right);
+    bfm::Scoreboard sb(sim, "sb");
+    // The put gap maps the valid rate onto the 4-phase handshake: rate 1.0
+    // is back-to-back, lower rates open gaps so the link also drains (oe).
+    const Time gap =
+        static_cast<Time>((1.0 - c.valid_rate) * 4.0 * static_cast<double>(gp));
+    bfm::AsyncPutDriver put(sim, "put", link.put_req(), link.put_ack(),
+                            link.put_data(), cfg.dm, gap, 0xFF, &sb);
+    bfm::RsSink sink(sim, "sink", cg.out(), link.data_out(), link.valid_out(),
+                     link.stop_in(), cfg.dm, c.stall_rate, sb);
+    metrics::cover_stall_valid(cov, "as", cg.out(), link.valid_out(),
+                               link.stop_in());
+    metrics::cover_async_sync_fifo(cov, "asrs", link.asrs().fifo());
+    sim.run_until(4 * gp + 900 * gp);
+    EXPECT_EQ(sb.errors(), 0u);
+    EXPECT_GT(sink.received_valid(), 30u);
+  }
+
+  EXPECT_TRUE(cov.all_hit()) << cov.summary();
+  // The rings really cycled, on both link flavours.
+  EXPECT_GT(cov.hits("mcrs.ptok.wrap"), 10u);
+  EXPECT_GT(cov.hits("asrs.ptok.wrap"), 10u);
+  EXPECT_GT(cov.hits("mc.sv.stall"), 10u);
+  EXPECT_GT(cov.hits("as.sv.stall"), 10u);
 }
 
 TEST(FuzzCampaign, TwentyRandomAsyncSyncConfigsHoldInvariants) {

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <limits>
+#include <random>
 
 #include "sim/error.hpp"
 
@@ -63,6 +64,76 @@ TEST(Mtbf, InvalidParamsRejected) {
   MtbfParams q = base();
   q.clock_period = 0;
   EXPECT_THROW(stage_slack(q), ConfigError);
+}
+
+// -- Randomized property checks ---------------------------------------------
+// The three structural facts the fault-injection suite leans on, checked
+// across many random parameter draws rather than one hand-picked point.
+
+MtbfParams random_params(std::mt19937_64& rng) {
+  MtbfParams p = base();
+  const auto floor_ps =
+      static_cast<sim::Time>(p.dm.flop.setup + p.dm.flop.clk_to_q);
+  // Positive slack always (zero slack makes the depth law non-strict:
+  // exp(0) = 1), clock periods up to ~8 ns, data rates 1 MHz .. 1 GHz.
+  p.clock_period = floor_ps + 50 + static_cast<sim::Time>(rng() % 8000);
+  p.data_rate_hz = 1e6 * std::pow(10.0, static_cast<double>(rng() % 4)) *
+                   (1.0 + static_cast<double>(rng() % 9));
+  p.depth = 1 + static_cast<unsigned>(rng() % 4);
+  return p;
+}
+
+TEST(MtbfProperty, StrictlyMonotoneInDepth) {
+  std::mt19937_64 rng(0xD5);
+  for (int i = 0; i < 100; ++i) {
+    MtbfParams p = random_params(rng);
+    MtbfParams deeper = p;
+    deeper.depth = p.depth + 1;
+    EXPECT_LT(mtbf_seconds(p), mtbf_seconds(deeper))
+        << "depth " << p.depth << " period " << p.clock_period << " rate "
+        << p.data_rate_hz;
+  }
+}
+
+TEST(MtbfProperty, StrictlyMonotoneInSlack) {
+  // Any increase in the clock period increases per-stage slack and must
+  // strictly increase MTBF (the exp(depth * t_r / tau) factor dominates the
+  // 1/(T_w f_clk f_data) prefactor, which also grows with the period).
+  std::mt19937_64 rng(0x51AC);
+  for (int i = 0; i < 100; ++i) {
+    MtbfParams p = random_params(rng);
+    MtbfParams slower = p;
+    slower.clock_period = p.clock_period + 1 + (rng() % 1000);
+    EXPECT_GT(stage_slack(slower), stage_slack(p));
+    EXPECT_LT(mtbf_seconds(p), mtbf_seconds(slower))
+        << "depth " << p.depth << " period " << p.clock_period << " rate "
+        << p.data_rate_hz;
+  }
+}
+
+TEST(MtbfProperty, EachStageMultipliesByExpSlackOverTau) {
+  std::mt19937_64 rng(0xE4B);
+  for (int i = 0; i < 100; ++i) {
+    const MtbfParams p = random_params(rng);
+    MtbfParams deeper = p;
+    deeper.depth = p.depth + 1;
+    const double factor =
+        std::exp(static_cast<double>(stage_slack(p)) /
+                 static_cast<double>(p.dm.meta_tau));
+    const double ratio = mtbf_seconds(deeper) / mtbf_seconds(p);
+    EXPECT_NEAR(ratio, factor, factor * 1e-9)
+        << "depth " << p.depth << " period " << p.clock_period;
+  }
+}
+
+TEST(MtbfProperty, ZeroDataRateIsInfiniteForAnyDepthAndPeriod) {
+  std::mt19937_64 rng(0x1F);
+  for (int i = 0; i < 20; ++i) {
+    MtbfParams p = random_params(rng);
+    p.data_rate_hz = 0;
+    EXPECT_TRUE(std::isinf(mtbf_seconds(p)));
+    EXPECT_GT(mtbf_seconds(p), 0);  // +inf, not -inf or NaN
+  }
 }
 
 TEST(Mtbf, PaperDepthTwoIsConservativeDefault) {
