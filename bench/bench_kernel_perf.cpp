@@ -20,6 +20,7 @@
 #include "bfm/bfm.hpp"
 #include "fifo/fifo.hpp"
 #include "gates/gates.hpp"
+#include "sim/profiler.hpp"
 #include "sync/clock.hpp"
 
 // ---------------------------------------------------------------------------
@@ -88,6 +89,24 @@ void BM_SchedulerEventChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
 BENCHMARK(BM_SchedulerEventChain);
+
+/// The same chain with the kernel profiler armed: documents the cost of
+/// per-event wall-clock attribution (two steady_clock reads + a site table
+/// update per event). The dormant path above is the one CI guards.
+void BM_SchedulerEventChainProfiled(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sim::KernelProfiler prof;
+    sched.set_profiler(&prof);
+    std::uint64_t count = 0;
+    sched.at_site(0, prof.site("bench chain"),
+                  ChainTick{&sched, &count, 10'000});
+    sched.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SchedulerEventChainProfiled);
 
 /// Raw event throughput through the delta ring (same-timestamp events).
 void BM_SchedulerDeltaCascade(benchmark::State& state) {
@@ -237,6 +256,34 @@ HotPathMeasurement measure_chain(std::uint64_t events) {
   return m;
 }
 
+/// The heap-path chain with a KernelProfiler armed and every event
+/// attributed to a registered site -- the worst-case per-event observability
+/// overhead (timing + attribution on 100% of events).
+HotPathMeasurement measure_chain_profiled(std::uint64_t events) {
+  sim::Scheduler sched;
+  sim::KernelProfiler prof;
+  sched.set_profiler(&prof);
+  const sim::KernelProfiler::SiteId site = prof.site("bench chain");
+  std::uint64_t count = 0;
+  sched.at_site(0, site, ChainTick{&sched, &count, events});
+  sched.run();  // warmup
+
+  count = 0;
+  sched.at_site(sched.now() + 1, site, ChainTick{&sched, &count, events});
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t allocs = g_alloc_count.load() - allocs_before;
+
+  HotPathMeasurement m;
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  m.events_per_sec = static_cast<double>(events) / secs;
+  m.allocs_per_million_events =
+      static_cast<double>(allocs) * 1e6 / static_cast<double>(events);
+  return m;
+}
+
 /// Steady-state inertial write+commit cycles on one wire.
 HotPathMeasurement measure_signal_writes(std::uint64_t writes) {
   sim::Simulation sim;
@@ -295,6 +342,8 @@ void write_kernel_json(bool smoke) {
 
   const HotPathMeasurement chain =
       best_of(3, [&] { return measure_chain(chain_events); });
+  const HotPathMeasurement profiled =
+      best_of(3, [&] { return measure_chain_profiled(chain_events); });
   const HotPathMeasurement sig =
       best_of(3, [&] { return measure_signal_writes(signal_writes); });
 
@@ -335,6 +384,14 @@ void write_kernel_json(bool smoke) {
   std::fprintf(f, "    \"signal_write_allocs_per_million_writes\": %.4g\n",
                sig.allocs_per_million_events);
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"observability\": {\n");
+  std::fprintf(f, "    \"chain_events_per_sec_dormant\": %.4g,\n",
+               chain.events_per_sec);
+  std::fprintf(f, "    \"chain_events_per_sec_profiled\": %.4g,\n",
+               profiled.events_per_sec);
+  std::fprintf(f, "    \"profiler_overhead_pct\": %.1f\n",
+               (chain.events_per_sec / profiled.events_per_sec - 1.0) * 100.0);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"kernel_stats_probe\": {\n");
   std::fprintf(f, "    \"events_executed\": %llu,\n",
                static_cast<unsigned long long>(ks.events_executed));
@@ -348,11 +405,13 @@ void write_kernel_json(bool smoke) {
 
   std::printf("\nBENCH_kernel.json: chain %.3g events/s (%.2fx seed), "
               "%.3g allocs/Mevent (seed %.3g); signal writes %.3g allocs/Mwrite "
-              "(seed %.3g)\n",
+              "(seed %.3g); profiler armed %.3g events/s (+%.1f%% overhead)\n",
               chain.events_per_sec,
               chain.events_per_sec / kSeedChainEventsPerSec,
               chain.allocs_per_million_events, kSeedChainAllocsPerMillionEvents,
-              sig.allocs_per_million_events, kSeedSignalAllocsPerMillionWrites);
+              sig.allocs_per_million_events, kSeedSignalAllocsPerMillionWrites,
+              profiled.events_per_sec,
+              (chain.events_per_sec / profiled.events_per_sec - 1.0) * 100.0);
 }
 
 }  // namespace

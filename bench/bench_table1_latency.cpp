@@ -7,14 +7,24 @@
 // receiver retrieves the item. The put instant is swept across one CLK_get
 // period, giving the Min and Max columns.
 //
-// Usage: bench_table1_latency [--csv] [--phases N]
+// `--hist-json FILE` additionally runs each configuration under saturated
+// traffic with the metrics registry armed (sim/observe.hpp) and writes the
+// per-instance forward-latency histograms (p50/p95/p99/max + sparse bucket
+// counts) as one JSON document, printing a one-screen p50/p99 summary.
+//
+// Usage: bench_table1_latency [--csv] [--phases N] [--hist-json FILE]
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
-#include "fifo/config.hpp"
+#include "bfm/bfm.hpp"
+#include "fifo/fifo.hpp"
 #include "metrics/experiments.hpp"
+#include "metrics/registry.hpp"
 #include "metrics/table.hpp"
+#include "sim/observe.hpp"
+#include "sync/clock.hpp"
 
 namespace {
 
@@ -44,15 +54,104 @@ constexpr double kPaperMax[4][3] = {{6.34, 6.64, 7.17},
                                     {6.41, 7.02, 7.28},
                                     {6.35, 7.13, 7.62}};
 
+/// Saturated run of one Table-1 configuration with the metrics registry
+/// armed; returns the registry's JSON (per-instance counters + histograms).
+/// The forward-latency histogram of instance "dut" is the headline number.
+std::string saturated_histograms(const DesignRow& design, unsigned capacity,
+                                 double* p50, double* p99) {
+  namespace fifo = mts::fifo;
+  namespace sim = mts::sim;
+  namespace sync = mts::sync;
+  namespace bfm = mts::bfm;
+
+  FifoConfig cfg;
+  cfg.capacity = capacity;
+  cfg.width = 8;
+  cfg.controller = design.controller;
+
+  sim::Simulation s(7);
+  mts::metrics::Registry registry;
+  sim::Observability obs;
+  obs.metrics = &registry;
+  obs.arm(s);
+
+  const sim::Time gp = fifo::SyncGetSide::min_period(cfg) * 5 / 4;
+  sync::Clock cg(s, "cg", {gp, 4 * gp, 0.5, 0});
+  const unsigned cycles = 2000;
+  if (design.async_put) {
+    fifo::AsyncSyncFifo dut(s, "dut", cfg, cg.out());
+    bfm::AsyncPutDriver put(s, "put", dut.put_req(), dut.put_ack(),
+                            dut.put_data(), cfg.dm, 0, 0xFF, nullptr);
+    bfm::SyncGetDriver get(s, "get", cg.out(), dut.req_get(), cfg.dm,
+                           {1.0, 1});
+    s.run_until(4 * gp + cycles * gp);
+  } else {
+    const sim::Time pp = fifo::SyncPutSide::min_period(cfg) * 5 / 4;
+    sync::Clock cp(s, "cp", {pp, 4 * pp, 0.5, 0});
+    fifo::MixedClockFifo dut(s, "dut", cfg, cp.out(), cg.out());
+    bfm::SyncPutDriver put(s, "put", cp.out(), dut.req_put(), dut.data_put(),
+                           dut.full(), cfg.dm, {1.0, 1}, 0xFF);
+    bfm::SyncGetDriver get(s, "get", cg.out(), dut.req_get(), cfg.dm,
+                           {1.0, 1});
+    s.run_until(4 * gp + cycles * gp);
+  }
+
+  *p50 = 0.0;
+  *p99 = 0.0;
+  if (const mts::metrics::Histogram* h =
+          registry.find_histogram("dut", "latency_ps");
+      h != nullptr && h->count() > 0) {
+    *p50 = h->percentile(0.50);
+    *p99 = h->percentile(0.99);
+  }
+  return registry.to_json();
+}
+
+void write_hist_json(const std::string& path) {
+  const unsigned caps[] = {4, 8, 16};
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_table1_latency: cannot write %s\n",
+                 path.c_str());
+    return;
+  }
+  std::printf("\nsaturated forward latency (metrics registry, ns):\n");
+  std::printf("  %-16s %6s %10s %10s\n", "Version", "places", "p50", "p99");
+  out << "{\n  \"note\": \"per-instance metrics under saturated traffic, "
+         "one entry per Table-1 configuration; latency_ps of instance 'dut' "
+         "is the forward latency\",\n  \"configs\": [\n";
+  bool first = true;
+  for (const DesignRow& design : kDesigns) {
+    for (unsigned cap : caps) {
+      double p50 = 0.0;
+      double p99 = 0.0;
+      const std::string metrics_json =
+          saturated_histograms(design, cap, &p50, &p99);
+      std::printf("  %-16s %6u %10.2f %10.2f\n", design.name, cap, p50 / 1e3,
+                  p99 / 1e3);
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"design\": \"" << design.name << "\", \"places\": " << cap
+          << ", \"metrics\": " << metrics_json << "}";
+    }
+  }
+  out << "\n  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool csv = false;
   unsigned phases = 24;
+  std::string hist_json;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
     if (std::strcmp(argv[i], "--phases") == 0 && i + 1 < argc) {
       phases = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
+    if (std::strcmp(argv[i], "--hist-json") == 0 && i + 1 < argc) {
+      hist_json = argv[++i];
     }
   }
 
@@ -80,5 +179,6 @@ int main(int argc, char** argv) {
     }
   }
   std::fputs(csv ? table.to_csv().c_str() : table.to_string().c_str(), stdout);
+  if (!hist_json.empty()) write_hist_json(hist_json);
   return 0;
 }

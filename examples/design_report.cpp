@@ -14,7 +14,9 @@
 #include "ctrl/dot.hpp"
 #include "ctrl/specs.hpp"
 #include "fifo/fifo.hpp"
+#include "metrics/registry.hpp"
 #include "metrics/stats.hpp"
+#include "sim/observe.hpp"
 #include "sync/clock.hpp"
 #include "sync/mtbf.hpp"
 
@@ -68,9 +70,18 @@ int main(int argc, char** argv) {
     std::printf("  depth %u: %.3g seconds\n", depth, sync::mtbf_seconds(p));
   }
 
-  // Occupancy profile under saturated traffic at a 25% timing margin.
+  // Occupancy profile under saturated traffic at a 25% timing margin, with
+  // the observability stack armed: per-instance metrics and the kernel's
+  // hottest-callbacks table land in design_report.json.
   {
     sim::Simulation sim(1);
+    metrics::Registry registry;
+    sim::KernelProfiler profiler;
+    sim::Observability obs;
+    obs.metrics = &registry;
+    obs.profiler = &profiler;
+    obs.arm(sim);
+    registry.bind(sim.report());
     const sim::Time pp = fifo::SyncPutSide::min_period(cfg) * 5 / 4;
     const sim::Time gp = fifo::SyncGetSide::min_period(cfg) * 5 / 4;
     sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
@@ -100,6 +111,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ks.events_executed),
                 static_cast<unsigned long long>(ks.peak_queue_depth),
                 static_cast<unsigned long long>(ks.pool_high_water));
+    const std::string hot = sim::format_hot_sites(ks);
+    if (!hot.empty()) std::printf("%s", hot.c_str());
+
+    if (const metrics::Histogram* lat =
+            registry.find_histogram("dut", "latency_ps");
+        lat != nullptr && lat->count() > 0) {
+      std::printf("forward latency: p50 %.0f ps, p99 %.0f ps over %llu "
+                  "items\n",
+                  lat->percentile(0.50), lat->percentile(0.99),
+                  static_cast<unsigned long long>(lat->count()));
+    }
+    std::ofstream("design_report.json") << sim.report().to_json();
+    std::printf("wrote design_report.json (report + metrics + kernel "
+                "profile)\n");
   }
 
   // Controller specifications as Graphviz.

@@ -1,25 +1,34 @@
-// Latency-insensitive SoC link (the paper's Fig. 14, end to end): an
-// asynchronous sensor-fusion block on one corner of the die streams packets
-// to a synchronous display pipeline on the other corner. The wire is far
-// too long for one clock cycle, so it is segmented:
+// Latency-insensitive SoC link (the paper's Fig. 14 followed by Fig. 11a,
+// end to end): an asynchronous sensor-fusion block on one corner of the die
+// streams packets through a synchronous bus domain and across a second
+// clock-domain crossing into the display pipeline. Every wire is far too
+// long for one clock cycle, so it is segmented:
 //
-//   async producer --[3 micropipeline ARS]--> ASRS --[5 SRS @ clk]--> sink
+//   async producer --[3 ARS]--> ASRS --[3 SRS @ clk_bus]-->
+//     --[1 SRS @ clk_bus]--> MCRS --[2 SRS @ clk_display]--> sink
 //
 // Demonstrates:
 //   - the paper's headline combination: mixed async/sync interfaces AND
-//     multi-cycle interconnect, solved together,
+//     multi-cycle interconnect AND a mixed-clock crossing, solved together,
 //   - tolerance to downstream stalls (the sink drops its readiness 20% of
 //     cycles; stop back-pressure ripples through the whole chain with no
 //     packet loss),
-//   - void packets: when the producer pauses, invalid packets flow and the
-//     sink simply sees valid_out low.
+//   - the observability stack (sim/observe.hpp): one transaction id rides
+//     each packet from the asynchronous put all the way to valid_get in the
+//     display domain; spans land in soc_trace.json (load it in
+//     https://ui.perfetto.dev), per-instance latency/occupancy metrics and
+//     the kernel's hottest-callbacks table land in soc_report.json.
 //
 //   $ ./example_latency_insensitive_soc
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 #include "bfm/bfm.hpp"
 #include "fifo/interface_sides.hpp"
+#include "gates/combinational.hpp"
 #include "lip/lip.hpp"
+#include "metrics/registry.hpp"
 #include "sync/clock.hpp"
 
 int main() {
@@ -28,44 +37,73 @@ int main() {
 
   sim::Simulation sim(11);
 
+  // --- observability: armed BEFORE any component is constructed ---
+  sim::TraceSession trace;
+  metrics::Registry registry;
+  sim::KernelProfiler profiler;
+  sim::Observability obs;
+  obs.trace = &trace;
+  obs.metrics = &registry;
+  obs.profiler = &profiler;
+  obs.arm(sim);
+  registry.bind(sim.report());
+
   fifo::FifoConfig cfg;
   cfg.capacity = 8;
   cfg.width = 16;
   cfg.controller = fifo::ControllerKind::kRelayStation;
 
-  const Time clk_period = fifo::SyncGetSide::min_period(cfg) * 5 / 4;
-  sync::Clock clk(sim, "clk_display", {clk_period, 4 * clk_period, 0.5, 0});
+  const Time base = std::max(fifo::SyncGetSide::min_period(cfg),
+                             fifo::SyncPutSide::min_period(cfg));
+  const Time bus_period = base * 5 / 4;
+  const Time disp_period = base * 7 / 4;  // unrelated frequency: true CDC
+  sync::Clock clk_bus(sim, "clk_bus", {bus_period, 4 * bus_period, 0.5, 0});
+  sync::Clock clk_disp(sim, "clk_display",
+                       {disp_period, 4 * disp_period, 0.5, 0});
 
-  // Fig. 14 topology: 3 asynchronous relay stations, the ASRS, 5
-  // synchronous relay stations.
-  lip::AsyncSyncLink link(sim, "link", cfg, clk.out(), /*ars=*/3, /*srs=*/5);
+  // Fig. 14: 3 asynchronous relay stations, the ASRS, 3 bus-clock SRS.
+  lip::AsyncSyncLink fuse(sim, "fuse", cfg, clk_bus.out(), /*ars=*/3,
+                          /*srs=*/3);
+  // Fig. 11a: 1 bus-clock SRS, the MCRS, 2 display-clock SRS.
+  lip::MixedClockLink cross(sim, "cross", cfg, clk_bus.out(), clk_disp.out(),
+                            /*left=*/1, /*right=*/2);
+
+  // Glue the two links (same bus clock domain, one gate of wire each way)
+  // and join their trace streams so ids survive the hop.
+  gates::Netlist glue(sim, "glue");
+  glue.add<gates::WordBuf>(sim, glue.qualified("d"), fuse.data_out(),
+                           cross.data_in(), cfg.dm.gate(1));
+  gates::gate_into(glue, "v", gates::GateOp::kBuf, {&fuse.valid_out()},
+                   cross.valid_in(), cfg.dm.gate(1));
+  gates::gate_into(glue, "s", gates::GateOp::kBuf, {&cross.stop_out()},
+                   fuse.stop_in(), cfg.dm.gate(1));
+  trace.link(fuse.last_traced_instance(), cross.first_traced_instance());
 
   bfm::Scoreboard sb(sim, "sb");
 
-  // Bursty asynchronous producer: 24 packets back to back, then idle.
-  bfm::AsyncPutDriver producer(sim, "sensor", link.put_req(), link.put_ack(),
-                               link.put_data(), cfg.dm, 0, 0xFFFF, &sb);
-  // Toggle the producer off/on every 150 display cycles (bursty traffic).
+  // Bursty asynchronous producer: streams back to back, then idles.
+  bfm::AsyncPutDriver producer(sim, "sensor", fuse.put_req(), fuse.put_ack(),
+                               fuse.put_data(), cfg.dm, 0, 0xFFFF, &sb);
   auto bursts = std::make_shared<std::uint64_t>(0);
   auto toggle = std::make_shared<std::function<void()>>();
-  *toggle = [&sim, &producer, bursts, toggle, clk_period] {
+  *toggle = [&sim, &producer, bursts, toggle, bus_period] {
     const bool on = ((*bursts)++ % 2) == 1;
     producer.set_enabled(on);
     if (on) producer.issue_one();
-    sim.sched().after(150 * clk_period, [toggle] { (*toggle)(); });
+    sim.sched().after(150 * bus_period, [toggle] { (*toggle)(); });
   };
-  sim.sched().after(300 * clk_period, [toggle] { (*toggle)(); });
+  sim.sched().after(300 * bus_period, [toggle] { (*toggle)(); });
 
   // Display pipeline: consumes valid packets, stalls 20% of cycles.
-  bfm::RsSink display(sim, "display", clk.out(), link.data_out(),
-                      link.valid_out(), link.stop_in(), cfg.dm, 0.2, sb);
+  bfm::RsSink display(sim, "display", clk_disp.out(), cross.data_out(),
+                      cross.valid_out(), cross.stop_in(), cfg.dm, 0.2, sb);
 
   const unsigned horizon_cycles = 3000;
-  sim.run_until(4 * clk_period + horizon_cycles * clk_period);
+  sim.run_until(4 * bus_period + horizon_cycles * bus_period);
 
-  std::printf("Fig. 14 latency-insensitive link: async sensor -> 3 ARS -> "
-              "ASRS -> 5 SRS -> display @ %.0f MHz\n",
-              sim::period_to_mhz(clk_period));
+  std::printf("latency-insensitive link: async sensor -> 3 ARS -> ASRS -> "
+              "4 SRS @ %.0f MHz -> MCRS -> 2 SRS @ %.0f MHz -> display\n",
+              sim::period_to_mhz(bus_period), sim::period_to_mhz(disp_period));
   std::printf("  packets sent       : %llu\n",
               static_cast<unsigned long long>(producer.completed()));
   std::printf("  packets displayed  : %llu\n",
@@ -74,8 +112,34 @@ int main() {
               static_cast<unsigned long long>(sb.in_flight()));
   std::printf("  order violations   : %llu\n",
               static_cast<unsigned long long>(sb.errors()));
+  std::printf("  transaction ids    : %llu (minted once at the ASRS; spans "
+              "ride to the display domain)\n",
+              static_cast<unsigned long long>(trace.transactions()));
+
+  // Per-stage forward latency from the metrics registry.
+  for (const char* inst : {"fuse.asrs", "cross.mcrs", "cross.right.rs1"}) {
+    const metrics::Histogram* h = registry.find_histogram(inst, "latency_ps");
+    if (h != nullptr && h->count() > 0) {
+      std::printf("  %-16s : p50 %.0f ps   p99 %.0f ps   (n=%llu)\n", inst,
+                  h->percentile(0.50), h->percentile(0.99),
+                  static_cast<unsigned long long>(h->count()));
+    }
+  }
+  const std::string hot = sim::format_hot_sites(sim.report().kernel());
+  if (!hot.empty()) std::printf("%s", hot.c_str());
+
+  trace.write_json("soc_trace.json");
+  std::ofstream("soc_report.json") << sim.report().to_json();
+  std::printf("  wrote soc_trace.json (%llu events) and soc_report.json\n",
+              static_cast<unsigned long long>(trace.events_recorded()));
+
+  // One id per packet end to end: ids are minted only at the ASRS, so a
+  // re-mint anywhere downstream would inflate the count well past `sent`.
+  const bool traced_ok =
+      trace.transactions() > 500 &&
+      trace.transactions() <= producer.completed() + cfg.capacity;
   const bool ok = sb.errors() == 0 && display.received_valid() > 500 &&
-                  sb.in_flight() < 32;
+                  sb.in_flight() < 32 && traced_ok;
   std::printf("  %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

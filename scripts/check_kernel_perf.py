@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a fresh BENCH_kernel.json against the recorded
+baseline at the repository root.
+
+Usage: check_kernel_perf.py <recorded.json> <fresh.json> [tolerance]
+
+Fails (exit 1) when the fresh dormant-path event-chain throughput
+(current.scheduler_chain_events_per_sec -- the disabled-observability hot
+path) falls more than `tolerance` (default 15%) below the recorded value.
+A faster fresh run always passes.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.15
+    with open(sys.argv[1]) as f:
+        recorded = json.load(f)
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)
+
+    key = "scheduler_chain_events_per_sec"
+    ref = recorded["current"][key]
+    got = fresh["current"][key]
+    floor = ref * (1.0 - tolerance)
+    verdict = "OK" if got >= floor else "REGRESSION"
+    print(
+        f"{key}: recorded {ref:.3e}, fresh {got:.3e} "
+        f"({got / ref * 100.0:.1f}% of recorded, floor {floor:.3e}) "
+        f"-> {verdict}"
+    )
+
+    # Informational: the opt-in profiled path's overhead, if both sides
+    # recorded it. Never gates -- profiling is opt-in by design.
+    obs_rec = recorded.get("observability", {})
+    obs_new = fresh.get("observability", {})
+    if "profiler_overhead_pct" in obs_new:
+        print(
+            "profiler overhead: recorded "
+            f"{obs_rec.get('profiler_overhead_pct', float('nan')):.1f}%, "
+            f"fresh {obs_new['profiler_overhead_pct']:.1f}% (informational)"
+        )
+
+    return 0 if got >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Rebuilds everything, runs the full test suite, and regenerates every
 # table/figure in EXPERIMENTS.md. All outputs (logs, VCD traces,
-# BENCH_kernel.json) land in out/, which is gitignored.
+# BENCH_kernel.json, latency-histogram JSON, Perfetto traces) land in out/,
+# which is gitignored.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 repo="$PWD"
@@ -26,4 +27,27 @@ ctest --test-dir build 2>&1 | tee out/test_output.txt
   done
 ) 2>&1 | tee out/bench_output.txt
 
-echo "done: see out/test_output.txt, out/bench_output.txt, out/*.vcd"
+# Forward-latency distributions (metrics registry): one histogram per
+# Table-1 configuration under saturated traffic, with a one-screen p50/p99
+# summary on stdout and the full per-instance JSON in out/.
+(
+  cd out
+  echo "===================================================================="
+  echo "== latency histograms (saturated, per Table-1 configuration)"
+  echo "===================================================================="
+  "$repo"/build/bench/bench_table1_latency --hist-json latency_histograms.json
+) 2>&1 | tee out/latency_histograms.txt
+
+# End-to-end observability artifacts: the mixed-timing SoC example's
+# Perfetto trace (open soc_trace.json at https://ui.perfetto.dev) and its
+# full report (metrics + hottest-callbacks kernel profile).
+(
+  cd out
+  "$repo"/build/examples/example_latency_insensitive_soc
+) 2>&1 | tee out/soc_example.txt
+
+# Kernel perf gate: dormant-path throughput vs the recorded baseline.
+python3 scripts/check_kernel_perf.py BENCH_kernel.json out/BENCH_kernel.json
+
+echo "done: see out/test_output.txt, out/bench_output.txt, out/*.vcd,"
+echo "      out/latency_histograms.json, out/soc_trace.json, out/soc_report.json"

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/fault.hpp"
+#include "sim/observe.hpp"
 
 namespace mts::bfm {
 
@@ -19,6 +20,11 @@ AsyncPutDriver::AsyncPutDriver(sim::Simulation& sim, std::string name,
       gap_(gap),
       value_mask_(value_mask),
       sb_(sb) {
+  if (sim::Observability* o = sim.observability();
+      o != nullptr && o->profiler != nullptr) {
+    prof_ = o->profiler;
+    site_ = prof_->site("driver " + name_);
+  }
   put_ack.on_change([this](bool, bool now) {
     if (now) {
       // Enqueue complete: the data item is latched in a cell.
@@ -40,6 +46,9 @@ void AsyncPutDriver::issue_one() { issue(); }
 
 void AsyncPutDriver::issue() {
   if (!enabled_) return;
+  // Events scheduled below (data/req writes and their cascades) are charged
+  // to this driver's profiler site; no-op when dormant.
+  sim::ProfileScope attribution(prof_, site_);
   const std::uint64_t value = next_value_ & value_mask_;
   // Fault injection: a bundling fault lags the data behind its request,
   // modelling a matched-delay line whose datapath slowed more under PVT

@@ -7,6 +7,7 @@
 
 #include "bfm/scoreboard.hpp"
 #include "gates/delay_model.hpp"
+#include "sim/profiler.hpp"
 #include "sim/signal.hpp"
 #include "sim/simulation.hpp"
 
@@ -55,6 +56,10 @@ class AsyncPutDriver {
   sim::Time last_ack_ = 0;
   bool enabled_ = true;
   Scoreboard* sb_;
+  // Profiler attribution (armed observability only): handshake cascades
+  // initiated by this driver are charged to its site.
+  sim::KernelProfiler* prof_ = nullptr;
+  sim::KernelProfiler::SiteId site_ = 0;
 };
 
 /// Asynchronous receiver: raises get_req, checks get_data on get_ack+,

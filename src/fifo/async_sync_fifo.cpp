@@ -15,6 +15,12 @@ AsyncSyncFifo::AsyncSyncFifo(sim::Simulation& sim, const std::string& name,
   const unsigned n = cfg_.capacity;
   const gates::DelayModel& dm = cfg_.dm;
 
+  if (sim::Observability* o = sim.observability()) {
+    // The put side is clockless: its trace track is the async handshake.
+    obs_ = std::make_unique<sim::TransitObserver>(*o, sim, name, "async",
+                                                  clk_get.name(), n);
+  }
+
   // --- external interface wires ---
   put_req_ = &nl_.wire("put_req");
   put_data_ = &nl_.word("put_data");
@@ -86,12 +92,22 @@ AsyncSyncFifo::AsyncSyncFifo(sim::Simulation& sim, const std::string& name,
         sim_.report().add(sim_.now(), sim::Severity::kError, "overflow",
                           nl_.prefix() + ": put into a full cell");
       }
+      // At we-rise the bundled data is stable (bundling constraint) and the
+      // transparent latch is capturing it; every async put is a valid item.
+      if (obs_ != nullptr) {
+        obs_->put_committed(put_data_->read(), occupancy() + 1);
+      }
     });
-    get_part.re().on_rise([this, fw] {
+    sim::Word* rq = &put_part.reg_q();
+    get_part.re().on_rise([this, fw, rq] {
       if (!fw->read()) {
         ++underflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "underflow",
                           nl_.prefix() + ": get from an empty cell");
+      }
+      if (obs_ != nullptr) {
+        const unsigned occ = occupancy();
+        obs_->get_observed(rq->read(), occ > 0 ? occ - 1 : 0);
       }
     });
   }
@@ -108,6 +124,16 @@ AsyncSyncFifo::AsyncSyncFifo(sim::Simulation& sim, const std::string& name,
                                         *valid_ext_, *empty_w_, *en_get_b_);
   ne_raw_ = &get_side.ne_raw();
   oe_raw_ = &get_side.oe_raw();
+
+  if (obs_ != nullptr) {
+    // empty falling = the oldest async put is now visible to CLK_get.
+    empty_w_->on_fall([this] { obs_->sync_crossed(); });
+    if (cfg_.controller == ControllerKind::kRelayStation) {
+      clk_get.on_rise([this] {
+        if (stop_in_->read() && !empty_w_->read()) obs_->stalled_by_stop_in();
+      });
+    }
+  }
 }
 
 unsigned AsyncSyncFifo::occupancy() const {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "fifo/config.hpp"
 #include "gates/netlist.hpp"
 #include "gates/timing.hpp"
+#include "sim/observe.hpp"
 #include "sim/signal.hpp"
 #include "sim/simulation.hpp"
 
@@ -91,6 +93,8 @@ class AsyncSyncFifo {
 
   std::uint64_t overflows_ = 0;
   std::uint64_t underflows_ = 0;
+  /// Non-null only when observability was armed at construction time.
+  std::unique_ptr<sim::TransitObserver> obs_;
 };
 
 }  // namespace mts::fifo

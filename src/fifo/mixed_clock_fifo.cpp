@@ -22,6 +22,11 @@ MixedClockFifo::MixedClockFifo(sim::Simulation& sim, const std::string& name,
   const unsigned n = cfg_.capacity;
   const gates::DelayModel& dm = cfg_.dm;
 
+  if (sim::Observability* o = sim.observability()) {
+    obs_ = std::make_unique<sim::TransitObserver>(
+        *o, sim, name, clk_put.name(), clk_get.name(), n);
+  }
+
   // --- external interface wires ---
   req_put_ = &nl_.wire("req_put");
   data_put_ = &nl_.word("data_put");
@@ -93,12 +98,25 @@ MixedClockFifo::MixedClockFifo(sim::Simulation& sim, const std::string& name,
         sim_.report().add(sim_.now(), sim::Severity::kError, "overflow",
                           nl_.prefix() + ": put into a full cell");
       }
+      // we rises mid-cycle, before the latching edge: data_put/req_put still
+      // carry the committing item. Relay mode enqueues void packets every
+      // cycle; only valid ones become transactions.
+      if (obs_ != nullptr && req_put_->read()) {
+        obs_->put_committed(data_put_->read(), occupancy() + 1);
+      }
     });
-    get_part.re().on_rise([this, fw] {
+    sim::Wire* vq = &put_part.v_q();
+    sim::Word* rq = &put_part.reg_q();
+    get_part.re().on_rise([this, fw, vq, rq] {
       if (!fw->read()) {
         ++underflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "underflow",
                           nl_.prefix() + ": get from an empty cell");
+      }
+      // At re-rise the cell's registered outputs hold the departing item.
+      if (obs_ != nullptr && vq->read()) {
+        const unsigned occ = occupancy();
+        obs_->get_observed(rq->read(), occ > 0 ? occ - 1 : 0);
       }
     });
   }
@@ -114,6 +132,19 @@ MixedClockFifo::MixedClockFifo(sim::Simulation& sim, const std::string& name,
                                         *valid_ext_, *empty_w_, *en_get_b_);
   ne_raw_ = &get_side.ne_raw();
   oe_raw_ = &get_side.oe_raw();
+
+  if (obs_ != nullptr) {
+    // The synchronized empty flag falling is the moment the oldest item
+    // becomes visible to the get clock domain -- the sync-crossing span.
+    empty_w_->on_fall([this] { obs_->sync_crossed(); });
+    if (cfg_.controller == ControllerKind::kRelayStation) {
+      // Relay-station mode: a cycle where stopIn holds back a resident item
+      // is a back-pressure stall (the chain stall spans of Section 5.2).
+      clk_get.on_rise([this] {
+        if (stop_in_->read() && !empty_w_->read()) obs_->stalled_by_stop_in();
+      });
+    }
+  }
 }
 
 unsigned MixedClockFifo::occupancy() const {

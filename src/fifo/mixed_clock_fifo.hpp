@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "gates/netlist.hpp"
 #include "gates/timing.hpp"
 #include "gates/tristate.hpp"
+#include "sim/observe.hpp"
 #include "sim/signal.hpp"
 #include "sim/simulation.hpp"
 #include "sync/synchronizer.hpp"
@@ -114,6 +116,9 @@ class MixedClockFifo {
   std::uint64_t overflows_ = 0;
   std::uint64_t underflows_ = 0;
   std::uint64_t data_moves_ = 0;
+  /// Non-null only when the owning Simulation had observability armed at
+  /// construction time (sim/observe.hpp); the seed path keeps a nullptr.
+  std::unique_ptr<sim::TransitObserver> obs_;
 };
 
 }  // namespace mts::fifo

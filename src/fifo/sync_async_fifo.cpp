@@ -20,6 +20,11 @@ SyncAsyncFifo::SyncAsyncFifo(sim::Simulation& sim, const std::string& name,
   const unsigned n = cfg_.capacity;
   const gates::DelayModel& dm = cfg_.dm;
 
+  if (sim::Observability* o = sim.observability()) {
+    obs_ = std::make_unique<sim::TransitObserver>(*o, sim, name,
+                                                  clk_put.name(), "async", n);
+  }
+
   req_put_ = &nl_.wire("req_put");
   data_put_ = &nl_.word("data_put");
   get_req_ = &nl_.wire("get_req");
@@ -74,12 +79,20 @@ SyncAsyncFifo::SyncAsyncFifo(sim::Simulation& sim, const std::string& name,
         sim_.report().add(sim_.now(), sim::Severity::kError, "overflow",
                           nl_.prefix() + ": put into a full cell");
       }
+      if (obs_ != nullptr && req_put_->read()) {
+        obs_->put_committed(data_put_->read(), occupancy() + 1);
+      }
     });
-    re[i]->on_rise([this, fw] {
+    sim::Word* rq = &put_part.reg_q();
+    re[i]->on_rise([this, fw, rq] {
       if (!fw->read()) {
         ++underflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "underflow",
                           nl_.prefix() + ": get from an empty cell");
+      }
+      if (obs_ != nullptr) {
+        const unsigned occ = occupancy();
+        obs_->get_observed(rq->read(), occ > 0 ? occ - 1 : 0);
       }
     });
   }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "fifo/config.hpp"
 #include "gates/netlist.hpp"
 #include "gates/timing.hpp"
+#include "sim/observe.hpp"
 #include "sim/signal.hpp"
 #include "sim/simulation.hpp"
 
@@ -78,6 +80,8 @@ class SyncAsyncFifo {
 
   std::uint64_t overflows_ = 0;
   std::uint64_t underflows_ = 0;
+  /// Non-null only when observability was armed at construction time.
+  std::unique_ptr<sim::TransitObserver> obs_;
 };
 
 }  // namespace mts::fifo

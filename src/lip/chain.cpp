@@ -46,6 +46,20 @@ SyncRelayChain::SyncRelayChain(sim::Simulation& sim, const std::string& name,
     v = &next_v;
     s = &next_s;
   }
+
+  // Behavioural stations registered trace streams in their constructors;
+  // chain them so one transaction id rides the packet hop to hop.
+  if (impl == RsImpl::kBehavioural) {
+    first_station_ = nl_.qualified("rs0");
+    last_station_ = nl_.qualified("rs" + std::to_string(length - 1));
+    sim::Observability* o = sim.observability();
+    if (o != nullptr && o->trace != nullptr) {
+      for (unsigned i = 1; i < length; ++i) {
+        o->trace->link(nl_.qualified("rs" + std::to_string(i - 1)),
+                       nl_.qualified("rs" + std::to_string(i)));
+      }
+    }
+  }
 }
 
 unsigned SyncRelayChain::buffered_valid() const {
@@ -69,15 +83,33 @@ MixedClockLink::MixedClockLink(sim::Simulation& sim, const std::string& name,
   mcrs_ = &nl_.add<McRelayStation>(sim, nl_.qualified("mcrs"), cfg, clk_left,
                                    clk_right);
 
-  nl_.add<SyncRelayChain>(sim, nl_.qualified("left"), clk_left, left_length,
-                          cfg.dm, *data_in_, *valid_in_, *stop_out_,
-                          mcrs_->packet_in_data(), mcrs_->packet_in_valid(),
-                          mcrs_->stop_out());
+  auto& left = nl_.add<SyncRelayChain>(
+      sim, nl_.qualified("left"), clk_left, left_length, cfg.dm, *data_in_,
+      *valid_in_, *stop_out_, mcrs_->packet_in_data(), mcrs_->packet_in_valid(),
+      mcrs_->stop_out());
 
-  nl_.add<SyncRelayChain>(sim, nl_.qualified("right"), clk_right, right_length,
-                          cfg.dm, mcrs_->packet_out_data(),
-                          mcrs_->packet_out_valid(), mcrs_->stop_in(),
-                          *data_out_, *valid_out_, *stop_in_);
+  auto& right = nl_.add<SyncRelayChain>(
+      sim, nl_.qualified("right"), clk_right, right_length, cfg.dm,
+      mcrs_->packet_out_data(), mcrs_->packet_out_valid(), mcrs_->stop_in(),
+      *data_out_, *valid_out_, *stop_in_);
+
+  // Trace-stream topology: left chain -> MCRS -> right chain, so one
+  // transaction id survives the clock-domain crossing.
+  first_traced_ = left.first_station_instance().empty()
+                      ? nl_.qualified("mcrs")
+                      : left.first_station_instance();
+  last_traced_ = right.last_station_instance().empty()
+                     ? nl_.qualified("mcrs")
+                     : right.last_station_instance();
+  sim::Observability* o = sim.observability();
+  if (o != nullptr && o->trace != nullptr) {
+    if (!left.last_station_instance().empty()) {
+      o->trace->link(left.last_station_instance(), nl_.qualified("mcrs"));
+    }
+    if (!right.first_station_instance().empty()) {
+      o->trace->link(nl_.qualified("mcrs"), right.first_station_instance());
+    }
+  }
 }
 
 AsyncSyncLink::AsyncSyncLink(sim::Simulation& sim, const std::string& name,
@@ -108,10 +140,22 @@ AsyncSyncLink::AsyncSyncLink(sim::Simulation& sim, const std::string& name,
                            asrs_->put_ack(), asrs_->put_data(), cfg.dm);
   }
 
-  nl_.add<SyncRelayChain>(sim, nl_.qualified("srs"), clk_right, srs_length,
-                          cfg.dm, asrs_->packet_out_data(),
-                          asrs_->packet_out_valid(), asrs_->stop_in(),
-                          *data_out_, *valid_out_, *stop_in_);
+  auto& srs = nl_.add<SyncRelayChain>(
+      sim, nl_.qualified("srs"), clk_right, srs_length, cfg.dm,
+      asrs_->packet_out_data(), asrs_->packet_out_valid(), asrs_->stop_in(),
+      *data_out_, *valid_out_, *stop_in_);
+
+  // Trace-stream topology: ASRS -> SRS chain (the micropipeline ARS hop is
+  // untraced; ids are minted at the ASRS put).
+  first_traced_ = nl_.qualified("asrs");
+  last_traced_ = srs.last_station_instance().empty()
+                     ? nl_.qualified("asrs")
+                     : srs.last_station_instance();
+  sim::Observability* o = sim.observability();
+  if (o != nullptr && o->trace != nullptr &&
+      !srs.first_station_instance().empty()) {
+    o->trace->link(nl_.qualified("asrs"), srs.first_station_instance());
+  }
 }
 
 }  // namespace mts::lip

@@ -44,10 +44,18 @@ class SyncRelayChain {
   /// (behavioural stations only; 0 for structural chains).
   unsigned buffered_valid() const;
 
+  /// Instance names of the boundary stations, for trace-stream linking by
+  /// parent links ("" when the chain is empty or structural -- structural
+  /// stations carry no observers).
+  const std::string& first_station_instance() const { return first_station_; }
+  const std::string& last_station_instance() const { return last_station_; }
+
  private:
   gates::Netlist nl_;
   unsigned length_;
   std::vector<RelayStation*> stations_;
+  std::string first_station_;
+  std::string last_station_;
 };
 
 /// Fig. 11a: two synchronous domains joined by a mixed-clock relay station,
@@ -74,8 +82,15 @@ class MixedClockLink {
 
   McRelayStation& mcrs() noexcept { return *mcrs_; }
 
+  /// Boundary instance names for trace-stream linking with neighbours
+  /// (sim/trace_session.hpp): the first/last traced component of the link.
+  const std::string& first_traced_instance() const { return first_traced_; }
+  const std::string& last_traced_instance() const { return last_traced_; }
+
  private:
   gates::Netlist nl_;
+  std::string first_traced_;
+  std::string last_traced_;
   sim::Word* data_in_ = nullptr;
   sim::Wire* valid_in_ = nullptr;
   sim::Wire* stop_out_ = nullptr;
@@ -108,8 +123,14 @@ class AsyncSyncLink {
 
   AsRelayStation& asrs() noexcept { return *asrs_; }
 
+  /// Boundary instance names for trace-stream linking with neighbours.
+  const std::string& first_traced_instance() const { return first_traced_; }
+  const std::string& last_traced_instance() const { return last_traced_; }
+
  private:
   gates::Netlist nl_;
+  std::string first_traced_;
+  std::string last_traced_;
   sim::Wire* put_req_ = nullptr;
   sim::Wire* put_ack_ = nullptr;
   sim::Word* put_data_ = nullptr;

@@ -17,7 +17,11 @@ RelayStation::RelayStation(sim::Simulation& sim, std::string name,
       out_valid_(out_valid),
       stop_in_(stop_in),
       clk_to_q_(dm.flop.clk_to_q) {
-  (void)sim;
+  if (sim::Observability* o = sim.observability()) {
+    // One clock, one track; MR + AUX give a capacity of 2.
+    obs_ = std::make_unique<sim::TransitObserver>(*o, sim, name_, clk.name(),
+                                                  clk.name(), 2);
+  }
   clk.on_rise([this] { on_edge(); });
 }
 
@@ -27,11 +31,18 @@ void RelayStation::on_edge() {
   const bool stop_right = stop_in_.read();
   const bool in_transfer = !aux_occupied_;  // stopOut == aux_occupied_
 
+  bool emitted = false;
+  std::uint64_t emitted_data = 0;
+  bool accepted = false;
+  std::uint64_t accepted_data = 0;
+
   if (!stop_right) {
     // Output advances: emit MR, refill from AUX (draining a stall) or from
     // the input link.
     out_data_.write(mr_data_, clk_to_q_, sim::DelayKind::kInertial);
     out_valid_.write(mr_valid_, clk_to_q_, sim::DelayKind::kInertial);
+    emitted = mr_valid_;
+    emitted_data = mr_data_;
     if (aux_occupied_) {
       mr_data_ = aux_data_;
       mr_valid_ = aux_valid_;
@@ -39,6 +50,8 @@ void RelayStation::on_edge() {
     } else {
       mr_data_ = in_data_.read();
       mr_valid_ = in_valid_.read();
+      accepted = mr_valid_;
+      accepted_data = mr_data_;
     }
   } else if (in_transfer) {
     // Output blocked but a packet is arriving this edge: park it in AUX and
@@ -48,10 +61,22 @@ void RelayStation::on_edge() {
     aux_data_ = in_data_.read();
     aux_valid_ = in_valid_.read();
     aux_occupied_ = true;
+    accepted = aux_valid_;
+    accepted_data = aux_data_;
   }
   // else: fully stalled; hold everything.
 
   stop_out_.write(aux_occupied_, clk_to_q_, sim::DelayKind::kInertial);
+
+  if (obs_ != nullptr) {
+    // Departure first, arrival second: same edge, but the departing packet
+    // is the older transaction in the in-flight queue.
+    if (emitted) obs_->get_observed(emitted_data, buffered_valid());
+    if (accepted) obs_->put_committed(accepted_data, buffered_valid());
+    if (stop_right && (mr_valid_ || (aux_occupied_ && aux_valid_))) {
+      obs_->stalled_by_stop_in();
+    }
+  }
 }
 
 }  // namespace mts::lip

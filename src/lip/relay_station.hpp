@@ -17,9 +17,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "gates/delay_model.hpp"
+#include "sim/observe.hpp"
 #include "sim/signal.hpp"
 #include "sim/simulation.hpp"
 
@@ -60,6 +62,8 @@ class RelayStation {
   std::uint64_t aux_data_ = 0;
   bool aux_valid_ = false;
   bool aux_occupied_ = false;
+  /// Non-null only when observability was armed at construction time.
+  std::unique_ptr<sim::TransitObserver> obs_;
 };
 
 }  // namespace mts::lip

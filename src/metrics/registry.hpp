@@ -1,0 +1,330 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms keyed by
+// instance name, populated by the observability hooks in src/fifo, src/lip
+// and src/sync (see sim/observability.hpp).
+//
+// Header-only by design: mts_metrics links against mts_fifo (for the
+// coverage attachers), so the FIFO/LIP/sync libraries cannot link back to
+// mts_metrics without a cycle. A header-only registry lets every layer --
+// including mts_sim's observability shim -- use it with no link edge at all.
+//
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// registry's lifetime (std::map nodes never move), so components resolve
+// them once at construction and the per-event cost is an increment.
+//
+// Serialization: to_json() emits the whole registry as one JSON object
+// (instance -> metric -> value/summary); bind(report) attaches that emitter
+// to a sim::Report so Report::to_json() carries a "metrics" section.
+// to_csv() flattens histograms to one row per instance/metric with
+// p50/p95/p99/max columns -- the format the benches append to BENCH_*.json
+// sidecar tables and scripts/reproduce.sh tabulates.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/report.hpp"
+
+namespace mts::metrics {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value-wins instantaneous measurement.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Buckets are defined by their upper bounds (an
+/// implicit +inf bucket catches the tail); percentile() interpolates inside
+/// the selected bucket and clamps to the exact observed max, so p99 of a
+/// distribution entirely inside one bucket is still <= max().
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  /// Exponential-ish bounds 1-2-5 per decade over [lo, hi]; the standard
+  /// latency bucketing (picoseconds).
+  static std::vector<double> exponential_bounds(double lo, double hi) {
+    std::vector<double> b;
+    for (double decade = 1.0; decade <= hi; decade *= 10.0) {
+      for (double m : {1.0, 2.0, 5.0}) {
+        const double bound = decade * m;
+        if (bound >= lo && bound <= hi) b.push_back(bound);
+      }
+    }
+    if (b.empty() || b.back() < hi) b.push_back(hi);
+    return b;
+  }
+
+  /// One bucket per integer level in [0, capacity] (occupancy histograms).
+  static std::vector<double> linear_bounds(unsigned capacity) {
+    std::vector<double> b;
+    b.reserve(capacity + 1);
+    for (unsigned i = 0; i <= capacity; ++i) b.push_back(static_cast<double>(i));
+    return b;
+  }
+
+  void observe(double x) noexcept {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++count_;
+    sum_ += x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+  /// p in [0, 1]; linear interpolation across the selected bucket, clamped
+  /// to [observed min, observed max]. 0 when empty.
+  double percentile(double p) const noexcept {
+    if (count_ == 0) return 0.0;
+    const double rank = p * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      const double lo_cum = static_cast<double>(cum);
+      cum += counts_[i];
+      if (static_cast<double>(cum) >= rank) {
+        const double lo = i == 0 ? min_ : bounds_[i - 1];
+        const double hi = i < bounds_.size() ? bounds_[i] : max_;
+        const double frac =
+            (rank - lo_cum) / static_cast<double>(counts_[i]);
+        const double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+        return std::clamp(v, min_, max_);
+      }
+    }
+    return max_;
+  }
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::vector<double> bounds_;          ///< upper bounds, ascending
+  std::vector<std::uint64_t> counts_;   ///< bounds_.size() + 1 (+inf tail)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// All three resolve-or-create; returned references are stable for the
+  /// registry's lifetime. histogram() ignores `upper_bounds` when the
+  /// metric already exists.
+  Counter& counter(const std::string& instance, const std::string& name) {
+    return instances_[instance].counters[name];
+  }
+  Gauge& gauge(const std::string& instance, const std::string& name) {
+    return instances_[instance].gauges[name];
+  }
+  Histogram& histogram(const std::string& instance, const std::string& name,
+                       std::vector<double> upper_bounds) {
+    auto& m = instances_[instance].histograms;
+    auto it = m.find(name);
+    if (it == m.end()) {
+      it = m.emplace(name, Histogram(std::move(upper_bounds))).first;
+    }
+    return it->second;
+  }
+
+  /// Lookup without creation; nullptr when absent.
+  const Counter* find_counter(const std::string& instance,
+                              const std::string& name) const {
+    return find(instance, &Instance::counters, name);
+  }
+  const Gauge* find_gauge(const std::string& instance,
+                          const std::string& name) const {
+    return find(instance, &Instance::gauges, name);
+  }
+  const Histogram* find_histogram(const std::string& instance,
+                                  const std::string& name) const {
+    return find(instance, &Instance::histograms, name);
+  }
+
+  std::size_t instance_count() const noexcept { return instances_.size(); }
+  std::vector<std::string> instance_names() const {
+    std::vector<std::string> names;
+    names.reserve(instances_.size());
+    for (const auto& [k, v] : instances_) names.push_back(k);
+    return names;
+  }
+
+  /// {"<instance>": {"counters": {...}, "gauges": {...},
+  ///                 "histograms": {"<name>": {"count":..,"mean":..,
+  ///                   "p50":..,"p95":..,"p99":..,"max":..,
+  ///                   "buckets":[[bound,count],...]}}}}
+  std::string to_json() const {
+    std::ostringstream os;
+    os << "{";
+    bool first_inst = true;
+    for (const auto& [iname, inst] : instances_) {
+      if (!first_inst) os << ",";
+      first_inst = false;
+      os << "\n  \"" << sim::json_escape(iname) << "\": {";
+      bool first_block = true;
+      if (!inst.counters.empty()) {
+        os << "\n    \"counters\": {";
+        bool first = true;
+        for (const auto& [n, c] : inst.counters) {
+          if (!first) os << ", ";
+          first = false;
+          os << "\"" << sim::json_escape(n) << "\": " << c.value();
+        }
+        os << "}";
+        first_block = false;
+      }
+      if (!inst.gauges.empty()) {
+        if (!first_block) os << ",";
+        os << "\n    \"gauges\": {";
+        bool first = true;
+        for (const auto& [n, g] : inst.gauges) {
+          if (!first) os << ", ";
+          first = false;
+          os << "\"" << sim::json_escape(n) << "\": " << json_number(g.value());
+        }
+        os << "}";
+        first_block = false;
+      }
+      if (!inst.histograms.empty()) {
+        if (!first_block) os << ",";
+        os << "\n    \"histograms\": {";
+        bool first = true;
+        for (const auto& [n, h] : inst.histograms) {
+          if (!first) os << ",";
+          first = false;
+          os << "\n      \"" << sim::json_escape(n) << "\": {"
+             << "\"count\": " << h.count() << ", \"mean\": "
+             << json_number(h.mean()) << ", \"min\": " << json_number(h.min())
+             << ", \"p50\": " << json_number(h.percentile(0.50))
+             << ", \"p95\": " << json_number(h.percentile(0.95))
+             << ", \"p99\": " << json_number(h.percentile(0.99))
+             << ", \"max\": " << json_number(h.max()) << ", \"buckets\": [";
+          const auto& bounds = h.bounds();
+          const auto& counts = h.bucket_counts();
+          bool first_b = true;
+          for (std::size_t i = 0; i < counts.size(); ++i) {
+            if (counts[i] == 0) continue;  // sparse: elide empty buckets
+            if (!first_b) os << ", ";
+            first_b = false;
+            os << "["
+               << (i < bounds.size() ? json_number(bounds[i])
+                                     : std::string("\"+inf\""))
+               << ", " << counts[i] << "]";
+          }
+          os << "]}";
+        }
+        os << "\n    }";
+      }
+      os << "\n  }";
+    }
+    os << "\n}";
+    return os.str();
+  }
+
+  /// instance,metric,kind,count,mean,p50,p95,p99,max -- one row per metric.
+  std::string to_csv() const {
+    std::ostringstream os;
+    os << "instance,metric,kind,count,mean,p50,p95,p99,max\n";
+    for (const auto& [iname, inst] : instances_) {
+      for (const auto& [n, c] : inst.counters) {
+        os << iname << "," << n << ",counter," << c.value() << ",,,,,\n";
+      }
+      for (const auto& [n, g] : inst.gauges) {
+        os << iname << "," << n << ",gauge,," << g.value() << ",,,,\n";
+      }
+      for (const auto& [n, h] : inst.histograms) {
+        os << iname << "," << n << ",histogram," << h.count() << ","
+           << h.mean() << "," << h.percentile(0.50) << ","
+           << h.percentile(0.95) << "," << h.percentile(0.99) << ","
+           << h.max() << "\n";
+      }
+    }
+    return os.str();
+  }
+
+  /// Attaches this registry as `report`'s "metrics" JSON section (see
+  /// Report::to_json). The registry must outlive the report binding.
+  void bind(sim::Report& report) {
+    report.set_metrics_json_provider([this] { return to_json(); });
+  }
+
+  /// One kInfo "metrics" report line per histogram (its percentile summary)
+  /// at time `t` -- the Coverage::report_into idiom.
+  void report_into(sim::Report& r, sim::Time t) const {
+    for (const auto& [iname, inst] : instances_) {
+      for (const auto& [n, h] : inst.histograms) {
+        std::ostringstream line;
+        line << iname << "." << n << ": count=" << h.count()
+             << " p50=" << h.percentile(0.50) << " p95=" << h.percentile(0.95)
+             << " p99=" << h.percentile(0.99) << " max=" << h.max();
+        r.add(t, sim::Severity::kInfo, "metrics", line.str());
+      }
+    }
+  }
+
+ private:
+  struct Instance {
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, Histogram> histograms;
+  };
+
+  template <typename Map>
+  const typename Map::mapped_type* find(const std::string& instance,
+                                        Map Instance::*member,
+                                        const std::string& name) const {
+    const auto it = instances_.find(instance);
+    if (it == instances_.end()) return nullptr;
+    const Map& m = it->second.*member;
+    const auto mit = m.find(name);
+    return mit == m.end() ? nullptr : &mit->second;
+  }
+
+  /// JSON has no inf/nan; emit finite decimal (histograms clamp to observed
+  /// extremes so this only defends gauges fed bad values).
+  static std::string json_number(double v) {
+    if (!std::isfinite(v)) return "0";
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  std::map<std::string, Instance> instances_;
+};
+
+}  // namespace mts::metrics

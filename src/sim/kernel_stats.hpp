@@ -3,12 +3,27 @@
 // Scheduler::stats() returns a snapshot; Simulation refreshes the copy held
 // by sim::Report after every run()/run_until() so harnesses and reports can
 // surface kernel behaviour without external profilers.
+//
+// When a KernelProfiler is armed (see sim/profiler.hpp) the snapshot also
+// carries `hot_sites`: per-listener-site wall-time and event-count
+// attribution, sorted hottest first -- the "where does simulation time go"
+// table every perf PR cites. With no profiler armed the vector is empty and
+// the kernel pays a single branch per event.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace mts::sim {
+
+/// One row of the profiler's hottest-callbacks table.
+struct KernelSiteStat {
+  std::string label;            ///< registration label or file:line
+  std::uint64_t events = 0;     ///< events attributed to this site
+  std::uint64_t wall_ns = 0;    ///< host wall time spent in those events
+};
 
 struct KernelStats {
   /// Total events executed since construction.
@@ -18,6 +33,13 @@ struct KernelStats {
   /// Event slots ever allocated (ring capacity + heap capacity): the pool
   /// high-water mark. Constant once the workload reaches steady state.
   std::size_t pool_high_water = 0;
+  /// Hottest callback sites (profiler armed only), sorted by wall time
+  /// descending; at most KernelProfiler::kTopN rows.
+  std::vector<KernelSiteStat> hot_sites;
 };
+
+/// Fixed-width text rendering of `hot_sites` ("top-N hottest callbacks");
+/// empty string when no profile data is present.
+std::string format_hot_sites(const KernelStats& stats);
 
 }  // namespace mts::sim

@@ -1,0 +1,150 @@
+// Observability configuration and the per-component observer shim.
+//
+// An Observability bundle names the three optional sinks -- transaction
+// tracing (sim/trace_session.hpp), the metrics registry
+// (metrics/registry.hpp) and the kernel profiler (sim/profiler.hpp) -- and
+// arms them on a Simulation *before components are constructed*. Components
+// check Simulation::observability() once, in their constructors: with
+// nothing armed they register no extra listeners and keep no observer
+// state, so the dormant path is the seed hot path plus one null-pointer
+// branch inside listeners that already existed (the overflow/underflow
+// monitors). tests/sim/test_observability_soak.cpp holds this to within
+// noise of the PR-2 kernel.
+//
+// TransitObserver is the shared per-instance hook body: FIFOs and relay
+// stations construct one when armed and call put_committed / get_observed /
+// sync_crossed / stalled_by_stop_in at their commit points. It drives both
+// sinks -- trace spans keyed by transaction id, and per-instance metrics
+// (puts/gets/stalls counters, a forward-latency histogram in picoseconds
+// and an occupancy histogram) -- and tolerates either sink being absent.
+//
+// Header-only (like metrics/registry.hpp) so every layer can use it with no
+// new link edges: fifo/lip/sync already link mts_sim, and the registry is
+// header-only by design.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "metrics/registry.hpp"
+#include "sim/profiler.hpp"
+#include "sim/simulation.hpp"
+#include "sim/trace_session.hpp"
+
+namespace mts::sim {
+
+struct Observability {
+  TraceSession* trace = nullptr;
+  metrics::Registry* metrics = nullptr;
+  KernelProfiler* profiler = nullptr;
+
+  /// Arms this bundle on `sim` (and the profiler on its scheduler). Must
+  /// run before the components to observe are constructed; the bundle and
+  /// its sinks must outlive the simulation or be disarmed first.
+  void arm(Simulation& sim) {
+    sim.set_observability(this);
+    sim.sched().set_profiler(profiler);
+  }
+
+  /// Returns `sim` to the dormant fast path.
+  static void disarm(Simulation& sim) {
+    sim.set_observability(nullptr);
+    sim.sched().set_profiler(nullptr);
+  }
+};
+
+/// Histogram bucket layouts shared by every traced instance, so reports are
+/// comparable across components.
+inline std::vector<double> latency_bounds() {
+  // 1-2-5 per decade, 100 ps .. 10 us: covers one gate delay up to a
+  // thousand-cycle stall.
+  return metrics::Histogram::exponential_bounds(100.0, 1e7);
+}
+
+class TransitObserver {
+ public:
+  TransitObserver(Observability& obs, Simulation& sim,
+                  const std::string& instance, const std::string& put_track,
+                  const std::string& get_track, unsigned capacity)
+      : sim_(sim), trace_(obs.trace) {
+    if (trace_ != nullptr) {
+      stream_ = trace_->stream(instance, trace_->track(put_track),
+                               trace_->track(get_track));
+    }
+    if (obs.metrics != nullptr) {
+      puts_ = &obs.metrics->counter(instance, "puts");
+      gets_ = &obs.metrics->counter(instance, "gets");
+      stalls_ = &obs.metrics->counter(instance, "stalls");
+      sync_crossings_ = &obs.metrics->counter(instance, "sync_crossings");
+      latency_ps_ =
+          &obs.metrics->histogram(instance, "latency_ps", latency_bounds());
+      occupancy_ = &obs.metrics->histogram(
+          instance, "occupancy", metrics::Histogram::linear_bounds(capacity));
+    }
+  }
+
+  /// An item was latched (`occupancy`: items resident just after commit).
+  void put_committed(std::uint64_t data, unsigned occupancy) {
+    const Time t = sim_.now();
+    if (trace_ != nullptr) {
+      trace_->put_committed(stream_, t, data);
+    } else if (latency_ps_ != nullptr) {
+      // No trace session to keep the in-flight queue: keep our own put
+      // timestamps so the latency histogram still fills.
+      put_times_.push_back(t);
+    }
+    if (puts_ != nullptr) {
+      puts_->inc();
+      occupancy_->observe(static_cast<double>(occupancy));
+    }
+  }
+
+  /// The oldest item left on the get side.
+  void get_observed(std::uint64_t data, unsigned occupancy) {
+    const Time t = sim_.now();
+    Time put_time = 0;
+    bool have_put = false;
+    if (trace_ != nullptr) {
+      const TraceSession::Departure dep = trace_->get_observed(stream_, t, data);
+      put_time = dep.put_time;
+      have_put = dep.id != 0;
+    } else if (!put_times_.empty()) {
+      put_time = put_times_.front();
+      put_times_.pop_front();
+      have_put = true;
+    }
+    if (gets_ != nullptr) {
+      gets_->inc();
+      occupancy_->observe(static_cast<double>(occupancy));
+      if (have_put) latency_ps_->observe(static_cast<double>(t - put_time));
+    }
+  }
+
+  /// The oldest item became visible across the timing boundary.
+  void sync_crossed() {
+    if (trace_ != nullptr) trace_->sync_crossed(stream_, sim_.now());
+    if (sync_crossings_ != nullptr) sync_crossings_->inc();
+  }
+
+  /// Back-pressure held the oldest item in place this cycle.
+  void stalled_by_stop_in() {
+    if (trace_ != nullptr) trace_->stalled_by_stop_in(stream_, sim_.now());
+    if (stalls_ != nullptr) stalls_->inc();
+  }
+
+ private:
+  Simulation& sim_;
+  TraceSession* trace_ = nullptr;
+  TraceSession::StreamId stream_ = 0;
+  metrics::Counter* puts_ = nullptr;
+  metrics::Counter* gets_ = nullptr;
+  metrics::Counter* stalls_ = nullptr;
+  metrics::Counter* sync_crossings_ = nullptr;
+  metrics::Histogram* latency_ps_ = nullptr;
+  metrics::Histogram* occupancy_ = nullptr;
+  std::deque<Time> put_times_;  ///< metrics-only mode (no trace session)
+};
+
+}  // namespace mts::sim

@@ -1,0 +1,45 @@
+#include "sim/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mts::sim {
+
+std::vector<KernelSiteStat> KernelProfiler::top(std::size_t n) const {
+  std::vector<KernelSiteStat> rows;
+  rows.reserve(sites_.size());
+  for (const Site& s : sites_) {
+    if (s.events == 0) continue;
+    rows.push_back(KernelSiteStat{s.label, s.events, s.wall_ns});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const KernelSiteStat& a, const KernelSiteStat& b) {
+              return a.wall_ns != b.wall_ns ? a.wall_ns > b.wall_ns
+                                            : a.events > b.events;
+            });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+void KernelProfiler::reset() {
+  for (Site& s : sites_) {
+    s.events = 0;
+    s.wall_ns = 0;
+  }
+}
+
+std::string format_hot_sites(const KernelStats& stats) {
+  if (stats.hot_sites.empty()) return {};
+  std::string out =
+      "hottest callback sites (wall time | events | site)\n";
+  char line[256];
+  for (const auto& s : stats.hot_sites) {
+    std::snprintf(line, sizeof line, "  %10.3f ms | %10llu | %s\n",
+                  static_cast<double>(s.wall_ns) / 1e6,
+                  static_cast<unsigned long long>(s.events), s.label.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mts::sim

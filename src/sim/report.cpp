@@ -1,11 +1,48 @@
 #include "sim/report.hpp"
 
+#include <cstdio>
+#include <sstream>
 #include <utility>
 
 namespace mts::sim {
 
+const char* severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kViolation: return "violation";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 void Report::add(Time t, Severity sev, std::string category, std::string message) {
   ++per_category_[category];
+  ++total_added_;
   if (sev == Severity::kViolation || sev == Severity::kError) ++failures_;
   if (entries_.size() < max_entries_) {
     entries_.push_back(ReportEntry{t, sev, std::move(category), std::move(message)});
@@ -21,7 +58,56 @@ void Report::clear() {
   entries_.clear();
   per_category_.clear();
   failures_ = 0;
+  total_added_ = 0;
   kernel_ = KernelStats{};
+}
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"failures\": " << failures_ << ",\n";
+  os << "  \"entries_total\": " << total_added_ << ",\n";
+  os << "  \"entries_recorded\": " << entries_.size() << ",\n";
+  os << "  \"categories\": {";
+  bool first = true;
+  for (const auto& [cat, n] : per_category_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << json_escape(cat) << "\": " << n;
+  }
+  os << "},\n";
+  os << "  \"entries\": [";
+  first = true;
+  for (const auto& e : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"t\": " << e.time << ", \"severity\": \""
+       << severity_name(e.severity) << "\", \"category\": \""
+       << json_escape(e.category) << "\", \"message\": \""
+       << json_escape(e.message) << "\"}";
+  }
+  os << (first ? "]" : "\n  ]") << ",\n";
+  os << "  \"kernel\": {\"events_executed\": " << kernel_.events_executed
+     << ", \"peak_queue_depth\": " << kernel_.peak_queue_depth
+     << ", \"pool_high_water\": " << kernel_.pool_high_water;
+  if (!kernel_.hot_sites.empty()) {
+    os << ", \"hot_sites\": [";
+    first = true;
+    for (const auto& s : kernel_.hot_sites) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n    {\"site\": \"" << json_escape(s.label)
+         << "\", \"events\": " << s.events << ", \"wall_ns\": " << s.wall_ns
+         << "}";
+    }
+    os << "\n  ]";
+  }
+  os << "}";
+  if (metrics_provider_) {
+    os << ",\n  \"metrics\": " << metrics_provider_();
+  }
+  os << "\n}\n";
+  return os.str();
 }
 
 }  // namespace mts::sim

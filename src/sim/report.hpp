@@ -4,9 +4,17 @@
 // decide policy; they record findings here. Harness code inspects the counts
 // to decide pass/fail -- e.g. the max-frequency search treats any "setup" or
 // "hold" violation in the measured clock domain as a failed trial.
+//
+// to_json() serializes the whole report -- entries (up to the cap),
+// per-category totals, kernel health counters including the profiler's
+// hottest-callback table, and, when a metrics::Registry is bound (see
+// metrics/registry.hpp), a "metrics" section with every per-instance
+// counter/gauge/latency-histogram summary.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -17,6 +25,13 @@
 namespace mts::sim {
 
 enum class Severity { kInfo, kWarning, kViolation, kError };
+
+/// "info" / "warning" / "violation" / "error".
+const char* severity_name(Severity s) noexcept;
+
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslashes,
+/// control characters).
+std::string json_escape(const std::string& s);
 
 struct ReportEntry {
   Time time = 0;
@@ -35,6 +50,9 @@ class Report {
   /// Number of entries recorded under `category` (any severity).
   std::size_t count(const std::string& category) const;
 
+  /// Entries ever add()ed, including those dropped past the cap.
+  std::uint64_t total_added() const noexcept { return total_added_; }
+
   const std::vector<ReportEntry>& entries() const noexcept { return entries_; }
 
   /// Drops all recorded entries and counters.
@@ -43,18 +61,31 @@ class Report {
   /// Caps stored entries to bound memory in long runs; counters keep
   /// counting past the cap.
   void set_max_entries(std::size_t n) { max_entries_ = n; }
+  std::size_t max_entries() const noexcept { return max_entries_; }
 
   /// Kernel health counters, refreshed by Simulation after run()/run_until()
   /// so harnesses can report them alongside the timing findings.
-  void set_kernel(const KernelStats& s) noexcept { kernel_ = s; }
+  void set_kernel(const KernelStats& s) { kernel_ = s; }
   const KernelStats& kernel() const noexcept { return kernel_; }
+
+  /// Attaches a provider whose returned JSON object is embedded verbatim as
+  /// the "metrics" member of to_json() (the registry binds itself here --
+  /// metrics::Registry::bind). Pass an empty function to detach.
+  void set_metrics_json_provider(std::function<std::string()> provider) {
+    metrics_provider_ = std::move(provider);
+  }
+
+  /// Whole-report JSON object; see the header comment for the shape.
+  std::string to_json() const;
 
  private:
   std::vector<ReportEntry> entries_;
   std::map<std::string, std::size_t> per_category_;
   std::size_t failures_ = 0;
+  std::uint64_t total_added_ = 0;
   std::size_t max_entries_ = 10'000;
   KernelStats kernel_;
+  std::function<std::string()> metrics_provider_;
 };
 
 }  // namespace mts::sim

@@ -1,6 +1,7 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -12,11 +13,11 @@ void Scheduler::run_one_from_ring() {
                           std::to_string(timestamp_budget_) +
                           " events at t=" + format_time(now_));
   }
-  // Move the callback out before invoking: it may schedule new events and
+  // Move the event out before invoking: it may schedule new events and
   // grow the ring while running.
-  Callback cb = ring_.pop_front();
+  RingEvent ev = ring_.pop_front();
   ++stats_.events_executed;
-  cb();
+  dispatch(ev);
 }
 
 void Scheduler::run_one_from_heap() {
@@ -31,11 +32,29 @@ void Scheduler::run_one_from_heap() {
   // sibling) skips the ring entirely.
   while (!heap_.empty() && heap_.front().t == e.t) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    ring_.push_back(std::move(heap_.back().cb));
+    Event& sib = heap_.back();
+    ring_.push_back(RingEvent{std::move(sib.cb), sib.site});
     heap_.pop_back();
   }
   ++stats_.events_executed;
-  e.cb();
+  if (profiler_ == nullptr) {
+    e.cb();
+  } else {
+    run_profiled(e.cb, e.site);
+  }
+}
+
+void Scheduler::run_profiled(Callback& cb, KernelProfiler::SiteId site) {
+  // While cb runs, `site` is the current site, so events it schedules
+  // inherit its attribution (see sim/profiler.hpp).
+  ProfileScope scope(profiler_, site);
+  const auto t0 = std::chrono::steady_clock::now();
+  cb();
+  const auto t1 = std::chrono::steady_clock::now();
+  profiler_->record(
+      site, static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                    .count()));
 }
 
 bool Scheduler::step() {

@@ -30,6 +30,7 @@
 #include "sim/callback.hpp"
 #include "sim/error.hpp"
 #include "sim/kernel_stats.hpp"
+#include "sim/profiler.hpp"
 #include "sim/ring.hpp"
 #include "sim/time.hpp"
 
@@ -52,6 +53,19 @@ class Scheduler {
   template <typename F, typename = std::enable_if_t<
                             std::is_invocable_r_v<void, std::decay_t<F>&>>>
   void at(Time t, F&& f) {
+    // Profiler site inheritance: events adopt the site of the event that
+    // schedules them (see sim/profiler.hpp). One branch when dormant.
+    at_site(t, profiler_ == nullptr ? 0u : profiler_->current(),
+            std::forward<F>(f));
+  }
+
+  /// at() with an explicit profiler site -- used by root event sources
+  /// (clocks, asynchronous drivers) that are not themselves scheduled from
+  /// inside a profiled event. The site is ignored while no profiler is
+  /// armed.
+  template <typename F, typename = std::enable_if_t<
+                            std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void at_site(Time t, KernelProfiler::SiteId site, F&& f) {
     MTS_ASSERT(t >= now_, "event scheduled in the past at t=" +
                               std::to_string(t) +
                               " now=" + std::to_string(now_));
@@ -60,9 +74,9 @@ class Scheduler {
       // anything still in the heap at this time (those were promoted into
       // the ring before execution started), so FIFO order is scheduling
       // order.
-      ring_.push_back(Callback(std::forward<F>(f)));
+      ring_.push_back(RingEvent{Callback(std::forward<F>(f)), site});
     } else {
-      heap_.emplace_back(t, next_seq_++, std::forward<F>(f));
+      heap_.emplace_back(t, next_seq_++, site, std::forward<F>(f));
       // A singleton heap is already a heap; skip the sift (the dominant
       // case for self-rescheduling chains).
       if (heap_.size() > 1) std::push_heap(heap_.begin(), heap_.end(), Later{});
@@ -95,22 +109,34 @@ class Scheduler {
   /// declares a combinational oscillation.
   void set_timestamp_budget(std::size_t budget) { timestamp_budget_ = budget; }
 
-  /// Snapshot of the kernel health counters.
-  KernelStats stats() const noexcept {
+  /// Arms (nullptr: disarms) wall-time profiling of event dispatch. The
+  /// profiler must outlive the scheduler or be disarmed first.
+  void set_profiler(KernelProfiler* p) noexcept { profiler_ = p; }
+  KernelProfiler* profiler() const noexcept { return profiler_; }
+
+  /// Snapshot of the kernel health counters (plus the hottest-site table
+  /// when a profiler is armed).
+  KernelStats stats() const {
     KernelStats s = stats_;
     s.pool_high_water = ring_.capacity() + heap_.capacity();
+    if (profiler_ != nullptr) s.hot_sites = profiler_->top();
     return s;
   }
 
   static constexpr std::size_t kDefaultRunBudget = 500'000'000;
 
  private:
+  struct RingEvent {
+    Callback cb;
+    KernelProfiler::SiteId site = 0;
+  };
   struct Event {
     template <typename F>
-    Event(Time time, std::uint64_t sequence, F&& f)
-        : t(time), seq(sequence), cb(std::forward<F>(f)) {}
+    Event(Time time, std::uint64_t sequence, KernelProfiler::SiteId s, F&& f)
+        : t(time), seq(sequence), site(s), cb(std::forward<F>(f)) {}
     Time t = 0;
     std::uint64_t seq = 0;
+    KernelProfiler::SiteId site = 0;
     Callback cb;
   };
   struct Later {
@@ -128,18 +154,30 @@ class Scheduler {
   /// event's zero-delay children. Precondition: ring empty, heap non-empty.
   void run_one_from_heap();
 
+  /// Times cb() and charges it to `site` (profiler armed only).
+  void run_profiled(Callback& cb, KernelProfiler::SiteId site);
+
+  void dispatch(RingEvent& ev) {
+    if (profiler_ == nullptr) {
+      ev.cb();
+    } else {
+      run_profiled(ev.cb, ev.site);
+    }
+  }
+
   void note_push() noexcept {
     const std::size_t depth = ring_.size() + heap_.size();
     if (depth > stats_.peak_queue_depth) stats_.peak_queue_depth = depth;
   }
 
-  RingBuffer<Callback> ring_;  ///< events at now(), FIFO order
-  std::vector<Event> heap_;    ///< future events, min-heap via Later
+  RingBuffer<RingEvent> ring_;  ///< events at now(), FIFO order
+  std::vector<Event> heap_;     ///< future events, min-heap via Later
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t events_at_now_ = 0;
   std::size_t timestamp_budget_ = 4'000'000;
   KernelStats stats_;
+  KernelProfiler* profiler_ = nullptr;
 };
 
 }  // namespace mts::sim

@@ -5,9 +5,12 @@
 #include "sim/error.hpp"         // IWYU pragma: export
 #include "sim/fault.hpp"         // IWYU pragma: export
 #include "sim/kernel_stats.hpp"  // IWYU pragma: export
+#include "sim/observe.hpp"       // IWYU pragma: export
+#include "sim/profiler.hpp"      // IWYU pragma: export
 #include "sim/report.hpp"        // IWYU pragma: export
 #include "sim/scheduler.hpp"   // IWYU pragma: export
 #include "sim/signal.hpp"      // IWYU pragma: export
 #include "sim/simulation.hpp"  // IWYU pragma: export
 #include "sim/time.hpp"        // IWYU pragma: export
-#include "sim/trace.hpp"       // IWYU pragma: export
+#include "sim/trace.hpp"         // IWYU pragma: export
+#include "sim/trace_session.hpp"  // IWYU pragma: export

@@ -13,6 +13,7 @@
 namespace mts::sim {
 
 class FaultPlan;
+struct Observability;
 
 class Simulation {
  public:
@@ -35,6 +36,15 @@ class Simulation {
   void arm_faults(FaultPlan* plan) noexcept { faults_ = plan; }
   FaultPlan* faults() const noexcept { return faults_; }
 
+  /// Arms (nullptr: disarms) an observability bundle (trace session +
+  /// metrics registry + kernel profiler; see sim/observe.hpp). Components
+  /// check this ONCE, at construction, to decide whether to attach their
+  /// tracing/metrics hooks -- arm before building the design; components
+  /// built while disarmed stay on the seed fast path for their lifetime.
+  /// Prefer Observability::arm(sim), which also arms the profiler.
+  void set_observability(Observability* o) noexcept { obs_ = o; }
+  Observability* observability() const noexcept { return obs_; }
+
   Time now() const noexcept { return sched_.now(); }
   void run_until(Time t) {
     sched_.run_until(t);
@@ -51,6 +61,7 @@ class Simulation {
   Report report_;
   std::mt19937_64 rng_;
   FaultPlan* faults_ = nullptr;
+  Observability* obs_ = nullptr;
 };
 
 }  // namespace mts::sim

@@ -54,7 +54,7 @@ void VcdWriter::watch(Word& w, unsigned width, std::string display_name) {
 }
 
 void VcdWriter::start() {
-  if (started_) return;
+  if (started_ || finished_) return;
   started_ = true;
   out_ << "$timescale 1ps $end\n$scope module mts $end\n";
   for (const auto& var : vars_) {
@@ -77,14 +77,19 @@ void VcdWriter::start() {
 void VcdWriter::finish() {
   if (finished_) return;
   finished_ = true;
-  out_.flush();
-  out_.close();
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
 }
 
 void VcdWriter::advance_time(Time t) {
-  if (t != last_time_ || last_time_ == 0) {
+  // time_emitted_, not `last_time_ == 0`: the latter re-emitted `#0` for
+  // every value change at time zero.
+  if (!time_emitted_ || t != last_time_) {
     out_ << '#' << t << '\n';
     last_time_ = t;
+    time_emitted_ = true;
   }
 }
 

@@ -37,7 +37,8 @@ class VcdWriter {
   /// this point on.
   void start();
 
-  /// Flushes and closes; further changes are ignored.
+  /// Flushes and closes; further changes are ignored. Idempotent: calling
+  /// it again (or destructing afterwards) is a safe no-op.
   void finish();
 
  private:
@@ -56,6 +57,7 @@ class VcdWriter {
   std::vector<Var> vars_;
   std::uint64_t next_code_ = 0;
   Time last_time_ = 0;
+  bool time_emitted_ = false;
   bool started_ = false;
   bool finished_ = false;
 };

@@ -5,6 +5,7 @@
 
 #include "sim/error.hpp"
 #include "sim/fault.hpp"
+#include "sim/observe.hpp"
 
 namespace mts::sync {
 
@@ -17,11 +18,15 @@ Clock::Clock(sim::Simulation& sim, std::string name, const ClockConfig& config)
   if (config_.jitter >= config_.period / 2) {
     throw ConfigError("Clock: jitter must be < period/2");
   }
+  if (sim::Observability* o = sim.observability();
+      o != nullptr && o->profiler != nullptr) {
+    site_ = o->profiler->site("clock " + out_.name());
+  }
   schedule_rise(config_.phase);
 }
 
 void Clock::schedule_rise(sim::Time t) {
-  sim_.sched().at(t, [this] {
+  sim_.sched().at_site(t, site_, [this] {
     if (!running_) return;
     ++edges_;
     out_.set(true);

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "sim/profiler.hpp"
 #include "sim/signal.hpp"
 #include "sim/simulation.hpp"
 
@@ -45,6 +46,10 @@ class Clock {
   sim::Wire out_;
   bool running_ = true;
   std::uint64_t edges_ = 0;
+  /// Profiler site for this clock's edge events (0 when no profiler was
+  /// armed at construction). Everything scheduled downstream of an edge
+  /// inherits it, so the hot-sites table groups work by clock domain.
+  sim::KernelProfiler::SiteId site_ = 0;
 };
 
 }  // namespace mts::sync

@@ -4,6 +4,7 @@
 
 #include "gates/combinational.hpp"
 #include "sim/fault.hpp"
+#include "sim/observe.hpp"
 #include "sim/report.hpp"
 
 namespace mts::sync {
@@ -14,6 +15,14 @@ Synchronizer::Synchronizer(sim::Simulation& sim, const std::string& name,
                            gates::TimingDomain* domain, bool initial,
                            sim::Wire* force_high)
     : sim_(sim), nl_(sim, name), config_(config), dm_(dm) {
+  if (sim::Observability* o = sim.observability();
+      o != nullptr && o->metrics != nullptr) {
+    // Per-chain synchronization-hazard counters: in-window samples at the
+    // front stage (routine) and escapes past the final stage (the MTBF
+    // events of Section 7).
+    in_window_ctr_ = &o->metrics->counter(name, "sync_in_window");
+    escape_ctr_ = &o->metrics->counter(name, "sync_escapes");
+  }
   if (config_.depth == 0) {
     // Ablation passthrough: a buffer only; the raw asynchronous level feeds
     // the synchronous controller directly.
@@ -64,9 +73,13 @@ Synchronizer::Synchronizer(sim::Simulation& sim, const std::string& name,
       ff.set_async_sampling([this, &ff, front, last](bool old_value,
                                                      bool new_value,
                                                      sim::Time edge) {
-        if (front) ++front_events_;
+        if (front) {
+          ++front_events_;
+          if (in_window_ctr_ != nullptr) in_window_ctr_->inc();
+        }
         if (last && !front) {
           ++failures_;
+          if (escape_ctr_ != nullptr) escape_ctr_->inc();
           sim_.report().add(edge, sim::Severity::kWarning, "sync-failure",
                             nl_.prefix() + ": metastability escaped final stage");
         }

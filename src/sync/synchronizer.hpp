@@ -28,6 +28,7 @@
 #include "gates/delay_model.hpp"
 #include "gates/flops.hpp"
 #include "gates/netlist.hpp"
+#include "metrics/registry.hpp"
 #include "sim/signal.hpp"
 #include "sim/simulation.hpp"
 
@@ -80,6 +81,10 @@ class Synchronizer {
   sim::Wire* out_ = nullptr;
   std::uint64_t front_events_ = 0;
   std::uint64_t failures_ = 0;
+  // Set only when observability with a metrics registry was armed at
+  // construction (sim/observe.hpp); dormant chains keep null pointers.
+  metrics::Counter* in_window_ctr_ = nullptr;
+  metrics::Counter* escape_ctr_ = nullptr;
 };
 
 }  // namespace mts::sync

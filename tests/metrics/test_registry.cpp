@@ -1,0 +1,147 @@
+#include "metrics/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/report.hpp"
+
+namespace mts::metrics {
+namespace {
+
+TEST(Registry, CountersAndGaugesResolveOrCreate) {
+  Registry r;
+  Counter& c = r.counter("dut", "puts");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(r.counter("dut", "puts").value(), 5u);  // same node
+  r.gauge("dut", "occupancy").set(3.5);
+  EXPECT_DOUBLE_EQ(r.gauge("dut", "occupancy").value(), 3.5);
+  EXPECT_EQ(r.instance_count(), 1u);
+}
+
+TEST(Registry, FindReturnsNullForAbsentMetrics) {
+  Registry r;
+  r.counter("dut", "puts");
+  EXPECT_NE(r.find_counter("dut", "puts"), nullptr);
+  EXPECT_EQ(r.find_counter("dut", "gets"), nullptr);
+  EXPECT_EQ(r.find_counter("other", "puts"), nullptr);
+  EXPECT_EQ(r.find_gauge("dut", "puts"), nullptr);
+  EXPECT_EQ(r.find_histogram("dut", "puts"), nullptr);
+}
+
+TEST(Histogram, EmptyHistogramIsAllZero) {
+  Histogram h(Histogram::linear_bounds(4));
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(Histogram, TracksSumMinMaxAndBuckets) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);
+  h.observe(5000.0);  // +inf tail bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 5555.0 / 4.0);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  for (const auto n : h.bucket_counts()) EXPECT_EQ(n, 1u);
+}
+
+TEST(Histogram, PercentilesAreOrderedAndClampedToObservedRange) {
+  Histogram h(Histogram::exponential_bounds(100.0, 1e7));
+  for (int i = 0; i < 100; ++i) h.observe(1000.0 + i * 10.0);  // 1000..1990
+  const double p50 = h.percentile(0.50);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  EXPECT_GT(p99, 0.0);
+}
+
+TEST(Histogram, SingleBucketDistributionStaysBelowMax) {
+  // All samples inside one bucket: interpolation must clamp to the
+  // observed max, not the bucket's upper bound.
+  Histogram h({1000.0, 1'000'000.0});
+  for (int i = 0; i < 10; ++i) h.observe(2000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 2000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 2000.0);
+}
+
+TEST(Histogram, ExponentialBoundsAre125PerDecadeWithinRange) {
+  const auto b = Histogram::exponential_bounds(100.0, 1e7);
+  ASSERT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.front(), 100.0);
+  EXPECT_DOUBLE_EQ(b.back(), 1e7);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(Histogram, LinearBoundsCoverEveryOccupancyLevel) {
+  const auto b = Histogram::linear_bounds(8);
+  ASSERT_EQ(b.size(), 9u);
+  EXPECT_DOUBLE_EQ(b.front(), 0.0);
+  EXPECT_DOUBLE_EQ(b.back(), 8.0);
+}
+
+TEST(Registry, ToJsonCarriesAllThreeMetricKinds) {
+  Registry r;
+  r.counter("dut", "puts").inc(7);
+  r.gauge("dut", "fill").set(0.5);
+  Histogram& h = r.histogram("dut", "latency_ps", {100.0, 1000.0});
+  h.observe(250.0);
+
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"dut\""), std::string::npos);
+  EXPECT_NE(json.find("\"puts\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"fill\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ps\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(Registry, HistogramBucketsAreSparseInJson) {
+  Registry r;
+  Histogram& h = r.histogram("dut", "lat", {1.0, 2.0, 3.0, 4.0});
+  h.observe(2.5);  // only the (2,3] bucket is populated
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("[3, 1]"), std::string::npos);
+  EXPECT_EQ(json.find("[1, 0]"), std::string::npos);  // empty buckets elided
+}
+
+TEST(Registry, ToCsvEmitsOneRowPerMetric) {
+  Registry r;
+  r.counter("a", "puts").inc(2);
+  r.histogram("b", "lat", {10.0}).observe(5.0);
+  const std::string csv = r.to_csv();
+  EXPECT_NE(csv.find("instance,metric,kind,count,mean,p50,p95,p99,max"),
+            std::string::npos);
+  EXPECT_NE(csv.find("a,puts,counter,2"), std::string::npos);
+  EXPECT_NE(csv.find("b,lat,histogram,1"), std::string::npos);
+}
+
+TEST(Registry, BindAttachesMetricsSectionToReportJson) {
+  Registry r;
+  r.counter("dut", "puts").inc(3);
+  sim::Report report;
+  r.bind(report);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"puts\": 3"), std::string::npos);
+}
+
+TEST(Registry, ReportIntoEmitsOneLinePerHistogram) {
+  Registry r;
+  r.histogram("dut", "latency_ps", {100.0}).observe(42.0);
+  sim::Report report;
+  r.report_into(report, 1234);
+  EXPECT_EQ(report.count("metrics"), 1u);
+  EXPECT_EQ(report.failure_count(), 0u);  // kInfo lines are not failures
+}
+
+}  // namespace
+}  // namespace mts::metrics

@@ -1,0 +1,165 @@
+#include "sim/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "sim/scheduler.hpp"
+
+namespace mts::sim {
+namespace {
+
+TEST(KernelProfiler, SiteZeroIsUnattributed) {
+  KernelProfiler p;
+  ASSERT_FALSE(p.sites().empty());
+  EXPECT_EQ(p.sites()[0].label, "(unattributed)");
+  EXPECT_EQ(p.current(), 0u);
+}
+
+TEST(KernelProfiler, SiteRegistrationIsIdempotent) {
+  KernelProfiler p;
+  const auto a = p.site("clock clk_a");
+  const auto b = p.site("driver put0");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(p.site("clock clk_a"), a);
+  EXPECT_EQ(p.sites().size(), 3u);  // unattributed + two labels
+}
+
+TEST(KernelProfiler, RecordAccumulatesAndTopSortsByWallTime) {
+  KernelProfiler p;
+  const auto hot = p.site("hot");
+  const auto warm = p.site("warm");
+  p.site("never-ran");
+  p.record(warm, 5);
+  p.record(hot, 100);
+  p.record(hot, 200);
+
+  const auto top = p.top();
+  ASSERT_EQ(top.size(), 2u);  // sites with no events are omitted
+  EXPECT_EQ(top[0].label, "hot");
+  EXPECT_EQ(top[0].events, 2u);
+  EXPECT_EQ(top[0].wall_ns, 300u);
+  EXPECT_EQ(top[1].label, "warm");
+
+  // n caps the row count.
+  EXPECT_EQ(p.top(1).size(), 1u);
+}
+
+TEST(KernelProfiler, ResetZeroesCountersButKeepsSites) {
+  KernelProfiler p;
+  const auto a = p.site("a");
+  p.record(a, 42);
+  p.reset();
+  EXPECT_TRUE(p.top().empty());
+  EXPECT_EQ(p.site("a"), a);  // ids survive the reset
+}
+
+TEST(KernelProfiler, ProfileScopeRestoresPreviousSite) {
+  KernelProfiler p;
+  const auto outer = p.site("outer");
+  const auto inner = p.site("inner");
+  p.set_current(outer);
+  {
+    ProfileScope scope(&p, inner);
+    EXPECT_EQ(p.current(), inner);
+  }
+  EXPECT_EQ(p.current(), outer);
+}
+
+TEST(KernelProfiler, NullProfileScopeIsANoop) {
+  ProfileScope scope(nullptr, 7);  // must not crash
+}
+
+TEST(KernelProfiler, MacroYieldsZeroForNullProfiler) {
+  KernelProfiler* none = nullptr;
+  EXPECT_EQ(MTS_PROFILE_SITE(none, "x"), 0u);
+  KernelProfiler p;
+  const auto id = MTS_PROFILE_SITE(&p, "x");
+  EXPECT_NE(id, 0u);
+  // Label carries the registration file:line.
+  EXPECT_NE(p.sites()[id].label.find("test_profiler.cpp"), std::string::npos);
+}
+
+TEST(SchedulerProfiling, DormantSchedulerReportsNoHotSites) {
+  Scheduler s;
+  s.at(10, [] {});
+  s.run();
+  EXPECT_TRUE(s.stats().hot_sites.empty());
+}
+
+TEST(SchedulerProfiling, AttributesEventsToTheirSites) {
+  Scheduler s;
+  KernelProfiler p;
+  s.set_profiler(&p);
+  const auto tick = p.site("tick");
+  int ran = 0;
+  s.at_site(10, tick, [&] { ++ran; });
+  s.at_site(20, tick, [&] { ++ran; });
+  s.run();
+  EXPECT_EQ(ran, 2);
+
+  const auto& hot = s.stats().hot_sites;
+  ASSERT_FALSE(hot.empty());
+  EXPECT_EQ(hot[0].label, "tick");
+  EXPECT_EQ(hot[0].events, 2u);
+}
+
+TEST(SchedulerProfiling, CascadesInheritTheSchedulingEventsSite) {
+  Scheduler s;
+  KernelProfiler p;
+  s.set_profiler(&p);
+  const auto root = p.site("root");
+  // The root event schedules a chain of followers with plain at(); each
+  // follower must inherit `root` because it was scheduled while a
+  // root-attributed event was executing.
+  int depth = 0;
+  std::function<void()> step = [&] {
+    if (++depth < 5) s.at(s.now() + 1, [&] { step(); });
+  };
+  s.at_site(1, root, [&] { step(); });
+  s.run();
+  EXPECT_EQ(depth, 5);
+
+  std::uint64_t root_events = 0;
+  for (const auto& site : p.sites()) {
+    if (site.label == "root") root_events = site.events;
+  }
+  EXPECT_EQ(root_events, 5u);
+}
+
+TEST(SchedulerProfiling, ProfileScopeReattributesNestedScheduling) {
+  Scheduler s;
+  KernelProfiler p;
+  s.set_profiler(&p);
+  const auto outer = p.site("outer");
+  const auto claimed = p.site("claimed");
+  s.at_site(1, outer, [&] {
+    ProfileScope scope(&p, claimed);
+    s.at(2, [] {});
+  });
+  s.run();
+
+  std::uint64_t claimed_events = 0;
+  for (const auto& site : p.sites()) {
+    if (site.label == "claimed") claimed_events = site.events;
+  }
+  EXPECT_EQ(claimed_events, 1u);
+}
+
+TEST(SchedulerProfiling, FormatHotSitesRendersAndEmptyIsEmpty) {
+  KernelStats none;
+  EXPECT_TRUE(format_hot_sites(none).empty());
+
+  Scheduler s;
+  KernelProfiler p;
+  s.set_profiler(&p);
+  s.at_site(1, p.site("clock main"), [] {});
+  s.run();
+  const std::string text = format_hot_sites(s.stats());
+  EXPECT_NE(text.find("clock main"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mts::sim

@@ -61,6 +61,48 @@ TEST(Report, SurfacesKernelStatsAfterRun) {
   EXPECT_GT(ks.pool_high_water, 0u);
 }
 
+TEST(Report, CountersKeepCountingPastTheCap) {
+  Report r;
+  r.set_max_entries(2);
+  for (int i = 0; i < 6; ++i) {
+    r.add(static_cast<Time>(i), Severity::kViolation, "setup", "late edge");
+  }
+  for (int i = 0; i < 3; ++i) {
+    r.add(static_cast<Time>(i), Severity::kInfo, "note", "fyi");
+  }
+  // Storage is bounded, accounting is not: harness pass/fail decisions
+  // (failure_count, per-category counts) stay exact past the cap.
+  EXPECT_EQ(r.entries().size(), 2u);
+  EXPECT_EQ(r.count("setup"), 6u);
+  EXPECT_EQ(r.count("note"), 3u);
+  EXPECT_EQ(r.failure_count(), 6u);
+  EXPECT_EQ(r.total_added(), 9u);
+}
+
+TEST(Report, CappedJsonRoundTripKeepsExactTotals) {
+  Report r;
+  r.set_max_entries(2);
+  for (int i = 0; i < 5; ++i) {
+    r.add(static_cast<Time>(100 + i), Severity::kError, "scoreboard",
+          "mismatch \"x\"");
+  }
+  const std::string json = r.to_json();
+  // The exact totals survive export even though only 2 entries do.
+  EXPECT_NE(json.find("\"entries_total\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"entries_recorded\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"failures\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"scoreboard\": 5"), std::string::npos);
+  // Stored entries appear, escaped.
+  EXPECT_NE(json.find("mismatch \\\"x\\\""), std::string::npos);
+  // Only the capped entries serialize: count the entry objects.
+  std::size_t entry_count = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"severity\"", pos)) != std::string::npos; ++pos) {
+    ++entry_count;
+  }
+  EXPECT_EQ(entry_count, 2u);
+}
+
 TEST(Report, ClearResetsKernelStats) {
   Report r;
   KernelStats ks;

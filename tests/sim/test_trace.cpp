@@ -77,5 +77,79 @@ TEST(Trace, UnwritablePathThrows) {
   EXPECT_THROW(VcdWriter("/nonexistent_dir_xyz/out.vcd"), ConfigError);
 }
 
+TEST_F(TraceTest, DoubleFinishIsANoop) {
+  Simulation sim;
+  Wire w(sim, "w");
+  VcdWriter vcd(path_);
+  vcd.watch(w);
+  vcd.start();
+  sim.sched().at(100, [&] { w.set(true); });
+  sim.run();
+  vcd.finish();
+  vcd.finish();  // second call must not throw or corrupt the file
+  const std::string text = read_file(path_);
+  EXPECT_NE(text.find("#100\n1!"), std::string::npos);
+}
+
+TEST_F(TraceTest, DestructAfterExplicitFinishIsSafe) {
+  Simulation sim;
+  Wire w(sim, "w");
+  {
+    VcdWriter vcd(path_);
+    vcd.watch(w);
+    vcd.start();
+    vcd.finish();
+    // ~VcdWriter calls finish() again on an already-closed stream.
+  }
+  EXPECT_NE(read_file(path_).find("$enddefinitions"), std::string::npos);
+}
+
+TEST_F(TraceTest, DestructAfterExceptionMidSetupIsSafe) {
+  Simulation sim;
+  Word d(sim, "d");
+  Wire w(sim, "w");
+  {
+    VcdWriter vcd(path_);
+    vcd.watch(w);
+    EXPECT_THROW(vcd.watch(d, 0), ConfigError);
+    // Writer destructs with the header never written; finish() in the
+    // destructor must cope with the half-configured state.
+  }
+  SUCCEED();
+}
+
+TEST_F(TraceTest, StartAfterFinishIsANoop) {
+  Simulation sim;
+  Wire w(sim, "w");
+  VcdWriter vcd(path_);
+  vcd.watch(w);
+  vcd.finish();
+  vcd.start();  // stream already closed: must not write to a dead file
+  EXPECT_TRUE(read_file(path_).empty());
+}
+
+TEST_F(TraceTest, TimeZeroChangesEmitSingleTimestamp) {
+  Simulation sim;
+  Wire a(sim, "a");
+  Wire b(sim, "b");
+  VcdWriter vcd(path_);
+  vcd.watch(a);
+  vcd.watch(b);
+  vcd.start();
+  sim.sched().at(0, [&] {
+    a.set(true);
+    b.set(true);
+  });
+  sim.run();
+  vcd.finish();
+  const std::string text = read_file(path_);
+  std::size_t zero_marks = 0;
+  for (std::size_t pos = 0; (pos = text.find("#0\n", pos)) != std::string::npos;
+       pos += 3) {
+    ++zero_marks;
+  }
+  EXPECT_EQ(zero_marks, 1u);  // one `#0`, not one per change
+}
+
 }  // namespace
 }  // namespace mts::sim

@@ -1,0 +1,169 @@
+#include "sim/trace_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/error.hpp"
+
+namespace mts::sim {
+namespace {
+
+TEST(TraceSession, TracksAndStreamsResolveIdempotently) {
+  TraceSession ts;
+  const auto clk_a = ts.track("clk_a");
+  const auto clk_b = ts.track("clk_b");
+  EXPECT_NE(clk_a, clk_b);
+  EXPECT_EQ(ts.track("clk_a"), clk_a);
+
+  const auto s0 = ts.stream("fifo0", clk_a, clk_b);
+  const auto s1 = ts.stream("fifo1", clk_b, clk_b);
+  EXPECT_NE(s0, s1);
+  // Same instance name resolves to the same stream; the tracks of the
+  // first registration win.
+  EXPECT_EQ(ts.stream("fifo0", clk_b, clk_a), s0);
+}
+
+TEST(TraceSession, PutMintsMonotonicIds) {
+  TraceSession ts;
+  const auto s = ts.stream("dut", ts.track("put"), ts.track("get"));
+  EXPECT_EQ(ts.transactions(), 0u);
+  EXPECT_EQ(ts.put_committed(s, 100, 0xAA), 1u);
+  EXPECT_EQ(ts.put_committed(s, 200, 0xBB), 2u);
+  EXPECT_EQ(ts.put_committed(s, 300, 0xCC), 3u);
+  EXPECT_EQ(ts.transactions(), 3u);
+}
+
+TEST(TraceSession, GetPopsInFifoOrderWithPutTimestamps) {
+  TraceSession ts;
+  const auto s = ts.stream("dut", ts.track("put"), ts.track("get"));
+  ts.put_committed(s, 100, 1);
+  ts.put_committed(s, 250, 2);
+
+  const auto d0 = ts.get_observed(s, 900, 1);
+  EXPECT_EQ(d0.id, 1u);
+  EXPECT_EQ(d0.put_time, 100u);
+  const auto d1 = ts.get_observed(s, 950, 2);
+  EXPECT_EQ(d1.id, 2u);
+  EXPECT_EQ(d1.put_time, 250u);
+}
+
+TEST(TraceSession, GetOnEmptyStreamIsAnUnderflowSentinel) {
+  TraceSession ts;
+  const auto s = ts.stream("dut", ts.track("put"), ts.track("get"));
+  const auto d = ts.get_observed(s, 10, 0);
+  EXPECT_EQ(d.id, 0u);
+  EXPECT_EQ(d.put_time, 0u);
+}
+
+TEST(TraceSession, LinkedDownstreamAdoptsUpstreamIds) {
+  TraceSession ts;
+  const auto t = ts.track("clk");
+  const auto up = ts.stream("up", t, t);
+  const auto down = ts.stream("down", t, t);
+  ts.link(up, down);
+
+  const auto id_a = ts.put_committed(up, 100, 0xA);
+  const auto id_b = ts.put_committed(up, 200, 0xB);
+  ts.get_observed(up, 300, 0xA);
+  ts.get_observed(up, 400, 0xB);
+
+  // The downstream put adopts the handed-off ids in FIFO order instead of
+  // minting fresh ones; the global count does not grow.
+  EXPECT_EQ(ts.put_committed(down, 350, 0xA), id_a);
+  EXPECT_EQ(ts.put_committed(down, 450, 0xB), id_b);
+  EXPECT_EQ(ts.transactions(), 2u);
+
+  // Departure latency at the chain tail runs from the *downstream* put.
+  const auto d = ts.get_observed(down, 500, 0xA);
+  EXPECT_EQ(d.id, id_a);
+  EXPECT_EQ(d.put_time, 350u);
+}
+
+TEST(TraceSession, DownstreamWithoutHandoffStillMints) {
+  TraceSession ts;
+  const auto t = ts.track("clk");
+  const auto up = ts.stream("up", t, t);
+  const auto down = ts.stream("down", t, t);
+  ts.link(up, down);
+  // Nothing departed upstream yet (e.g. an injected packet): the put must
+  // not stall or crash -- it mints a fresh id.
+  EXPECT_EQ(ts.put_committed(down, 10, 0xF), 1u);
+}
+
+TEST(TraceSession, LinkByNameResolvesRegisteredStreams) {
+  TraceSession ts;
+  const auto t = ts.track("clk");
+  ts.stream("a", t, t);
+  ts.stream("b", t, t);
+  ts.link("a", "b");
+
+  const auto sa = ts.stream("a", t, t);
+  const auto sb = ts.stream("b", t, t);
+  const auto id = ts.put_committed(sa, 1, 0);
+  ts.get_observed(sa, 2, 0);
+  EXPECT_EQ(ts.put_committed(sb, 3, 0), id);
+}
+
+TEST(TraceSession, LinkByUnknownNameThrowsConfigError) {
+  TraceSession ts;
+  const auto t = ts.track("clk");
+  ts.stream("known", t, t);
+  EXPECT_THROW(ts.link("known", "never_built"), ConfigError);
+  EXPECT_THROW(ts.link("never_built", "known"), ConfigError);
+}
+
+TEST(TraceSession, EventCapDropsRecordsButKeepsIdAccountingExact) {
+  TraceSession ts;
+  ts.set_max_events(4);
+  const auto s = ts.stream("dut", ts.track("put"), ts.track("get"));
+  // Each fresh put records two events (slice begin + instant): the cap is
+  // hit after two puts.
+  ts.put_committed(s, 10, 1);
+  ts.put_committed(s, 20, 2);
+  ts.put_committed(s, 30, 3);
+  EXPECT_EQ(ts.events_recorded(), 4u);
+  EXPECT_GT(ts.events_dropped(), 0u);
+  EXPECT_EQ(ts.transactions(), 3u);
+
+  // In-flight accounting is unaffected: latencies stay exact past the cap.
+  EXPECT_EQ(ts.get_observed(s, 100, 1).put_time, 10u);
+  EXPECT_EQ(ts.get_observed(s, 100, 2).put_time, 20u);
+  EXPECT_EQ(ts.get_observed(s, 100, 3).put_time, 30u);
+}
+
+TEST(TraceSession, ToJsonEmitsChromeTraceStructure) {
+  TraceSession ts;
+  const auto put_t = ts.track("clk_put");
+  const auto get_t = ts.track("clk_get");
+  const auto s = ts.stream("dut", put_t, get_t);
+  ts.put_committed(s, 1'500'000, 0x42);  // 1.5 us
+  ts.sync_crossed(s, 2'000'000);
+  ts.stalled_by_stop_in(s, 2'200'000);
+  ts.get_observed(s, 2'500'000, 0x42);
+
+  const std::string json = ts.to_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Named thread per track.
+  EXPECT_NE(json.find("\"name\": \"clk_put\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"clk_get\""), std::string::npos);
+  // Async slice open/close with matched id, instants for each span kind.
+  EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"put_committed\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"sync_crossed\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"stalled_by_stopIn\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"get_observed\""), std::string::npos);
+  // Picosecond timestamps rendered as microseconds with full resolution.
+  EXPECT_NE(json.find("\"ts\": 1.500000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 2.500000"), std::string::npos);
+}
+
+TEST(TraceSession, WriteJsonThrowsWhenPathUnwritable) {
+  TraceSession ts;
+  EXPECT_THROW(ts.write_json("/nonexistent-dir-mts/trace.json"), ConfigError);
+}
+
+}  // namespace
+}  // namespace mts::sim
