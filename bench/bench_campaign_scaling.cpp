@@ -1,0 +1,98 @@
+// Campaign scaling: runs/sec of the shared FIFO-soak campaign workload
+// (campaign_workload.hpp) at 1, 2, 4 and 8 workers, plus a determinism
+// spot-check (the 4-worker campaign JSON must be byte-identical to the
+// 1-worker one with host stats excluded).
+//
+// Writes BENCH_campaign.json (current directory). The speedup column is
+// meaningful only when the host has cores to scale onto -- host_cores is
+// recorded next to every number so a 1-core CI box reporting ~1.0x reads
+// as what it is.
+//
+// Usage: bench_campaign_scaling [--smoke]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign_workload.hpp"
+
+namespace {
+
+using namespace mts;
+
+/// The full campaign JSON (host stats excluded) for a worker count, for
+/// the determinism check.
+std::string campaign_doc(unsigned workers, std::size_t configs,
+                         std::size_t reps, unsigned cycles) {
+  sim::CampaignOptions opt;
+  opt.workers = workers;
+  opt.seed = 99;
+  opt.capture_run_reports = true;
+  sim::Campaign campaign(configs, reps, opt);
+  campaign.run([cycles](sim::CampaignContext& ctx) {
+    benchwork::fifo_soak_body(ctx, cycles);
+  });
+  return campaign.to_json(/*include_host_stats=*/false);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::size_t configs = 3;
+  const std::size_t reps = smoke ? 4 : 16;
+  const unsigned cycles = smoke ? 150 : 400;
+  const unsigned host_cores = std::thread::hardware_concurrency();
+
+  std::printf("campaign scaling: %zu runs of the shared FIFO soak "
+              "(%u put cycles each), host_cores=%u\n\n",
+              configs * reps, cycles, host_cores);
+  std::printf("  %8s %14s %10s\n", "workers", "runs/sec", "speedup");
+
+  const unsigned worker_counts[] = {1, 2, 4, 8};
+  std::vector<double> rps;
+  for (unsigned w : worker_counts) {
+    rps.push_back(benchwork::measure_campaign_runs_per_sec(w, configs, reps,
+                                                           cycles));
+    std::printf("  %8u %14.1f %9.2fx\n", w, rps.back(), rps.back() / rps[0]);
+  }
+
+  const std::string doc1 = campaign_doc(1, configs, reps, cycles);
+  const std::string doc4 = campaign_doc(4, configs, reps, cycles);
+  const bool deterministic = doc1 == doc4;
+  std::printf("\n4-worker vs 1-worker campaign JSON (host stats excluded): "
+              "%s\n", deterministic ? "IDENTICAL" : "MISMATCH");
+
+  FILE* f = std::fopen("BENCH_campaign.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr,
+                 "bench_campaign_scaling: cannot write BENCH_campaign.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"note\": \"sim::Campaign scaling on the shared FIFO-"
+                  "soak workload; speedup is bounded by host_cores, so a "
+                  "1-core host legitimately reports ~1.0x\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"host_cores\": %u,\n", host_cores);
+  std::fprintf(f, "  \"runs\": %zu,\n", configs * reps);
+  std::fprintf(f, "  \"cycles_per_run\": %u,\n", cycles);
+  std::fprintf(f, "  \"runs_per_sec\": {");
+  for (std::size_t i = 0; i < std::size(worker_counts); ++i) {
+    std::fprintf(f, "%s\"%u\": %.1f", i == 0 ? "" : ", ", worker_counts[i],
+                 rps[i]);
+  }
+  std::fprintf(f, "},\n");
+  std::fprintf(f, "  \"speedup_4w_vs_1w\": %.2f,\n", rps[2] / rps[0]);
+  std::fprintf(f, "  \"deterministic_4w_vs_1w\": %s\n",
+               deterministic ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_campaign.json\n");
+  return deterministic ? 0 : 1;
+}

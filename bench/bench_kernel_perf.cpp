@@ -16,12 +16,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <thread>
 
 #include "bfm/bfm.hpp"
 #include "fifo/fifo.hpp"
 #include "gates/gates.hpp"
 #include "sim/profiler.hpp"
 #include "sync/clock.hpp"
+
+#include "campaign_workload.hpp"
 
 // ---------------------------------------------------------------------------
 // Instrumented allocator hook: counts every global operator new. The kernel's
@@ -229,6 +232,7 @@ BENCHMARK(BM_AsyncSyncFifoSim);
 struct HotPathMeasurement {
   double events_per_sec = 0.0;
   double allocs_per_million_events = 0.0;
+  sim::KernelStats stats;  ///< scheduler counters after the measured run
 };
 
 /// Runs a heap-path event chain of `events` events twice on one scheduler:
@@ -253,6 +257,7 @@ HotPathMeasurement measure_chain(std::uint64_t events) {
   m.events_per_sec = static_cast<double>(events) / secs;
   m.allocs_per_million_events =
       static_cast<double>(allocs) * 1e6 / static_cast<double>(events);
+  m.stats = sched.stats();
   return m;
 }
 
@@ -347,12 +352,21 @@ void write_kernel_json(bool smoke) {
   const HotPathMeasurement sig =
       best_of(3, [&] { return measure_signal_writes(signal_writes); });
 
-  // Kernel health counters for the chain workload, via a fresh simulation.
-  sim::Simulation sim;
-  sim::Wire w(sim, "w");
-  w.write(true, 5, sim::DelayKind::kTransport);
-  sim.run();
-  const sim::KernelStats ks = sim.sched().stats();
+  // Campaign scaling on the shared FIFO-soak workload (see
+  // campaign_workload.hpp). Speedup is bounded by host cores; host_cores
+  // is recorded so a 1-core box reporting ~1.0x reads as what it is.
+  const std::size_t campaign_reps = smoke ? 3 : 8;
+  const unsigned campaign_cycles = smoke ? 100 : 300;
+  const unsigned campaign_workers[] = {1, 2, 4, 8};
+  double campaign_rps[std::size(campaign_workers)] = {};
+  for (std::size_t i = 0; i < std::size(campaign_workers); ++i) {
+    campaign_rps[i] = benchwork::measure_campaign_runs_per_sec(
+        campaign_workers[i], 3, campaign_reps, campaign_cycles);
+  }
+
+  // Kernel health counters, snapshotted from the scheduler that actually
+  // executed the measured heap-path chain (warmup pass + measured pass).
+  const sim::KernelStats ks = chain.stats;
 
   FILE* f = std::fopen("BENCH_kernel.json", "w");
   if (f == nullptr) {
@@ -392,7 +406,24 @@ void write_kernel_json(bool smoke) {
   std::fprintf(f, "    \"profiler_overhead_pct\": %.1f\n",
                (chain.events_per_sec / profiled.events_per_sec - 1.0) * 100.0);
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"campaign\": {\n");
+  std::fprintf(f, "    \"runs\": %zu,\n",
+               static_cast<std::size_t>(3) * campaign_reps);
+  std::fprintf(f, "    \"cycles_per_run\": %u,\n", campaign_cycles);
+  std::fprintf(f, "    \"host_cores\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"runs_per_sec\": {");
+  for (std::size_t i = 0; i < std::size(campaign_workers); ++i) {
+    std::fprintf(f, "%s\"%u\": %.1f", i == 0 ? "" : ", ", campaign_workers[i],
+                 campaign_rps[i]);
+  }
+  std::fprintf(f, "},\n");
+  std::fprintf(f, "    \"speedup_4w_vs_1w\": %.2f\n",
+               campaign_rps[2] / campaign_rps[0]);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"kernel_stats_probe\": {\n");
+  std::fprintf(f, "    \"workload\": \"measured heap-path chain "
+                  "(warmup pass + measured pass)\",\n");
   std::fprintf(f, "    \"events_executed\": %llu,\n",
                static_cast<unsigned long long>(ks.events_executed));
   std::fprintf(f, "    \"peak_queue_depth\": %llu,\n",
@@ -405,13 +436,16 @@ void write_kernel_json(bool smoke) {
 
   std::printf("\nBENCH_kernel.json: chain %.3g events/s (%.2fx seed), "
               "%.3g allocs/Mevent (seed %.3g); signal writes %.3g allocs/Mwrite "
-              "(seed %.3g); profiler armed %.3g events/s (+%.1f%% overhead)\n",
+              "(seed %.3g); profiler armed %.3g events/s (+%.1f%% overhead); "
+              "campaign %.1f runs/s @1w, %.2fx @4w (%u host cores)\n",
               chain.events_per_sec,
               chain.events_per_sec / kSeedChainEventsPerSec,
               chain.allocs_per_million_events, kSeedChainAllocsPerMillionEvents,
               sig.allocs_per_million_events, kSeedSignalAllocsPerMillionWrites,
               profiled.events_per_sec,
-              (chain.events_per_sec / profiled.events_per_sec - 1.0) * 100.0);
+              (chain.events_per_sec / profiled.events_per_sec - 1.0) * 100.0,
+              campaign_rps[0], campaign_rps[2] / campaign_rps[0],
+              std::thread::hardware_concurrency());
 }
 
 }  // namespace

@@ -4,10 +4,22 @@ baseline at the repository root.
 
 Usage: check_kernel_perf.py <recorded.json> <fresh.json> [tolerance]
 
-Fails (exit 1) when the fresh dormant-path event-chain throughput
-(current.scheduler_chain_events_per_sec -- the disabled-observability hot
-path) falls more than `tolerance` (default 15%) below the recorded value.
-A faster fresh run always passes.
+Fails (exit 1) when any of these regress beyond `tolerance` (default 15%):
+
+  * current.scheduler_chain_events_per_sec -- the dormant-path event-chain
+    throughput (disabled observability, the hot path) falls below
+    recorded * (1 - tolerance). A faster fresh run always passes.
+  * campaign.runs_per_sec["1"] -- single-worker campaign throughput on the
+    shared FIFO-soak workload, same floor rule. Gated only when both sides
+    recorded a campaign section (older baselines predate sim::Campaign)
+    with the SAME workload shape (runs and cycles_per_run): runs/sec
+    scales with run length, so a smoke fresh run vs a full baseline is
+    not comparable and is reported informationally instead. Multi-worker
+    numbers are host-core-bound and always stay informational.
+  * observability.profiler_overhead_pct -- the ARMED profiler's slowdown of
+    the event chain must stay under max(100%, recorded * (1 + tolerance)).
+    The 100% floor keeps the ceiling meaningful on noisy CI hosts while
+    still catching a relapse toward the pre-ring-buffer ~456% cost.
 """
 import json
 import sys
@@ -23,29 +35,64 @@ def main() -> int:
     with open(sys.argv[2]) as f:
         fresh = json.load(f)
 
-    key = "scheduler_chain_events_per_sec"
-    ref = recorded["current"][key]
-    got = fresh["current"][key]
-    floor = ref * (1.0 - tolerance)
-    verdict = "OK" if got >= floor else "REGRESSION"
-    print(
-        f"{key}: recorded {ref:.3e}, fresh {got:.3e} "
-        f"({got / ref * 100.0:.1f}% of recorded, floor {floor:.3e}) "
-        f"-> {verdict}"
-    )
+    failed = False
 
-    # Informational: the opt-in profiled path's overhead, if both sides
-    # recorded it. Never gates -- profiling is opt-in by design.
+    def gate_floor(name: str, ref: float, got: float) -> None:
+        nonlocal failed
+        floor = ref * (1.0 - tolerance)
+        ok = got >= floor
+        failed = failed or not ok
+        print(
+            f"{name}: recorded {ref:.3e}, fresh {got:.3e} "
+            f"({got / ref * 100.0:.1f}% of recorded, floor {floor:.3e}) "
+            f"-> {'OK' if ok else 'REGRESSION'}"
+        )
+
+    key = "scheduler_chain_events_per_sec"
+    gate_floor(key, recorded["current"][key], fresh["current"][key])
+
+    camp_rec = recorded.get("campaign", {})
+    camp_new = fresh.get("campaign", {})
+    rps_rec = camp_rec.get("runs_per_sec", {})
+    rps_new = camp_new.get("runs_per_sec", {})
+    if "1" in rps_rec and "1" in rps_new:
+        same_shape = all(
+            camp_rec.get(k) == camp_new.get(k)
+            for k in ("runs", "cycles_per_run")
+        )
+        if same_shape:
+            gate_floor("campaign_runs_per_sec[1w]", rps_rec["1"], rps_new["1"])
+        else:
+            print(
+                f"campaign_runs_per_sec[1w]: recorded {rps_rec['1']:.3e}, "
+                f"fresh {rps_new['1']:.3e} (informational: workload shapes "
+                "differ, e.g. smoke vs full)"
+            )
+        for w in sorted(rps_new, key=int):
+            if w != "1":
+                print(
+                    f"  campaign_runs_per_sec[{w}w]: {rps_new[w]:.3e} "
+                    "(informational: bounded by host cores)"
+                )
+
     obs_rec = recorded.get("observability", {})
     obs_new = fresh.get("observability", {})
     if "profiler_overhead_pct" in obs_new:
-        print(
-            "profiler overhead: recorded "
-            f"{obs_rec.get('profiler_overhead_pct', float('nan')):.1f}%, "
-            f"fresh {obs_new['profiler_overhead_pct']:.1f}% (informational)"
-        )
+        got = obs_new["profiler_overhead_pct"]
+        ref = obs_rec.get("profiler_overhead_pct")
+        if ref is not None:
+            ceiling = max(100.0, ref * (1.0 + tolerance))
+            ok = got <= ceiling
+            failed = failed or not ok
+            print(
+                f"profiler_overhead_pct: recorded {ref:.1f}%, fresh "
+                f"{got:.1f}% (ceiling {ceiling:.1f}%) "
+                f"-> {'OK' if ok else 'REGRESSION'}"
+            )
+        else:
+            print(f"profiler overhead: fresh {got:.1f}% (no recorded value)")
 
-    return 0 if got >= floor else 1
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

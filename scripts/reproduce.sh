@@ -3,39 +3,71 @@
 # table/figure in EXPERIMENTS.md. All outputs (logs, VCD traces,
 # BENCH_kernel.json, latency-histogram JSON, Perfetto traces) land in out/,
 # which is gitignored.
+#
+# Usage: reproduce.sh [--jobs N]
+#   --jobs N   worker threads for the sim::Campaign-driven sweeps (Table 1
+#              latency histograms, sync-depth soaks, matrix extension, the
+#              fuzz/soak test campaigns via MTS_CAMPAIGN_JOBS). Default:
+#              nproc. Campaign results are bit-identical for any N; only
+#              wall time changes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 repo="$PWD"
+
+jobs="$(nproc 2>/dev/null || echo 1)"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --jobs)
+      jobs="$2"
+      shift 2
+      ;;
+    *)
+      echo "unknown argument: $1 (usage: reproduce.sh [--jobs N])" >&2
+      exit 2
+      ;;
+  esac
+done
+echo "campaign workers: $jobs"
 
 cmake -B build -G Ninja
 cmake --build build
 
 mkdir -p out
-ctest --test-dir build 2>&1 | tee out/test_output.txt
+# Fuzz campaigns and MTBF soaks shard across MTS_CAMPAIGN_JOBS workers
+# (tests/integration/test_fuzz_campaign.cpp, tests/faults/...soak.cpp).
+MTS_CAMPAIGN_JOBS="$jobs" ctest --test-dir build 2>&1 | tee out/test_output.txt
 
 # Benchmarks run from out/ so that generated artifacts (fig3_*.vcd from
-# bench_fig3_protocols, BENCH_kernel.json from bench_kernel_perf) are
-# written there instead of the repository root.
+# bench_fig3_protocols, BENCH_kernel.json from bench_kernel_perf,
+# BENCH_campaign.json from bench_campaign_scaling) are written there
+# instead of the repository root. Campaign-driven sweeps take --jobs.
+campaign_benches="bench_table1_latency bench_sync_depth bench_matrix_extension"
 (
   cd out
   for b in "$repo"/build/bench/bench_*; do
+    name="$(basename "$b")"
     echo "===================================================================="
-    echo "== $(basename "$b")"
+    echo "== $name"
     echo "===================================================================="
-    "$b"
+    case " $campaign_benches " in
+      *" $name "*) "$b" --jobs "$jobs" ;;
+      *) "$b" ;;
+    esac
     echo
   done
 ) 2>&1 | tee out/bench_output.txt
 
 # Forward-latency distributions (metrics registry): one histogram per
-# Table-1 configuration under saturated traffic, with a one-screen p50/p99
-# summary on stdout and the full per-instance JSON in out/.
+# Table-1 configuration under saturated traffic, fanned across the
+# campaign pool, with a one-screen p50/p99 summary on stdout and the full
+# per-instance JSON in out/.
 (
   cd out
   echo "===================================================================="
   echo "== latency histograms (saturated, per Table-1 configuration)"
   echo "===================================================================="
-  "$repo"/build/bench/bench_table1_latency --hist-json latency_histograms.json
+  "$repo"/build/bench/bench_table1_latency --jobs "$jobs" \
+    --hist-json latency_histograms.json
 ) 2>&1 | tee out/latency_histograms.txt
 
 # End-to-end observability artifacts: the mixed-timing SoC example's
@@ -46,8 +78,10 @@ ctest --test-dir build 2>&1 | tee out/test_output.txt
   "$repo"/build/examples/example_latency_insensitive_soc
 ) 2>&1 | tee out/soc_example.txt
 
-# Kernel perf gate: dormant-path throughput vs the recorded baseline.
+# Kernel perf gate: dormant-path and 1-worker-campaign throughput plus the
+# armed-profiler overhead ceiling, vs the recorded baseline.
 python3 scripts/check_kernel_perf.py BENCH_kernel.json out/BENCH_kernel.json
 
 echo "done: see out/test_output.txt, out/bench_output.txt, out/*.vcd,"
-echo "      out/latency_histograms.json, out/soc_trace.json, out/soc_report.json"
+echo "      out/latency_histograms.json, out/BENCH_campaign.json,"
+echo "      out/soc_trace.json, out/soc_report.json"

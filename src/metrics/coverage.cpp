@@ -20,6 +20,10 @@ std::vector<std::string> Coverage::missing() const {
   return out;
 }
 
+void Coverage::merge(const Coverage& other) {
+  for (const auto& [bin, n] : other.bins_) bins_[bin] += n;
+}
+
 bool Coverage::all_hit() const {
   for (const auto& [bin, n] : bins_) {
     if (n == 0) return false;

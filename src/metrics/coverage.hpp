@@ -56,6 +56,13 @@ class Coverage {
   std::vector<std::string> missing() const;
   bool all_hit() const;
 
+  /// Campaign reduction: folds `other`'s bins into this object -- hit
+  /// counts add, bins defined only in `other` (hit or missed) appear here.
+  /// Commutative and associative, so per-worker coverage merged in any
+  /// order yields identical bins; listener subscriptions are NOT copied
+  /// (merge aggregates results, it does not re-instrument circuits).
+  void merge(const Coverage& other);
+
   /// "name: 7/9 bins hit; missing: mcrs.full.rise, mcrs.occ.nearfull"
   std::string summary() const;
 

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/error.hpp"
 #include "sim/report.hpp"
 
 namespace mts::metrics {
@@ -39,6 +40,9 @@ class Counter {
   void inc(std::uint64_t n = 1) noexcept { value_ += n; }
   std::uint64_t value() const noexcept { return value_; }
 
+  /// Campaign reduction: counts add.
+  void merge(const Counter& other) noexcept { value_ += other.value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -48,6 +52,14 @@ class Gauge {
  public:
   void set(double v) noexcept { value_ = v; }
   double value() const noexcept { return value_; }
+
+  /// Campaign reduction: max wins. "Last value" is meaningless across
+  /// shards that finish in nondeterministic order; max is the only
+  /// commutative choice that keeps high-water-mark gauges (the dominant
+  /// use) exact and the merged artifact independent of worker count.
+  void merge(const Gauge& other) noexcept {
+    value_ = std::max(value_, other.value_);
+  }
 
  private:
   double value_ = 0.0;
@@ -123,6 +135,29 @@ class Histogram {
     return max_;
   }
 
+  /// Campaign reduction: bucket-wise sum plus combined count/sum/min/max.
+  /// Both histograms must share one bucket layout (campaign shards attach
+  /// metrics through the same code, so layouts agree by construction);
+  /// merging disagreeing layouts throws ConfigError. Percentiles of the
+  /// merged histogram are exactly the percentiles of the pooled samples
+  /// (to bucket resolution) -- merge then interpolate, never average
+  /// per-shard percentiles.
+  void merge(const Histogram& other) {
+    if (other.bounds_ != bounds_) {
+      throw ConfigError(
+          "Histogram::merge: bucket layouts differ (" +
+          std::to_string(bounds_.size()) + " vs " +
+          std::to_string(other.bounds_.size()) + " bounds)");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   const std::vector<double>& bounds() const noexcept { return bounds_; }
   const std::vector<std::uint64_t>& bucket_counts() const noexcept {
     return counts_;
@@ -160,6 +195,29 @@ class Registry {
       it = m.emplace(name, Histogram(std::move(upper_bounds))).first;
     }
     return it->second;
+  }
+
+  /// Campaign reduction: accumulates every instance/metric of `other` into
+  /// this registry (creating absent ones). Counters and histogram buckets
+  /// add, gauges take the max -- all commutative and associative, so
+  /// merging per-worker registries yields the same artifact regardless of
+  /// worker count or completion order. Histogram layout mismatches throw
+  /// ConfigError (see Histogram::merge).
+  void merge(const Registry& other) {
+    for (const auto& [iname, oinst] : other.instances_) {
+      Instance& inst = instances_[iname];
+      for (const auto& [n, c] : oinst.counters) inst.counters[n].merge(c);
+      for (const auto& [n, g] : oinst.gauges) inst.gauges[n].merge(g);
+      for (const auto& [n, h] : oinst.histograms) {
+        const auto it = inst.histograms.find(n);
+        if (it == inst.histograms.end()) {
+          inst.histograms.emplace(n, Histogram(h.bounds())).first->second.merge(
+              h);
+        } else {
+          it->second.merge(h);
+        }
+      }
+    }
   }
 
   /// Lookup without creation; nullptr when absent.

@@ -1,0 +1,197 @@
+#include "sim/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "sim/error.hpp"
+
+namespace mts::sim {
+
+std::uint64_t campaign_run_seed(std::uint64_t campaign_seed,
+                                std::uint64_t run_index) noexcept {
+  // splitmix64 finalizer over the (seed, index) pair: one step of the
+  // Weyl sequence keyed by the campaign seed, then the usual avalanche.
+  std::uint64_t z = campaign_seed + 0x9e3779b97f4a7c15ULL * (run_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z == 0 ? 0x9e3779b97f4a7c15ULL : z;
+}
+
+/// Worker-lifetime shard: the Simulation whose arenas stay warm across
+/// every run this worker executes, plus its metric/report accumulators.
+struct Campaign::Worker {
+  Simulation sim;
+  metrics::Registry registry;
+};
+
+struct Campaign::Cursor {
+  std::atomic<std::size_t> next{0};
+};
+
+Campaign::Campaign(std::size_t configs, std::size_t reps, CampaignOptions opt)
+    : configs_(configs), reps_(reps), opt_(opt) {
+  unsigned w = opt_.workers;
+  if (w == 0) w = std::thread::hardware_concurrency();
+  if (w == 0) w = 1;
+  const std::size_t n = runs();
+  if (n > 0 && n < static_cast<std::size_t>(w)) {
+    w = static_cast<unsigned>(n);
+  }
+  workers_ = w == 0 ? 1 : w;
+}
+
+void Campaign::worker_loop(Worker& w, unsigned worker_index,
+                           const Body& body) {
+  for (;;) {
+    const std::size_t i =
+        cursor_->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= runs()) return;
+
+    RunSpec spec;
+    spec.index = i;
+    spec.config = i / reps_;
+    spec.rep = i % reps_;
+    spec.seed = campaign_run_seed(opt_.seed, i);
+
+    RunResult& r = results_[i];
+    r.index = i;
+    r.seed = spec.seed;
+
+    w.sim.reset(spec.seed);
+    CampaignContext ctx(w.sim, w.registry, spec, worker_index, r);
+    try {
+      body(ctx);
+      r.ok = true;
+    } catch (const std::exception& e) {
+      r.ok = false;
+      r.error = e.what();
+    } catch (...) {
+      r.ok = false;
+      r.error = "unknown exception";
+    }
+
+    // Snapshot the run's report with the pool high-water zeroed: arena
+    // capacity is a property of the worker (it grows monotonically over
+    // the runs the worker happened to execute), so leaving it in would
+    // make the per-run snapshots -- and everything reduced from them --
+    // depend on run placement.
+    KernelStats ks = w.sim.sched().stats();
+    ks.pool_high_water = 0;
+    w.sim.report().set_kernel(ks);
+    if (opt_.capture_run_reports) {
+      r.report_json = w.sim.report().to_json();
+    }
+    run_reports_[i] = w.sim.report();
+  }
+}
+
+void Campaign::run(const Body& body) {
+  if (ran_) throw ConfigError("Campaign::run may only be called once");
+  ran_ = true;
+
+  const std::size_t n = runs();
+  results_.assign(n, RunResult{});
+  run_reports_.assign(n, Report{});
+  if (n == 0) return;
+
+  Cursor cursor;
+  cursor_ = &cursor;
+
+  // Workers live in a deque: Simulation is non-movable and each shard's
+  // address must stay stable for the threads holding references into it.
+  std::deque<Worker> shards(workers_);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (workers_ == 1) {
+    worker_loop(shards[0], 0, body);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers_);
+    for (unsigned wi = 0; wi < workers_; ++wi) {
+      threads.emplace_back(
+          [this, &shards, wi, &body] { worker_loop(shards[wi], wi, body); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  wall_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+  cursor_ = nullptr;
+
+  // Reduce the shards. Registries fold in worker-index order: every
+  // registry merge is commutative and associative, so the result is
+  // independent of both this order and the run->worker placement. Reports
+  // fold from the per-run snapshots in RUN-index order instead -- entry
+  // append order and the entry cap would otherwise depend on which worker
+  // happened to claim which runs.
+  for (const Worker& w : shards) merged_.merge(w.registry);
+  for (Report& rr : run_reports_) merged_report_.merge(rr);
+  run_reports_.clear();  // per-run JSON (when captured) is in results_
+}
+
+std::size_t Campaign::failed() const noexcept {
+  std::size_t n = 0;
+  for (const RunResult& r : results_) {
+    if (!r.ok) ++n;
+  }
+  return n;
+}
+
+std::string Campaign::to_json(bool include_host_stats) const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"campaign\": {\"configs\": " << configs_ << ", \"reps\": " << reps_
+     << ", \"runs\": " << runs() << ", \"seed\": " << opt_.seed << "},\n";
+  if (include_host_stats) {
+    os << "  \"host\": {\"workers\": " << workers_
+       << ", \"wall_seconds\": " << wall_seconds_
+       << ", \"runs_per_sec\": " << runs_per_sec() << "},\n";
+  }
+  os << "  \"runs\": [";
+  bool first = true;
+  for (const RunResult& r : results_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"index\": " << r.index << ", \"config\": "
+       << (reps_ == 0 ? 0 : r.index / reps_) << ", \"rep\": "
+       << (reps_ == 0 ? 0 : r.index % reps_) << ", \"seed\": " << r.seed
+       << ", \"ok\": " << (r.ok ? "true" : "false");
+    if (!r.error.empty()) {
+      os << ", \"error\": \"" << json_escape(r.error) << "\"";
+    }
+    if (!r.scalars.empty()) {
+      os << ", \"scalars\": {";
+      bool sfirst = true;
+      for (const auto& [name, v] : r.scalars) {
+        if (!sfirst) os << ", ";
+        sfirst = false;
+        os << "\"" << json_escape(name) << "\": " << v;
+      }
+      os << "}";
+    }
+    if (!r.artifact.empty()) os << ", \"artifact\": " << r.artifact;
+    if (!r.report_json.empty()) os << ", \"report\": " << r.report_json;
+    os << "}";
+  }
+  os << (first ? "]" : "\n  ]") << ",\n";
+  os << "  \"merged\": {\"failed_runs\": " << failed()
+     << ", \"report\": " << merged_report_.to_json()
+     << ", \"metrics\": " << merged_.to_json() << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+bool Campaign::write_json(const std::string& path,
+                          bool include_host_stats) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json(include_host_stats);
+  return static_cast<bool>(out);
+}
+
+}  // namespace mts::sim

@@ -1,0 +1,232 @@
+// Parallel campaign engine: fans a declarative run matrix (config grid x
+// replica range) across a worker thread pool, each worker owning one fully
+// isolated simulation shard.
+//
+// The mixed-timing workloads that dominate this repo -- fuzz campaigns,
+// accelerated MTBF soaks, the Table 1 / sync-depth / matrix sweeps -- are
+// embarrassingly parallel: N independent Simulations with disjoint
+// schedulers, pools and RNG streams. A Campaign exploits exactly that and
+// nothing more:
+//
+//   * Sharding. Each worker thread owns a Simulation, a metrics::Registry
+//     and a Report for its whole lifetime. Nothing inside a run body is
+//     shared across threads; the only cross-thread state is the atomic
+//     next-run cursor and the pre-sized result vector (each run writes its
+//     own element).
+//
+//   * Arena reuse. Between runs a worker calls Simulation::reset(seed),
+//     which drains the scheduler's delta ring and heap WITHOUT releasing
+//     their grown storage -- so after the first run on each worker, runs
+//     schedule into warm arenas and the steady state stays allocation-free
+//     (the PR-1 kernel property, preserved under the pool).
+//
+//   * Determinism. Run `i`'s seed is campaign_run_seed(campaign seed, i) --
+//     a pure function of the campaign seed and the run index, never of the
+//     worker that happens to execute it. An N-worker campaign therefore
+//     produces bit-identical per-run results to the 1-worker (sequential)
+//     campaign; only completion order differs. Bodies that need
+//     fault-injection randomness construct a FaultPlan(ctx.spec().seed)
+//     inside the body: plan RNG is then per-run, not per-worker.
+//
+//   * Mergeable reduction. Per-worker registries and reports reduce into
+//     one campaign-level artifact through metrics::Registry::merge /
+//     Report::merge (commutative, associative), so the merged JSON is also
+//     independent of worker count. Coverage is merged the same way on the
+//     caller's side (metrics::Coverage::merge) because mts_sim cannot link
+//     mts_metrics' attachers.
+//
+// The body runs on pool threads: it must only touch the CampaignContext,
+// its per-run locals, and read-only captures (per-worker slots indexed by
+// ctx.worker() are fine). gtest assertions belong on the caller's thread,
+// after run() returns -- record findings in RunResult scalars instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/registry.hpp"  // header-only by design; no link edge
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::sim {
+
+/// Deterministic per-run seed: a splitmix64-style mix of the campaign seed
+/// and the run index. Depends on nothing else (not the worker count, not
+/// the schedule), which is what makes N-worker campaigns bit-identical to
+/// sequential ones. Never returns 0.
+std::uint64_t campaign_run_seed(std::uint64_t campaign_seed,
+                                std::uint64_t run_index) noexcept;
+
+struct CampaignOptions {
+  /// Worker threads; 0 means one per hardware thread. Clamped to the run
+  /// count (a 3-run campaign never spawns a 4th idle thread).
+  unsigned workers = 0;
+  /// Campaign seed: every run's seed derives from (seed, run index).
+  std::uint64_t seed = 1;
+  /// Store each run's Report as JSON in its RunResult (report_json). The
+  /// kernel pool high-water is zeroed in these captures: it reflects the
+  /// executing worker's warm arenas (a host detail that varies with run
+  /// placement), not the run's behaviour, and per-run captures must be
+  /// placement-independent.
+  bool capture_run_reports = false;
+};
+
+/// One cell of the run matrix, in row-major order over (config, rep).
+struct RunSpec {
+  std::size_t index = 0;   ///< global run index: config * reps + rep
+  std::size_t config = 0;  ///< config-grid cell
+  std::size_t rep = 0;     ///< replica within the cell (the "seed range")
+  std::uint64_t seed = 0;  ///< campaign_run_seed(campaign seed, index)
+};
+
+/// What one run left behind. `scalars` is the body's own extract (escape
+/// counts, scoreboard errors, throughput...); `artifact` is an optional
+/// body-provided JSON fragment embedded verbatim in the campaign JSON.
+struct RunResult {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string error;                      ///< exception text when !ok
+  std::map<std::string, double> scalars;  ///< body-recorded per-run numbers
+  std::string report_json;                ///< capture_run_reports only
+  std::string artifact;                   ///< optional user JSON fragment
+};
+
+/// The body's window onto its shard: the worker's (reset, reseeded)
+/// Simulation, the worker-lifetime metrics registry, this run's spec and
+/// the result slot to fill.
+class CampaignContext {
+ public:
+  CampaignContext(Simulation& sim, metrics::Registry& metrics,
+                  const RunSpec& spec, unsigned worker, RunResult& result)
+      : sim_(sim),
+        metrics_(metrics),
+        spec_(spec),
+        worker_(worker),
+        result_(result) {}
+
+  CampaignContext(const CampaignContext&) = delete;
+  CampaignContext& operator=(const CampaignContext&) = delete;
+
+  /// This run's Simulation: already reset to time 0 and seeded with
+  /// spec().seed, arenas warm from the worker's previous runs. Bodies that
+  /// key their stimulus on a table of their own seeds may reset it again
+  /// (ctx.sim().reset(my_seed)) -- arena reuse is unaffected.
+  Simulation& sim() noexcept { return sim_; }
+
+  /// The worker's registry: accumulates across every run this worker
+  /// executes and reduces into Campaign::merged_metrics() at the end. For
+  /// per-run isolated metrics, use a body-local Registry instead.
+  metrics::Registry& metrics() noexcept { return metrics_; }
+
+  const RunSpec& spec() const noexcept { return spec_; }
+
+  /// Stable worker index in [0, workers()): the per-worker-slot key for
+  /// caller-side sinks like Coverage that cannot live inside the engine.
+  unsigned worker() const noexcept { return worker_; }
+
+  RunResult& result() noexcept { return result_; }
+
+  /// Shorthand: result().scalars[name] = v.
+  void set(const std::string& name, double v) { result_.scalars[name] = v; }
+
+ private:
+  Simulation& sim_;
+  metrics::Registry& metrics_;
+  const RunSpec& spec_;
+  unsigned worker_;
+  RunResult& result_;
+};
+
+class Campaign {
+ public:
+  /// The run body. Invoked once per matrix cell, on a pool thread; must be
+  /// safe to call concurrently from `workers()` threads (touch only the
+  /// context, per-run locals, read-only captures and ctx.worker()-indexed
+  /// slots). A thrown exception fails that run (RunResult::ok == false,
+  /// error == what()) without stopping the campaign.
+  using Body = std::function<void(CampaignContext&)>;
+
+  /// A `configs` x `reps` matrix: run index = config * reps + rep.
+  Campaign(std::size_t configs, std::size_t reps, CampaignOptions opt = {});
+
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
+
+  std::size_t configs() const noexcept { return configs_; }
+  std::size_t reps() const noexcept { return reps_; }
+  std::size_t runs() const noexcept { return configs_ * reps_; }
+  unsigned workers() const noexcept { return workers_; }
+  std::uint64_t seed() const noexcept { return opt_.seed; }
+
+  /// Executes every cell of the matrix across the pool and reduces the
+  /// shards. Blocks until all runs finish. May be called once.
+  void run(const Body& body);
+
+  // -- results (valid after run()) ----------------------------------------
+
+  /// Per-run results in run-index order, independent of worker count.
+  const std::vector<RunResult>& results() const noexcept { return results_; }
+
+  /// Reduction of every worker's registry (counters add, gauges max,
+  /// histogram buckets add).
+  const metrics::Registry& merged_metrics() const noexcept { return merged_; }
+
+  /// Reduction of every run's Report, folded in run-index order so entry
+  /// order and the entry cap are worker-count independent too. Kernel
+  /// counters aggregate across runs (events add, peak depth maxes); the
+  /// pool high-water reads 0 -- arena capacity belongs to the worker, not
+  /// to any run (see CampaignOptions::capture_run_reports).
+  const Report& merged_report() const noexcept { return merged_report_; }
+
+  /// Runs whose body threw.
+  std::size_t failed() const noexcept;
+
+  double wall_seconds() const noexcept { return wall_seconds_; }
+  double runs_per_sec() const noexcept {
+    return wall_seconds_ > 0.0
+               ? static_cast<double>(runs()) / wall_seconds_
+               : 0.0;
+  }
+
+  /// The campaign-level JSON artifact: matrix shape + seed, per-run
+  /// results in index order, and the merged report/metrics reduction.
+  /// With include_host_stats=false the volatile host section (worker
+  /// count, wall time, runs/sec) is omitted and the document is
+  /// bit-identical across worker counts -- the determinism suite diffs
+  /// exactly this.
+  std::string to_json(bool include_host_stats = true) const;
+
+  /// Writes to_json() to `path`; returns false (with no throw) on I/O
+  /// failure so benches can run from read-only trees.
+  bool write_json(const std::string& path,
+                  bool include_host_stats = true) const;
+
+ private:
+  struct Worker;
+
+  void worker_loop(Worker& w, unsigned worker_index, const Body& body);
+
+  std::size_t configs_;
+  std::size_t reps_;
+  CampaignOptions opt_;
+  unsigned workers_ = 1;
+  bool ran_ = false;
+
+  std::vector<RunResult> results_;
+  std::vector<Report> run_reports_;  // merge staging; cleared after run()
+  metrics::Registry merged_;
+  Report merged_report_;
+  double wall_seconds_ = 0.0;
+
+  // Work distribution: pool threads claim run indices from this cursor.
+  // Defined in campaign.cpp to keep <atomic>/<thread> out of the header.
+  struct Cursor;
+  Cursor* cursor_ = nullptr;
+};
+
+}  // namespace mts::sim

@@ -21,11 +21,29 @@ std::vector<KernelSiteStat> KernelProfiler::top(std::size_t n) const {
   return rows;
 }
 
+void KernelProfiler::flush() noexcept {
+  if (pending_ == 0) return;
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t elapsed = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - block_t0_)
+          .count());
+  const std::uint64_t share = elapsed / pending_;
+  for (std::size_t i = 0; i < pending_; ++i) {
+    Site& s = sites_[samples_[i]];
+    ++s.events;
+    s.wall_ns += share;
+  }
+  // Division remainder lands on the first sample so totals stay exact.
+  sites_[samples_[0]].wall_ns += elapsed - share * pending_;
+  pending_ = 0;
+}
+
 void KernelProfiler::reset() {
   for (Site& s : sites_) {
     s.events = 0;
     s.wall_ns = 0;
   }
+  pending_ = 0;
 }
 
 std::string format_hot_sites(const KernelStats& stats) {

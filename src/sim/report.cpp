@@ -1,5 +1,6 @@
 #include "sim/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <utility>
@@ -52,6 +53,40 @@ void Report::add(Time t, Severity sev, std::string category, std::string message
 std::size_t Report::count(const std::string& category) const {
   auto it = per_category_.find(category);
   return it == per_category_.end() ? 0 : it->second;
+}
+
+void Report::merge(const Report& other) {
+  for (const auto& [cat, n] : other.per_category_) per_category_[cat] += n;
+  failures_ += other.failures_;
+  total_added_ += other.total_added_;
+  for (const ReportEntry& e : other.entries_) {
+    if (entries_.size() >= max_entries_) break;
+    entries_.push_back(e);
+  }
+  kernel_.events_executed += other.kernel_.events_executed;
+  kernel_.pool_high_water += other.kernel_.pool_high_water;
+  kernel_.peak_queue_depth =
+      std::max(kernel_.peak_queue_depth, other.kernel_.peak_queue_depth);
+  // Hot-site rows: concatenate by label, summing duplicates, hottest first.
+  if (!other.kernel_.hot_sites.empty()) {
+    for (const KernelSiteStat& s : other.kernel_.hot_sites) {
+      bool found = false;
+      for (KernelSiteStat& mine : kernel_.hot_sites) {
+        if (mine.label == s.label) {
+          mine.events += s.events;
+          mine.wall_ns += s.wall_ns;
+          found = true;
+          break;
+        }
+      }
+      if (!found) kernel_.hot_sites.push_back(s);
+    }
+    std::sort(kernel_.hot_sites.begin(), kernel_.hot_sites.end(),
+              [](const KernelSiteStat& a, const KernelSiteStat& b) {
+                return a.wall_ns != b.wall_ns ? a.wall_ns > b.wall_ns
+                                              : a.events > b.events;
+              });
+  }
 }
 
 void Report::clear() {

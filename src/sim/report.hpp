@@ -58,6 +58,15 @@ class Report {
   /// Drops all recorded entries and counters.
   void clear();
 
+  /// Campaign reduction: folds `other` into this report. Per-category
+  /// totals, failure and entry counts add; `other`'s recorded entries are
+  /// appended up to this report's cap; kernel counters combine (events and
+  /// pool high-water add across shards, peak queue depth takes the max --
+  /// shards are independent schedulers, so sums describe the campaign's
+  /// aggregate work and the max its worst single-run pressure). The
+  /// metrics provider binding is left untouched.
+  void merge(const Report& other);
+
   /// Caps stored entries to bound memory in long runs; counters keep
   /// counting past the cap.
   void set_max_entries(std::size_t n) { max_entries_ = n; }

@@ -34,6 +34,17 @@ class RingBuffer {
     return v;
   }
 
+  /// Releases every element (each occupied slot is overwritten with a
+  /// default-constructed T, destroying held resources) but keeps the grown
+  /// backing storage -- the buffer stays an allocation-free pool.
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) {
+      buf_[(head_ + i) & mask_] = T{};
+    }
+    head_ = 0;
+    size_ = 0;
+  }
+
  private:
   void grow() {
     const std::size_t new_cap = buf_.empty() ? kInitialCapacity : buf_.size() * 2;

@@ -1,7 +1,6 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <string>
 #include <utility>
 
@@ -45,16 +44,13 @@ void Scheduler::run_one_from_heap() {
 }
 
 void Scheduler::run_profiled(Callback& cb, KernelProfiler::SiteId site) {
-  // While cb runs, `site` is the current site, so events it schedules
-  // inherit its attribution (see sim/profiler.hpp).
+  // Sample first: the block's wall clock then covers this callback and the
+  // dispatch work leading to the next one. While cb runs, `site` is the
+  // current site, so events it schedules inherit its attribution (see
+  // sim/profiler.hpp).
+  profiler_->sample(site);
   ProfileScope scope(profiler_, site);
-  const auto t0 = std::chrono::steady_clock::now();
   cb();
-  const auto t1 = std::chrono::steady_clock::now();
-  profiler_->record(
-      site, static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-                    .count()));
 }
 
 bool Scheduler::step() {
@@ -83,6 +79,9 @@ void Scheduler::run_until(Time t) {
     now_ = t;
     events_at_now_ = 0;
   }
+  // Close the profiler's open sample block so host time spent outside the
+  // kernel (between runs) is never charged to a site.
+  if (profiler_ != nullptr) profiler_->flush();
 }
 
 std::size_t Scheduler::run(std::size_t max_events) {
@@ -97,7 +96,20 @@ std::size_t Scheduler::run(std::size_t max_events) {
     }
     ++executed;
   }
+  if (profiler_ != nullptr) profiler_->flush();
   return executed;
+}
+
+void Scheduler::reset() {
+  // Drain (not reallocate) both levels: RingBuffer::clear and
+  // vector::clear keep their grown storage, so a campaign worker's second
+  // run schedules into warm arenas.
+  ring_.clear();
+  heap_.clear();
+  now_ = 0;
+  next_seq_ = 0;
+  events_at_now_ = 0;
+  stats_ = KernelStats{};
 }
 
 }  // namespace mts::sim

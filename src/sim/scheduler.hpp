@@ -109,17 +109,28 @@ class Scheduler {
   /// declares a combinational oscillation.
   void set_timestamp_budget(std::size_t budget) { timestamp_budget_ = budget; }
 
+  /// Returns the scheduler to its just-constructed state -- time 0, empty
+  /// queues, zeroed health counters -- while KEEPING the delta ring's and
+  /// heap's grown storage, so the next run is allocation-free from its
+  /// first event. Pending callbacks are destroyed. The armed profiler (if
+  /// any) is kept; the timestamp budget is kept. This is the campaign
+  /// engine's per-run arena-reuse hook (sim/campaign.hpp).
+  void reset();
+
   /// Arms (nullptr: disarms) wall-time profiling of event dispatch. The
   /// profiler must outlive the scheduler or be disarmed first.
   void set_profiler(KernelProfiler* p) noexcept { profiler_ = p; }
   KernelProfiler* profiler() const noexcept { return profiler_; }
 
   /// Snapshot of the kernel health counters (plus the hottest-site table
-  /// when a profiler is armed).
+  /// when a profiler is armed; pending profiler samples are flushed first).
   KernelStats stats() const {
     KernelStats s = stats_;
     s.pool_high_water = ring_.capacity() + heap_.capacity();
-    if (profiler_ != nullptr) s.hot_sites = profiler_->top();
+    if (profiler_ != nullptr) {
+      profiler_->flush();
+      s.hot_sites = profiler_->top();
+    }
     return s;
   }
 
@@ -154,7 +165,9 @@ class Scheduler {
   /// event's zero-delay children. Precondition: ring empty, heap non-empty.
   void run_one_from_heap();
 
-  /// Times cb() and charges it to `site` (profiler armed only).
+  /// Runs cb() under `site`'s ProfileScope and records a site sample
+  /// (profiler armed only). Wall time is attributed by the profiler's
+  /// block-sampled clock, not per-callback reads (see sim/profiler.hpp).
   void run_profiled(Callback& cb, KernelProfiler::SiteId site);
 
   void dispatch(RingEvent& ev) {

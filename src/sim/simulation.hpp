@@ -28,6 +28,22 @@ class Simulation {
   Report& report() noexcept { return report_; }
   std::mt19937_64& rng() noexcept { return rng_; }
 
+  /// Returns this Simulation to the state of a freshly constructed
+  /// `Simulation(seed)` -- time 0, empty queues, cleared report, reseeded
+  /// RNG, faults and observability disarmed -- while keeping the
+  /// scheduler's grown event arenas, so back-to-back runs on one object
+  /// stay allocation-free (the campaign engine's per-run hook; see
+  /// sim/campaign.hpp). Components built against the previous run must be
+  /// destroyed first: their listeners and pending events are dropped.
+  void reset(std::uint64_t seed) {
+    sched_.reset();
+    sched_.set_profiler(nullptr);
+    report_.clear();
+    rng_.seed(seed);
+    faults_ = nullptr;
+    obs_ = nullptr;
+  }
+
   /// Arms (or, with nullptr, disarms) a fault-injection plan. Components
   /// consult the plan at their hazard points (flop sampling windows, clock
   /// period generation, bundled-data launches); with no plan armed those

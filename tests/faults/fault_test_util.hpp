@@ -28,4 +28,17 @@ inline std::string repro_hint(const std::string& gtest_filter,
          " ./tests/mts_test_faults --gtest_filter=" + gtest_filter;
 }
 
+/// Worker count for sim::Campaign-based suites: MTS_CAMPAIGN_JOBS if set
+/// (the determinism suite pins it to compare worker counts), otherwise 4.
+inline unsigned campaign_jobs() {
+  if (const char* env = std::getenv("MTS_CAMPAIGN_JOBS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v < 256) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  return 4;
+}
+
 }  // namespace mts::faulttest

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "bfm/bfm.hpp"
 #include "fifo/interface_sides.hpp"
@@ -160,6 +161,39 @@ TEST(Coverage, OccupancyHistogramCoversReachedLevels) {
   sim.run_until(4 * pp + 40 * pp);  // fill, no drain
   EXPECT_GT(cov.hits("dut.occ.4"), 0u);
   EXPECT_GT(cov.hits("dut.occ.1"), 0u);
+}
+
+TEST(Coverage, MergeAddsHitsAndImportsForeignBins) {
+  Coverage a("shard0");
+  a.define("x.miss");
+  a.hit("x.rise", 3);
+  Coverage b("shard1");
+  b.hit("x.rise", 2);
+  b.hit("x.miss");      // hit only on the other shard
+  b.define("y.other");  // defined (unhit) only on the other shard
+  a.merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.hits("x.rise"), 5u);
+  EXPECT_EQ(a.hits("x.miss"), 1u);
+  EXPECT_EQ(a.hits("y.other"), 0u);
+  EXPECT_EQ(a.missing(), std::vector<std::string>{"y.other"});
+}
+
+TEST(Coverage, MergeIsIndependentOfShardOrder) {
+  // Campaign workers merge in worker order; the folded bins must not
+  // depend on which worker executed which runs.
+  auto shard = [](std::uint64_t n) {
+    auto c = std::make_unique<Coverage>();  // Coverage is non-copyable
+    c->hit("a", n);
+    c->define("b");
+    return c;
+  };
+  auto ab = shard(1);
+  ab->merge(*shard(4));
+  auto ba = shard(4);
+  ba->merge(*shard(1));
+  EXPECT_EQ(ab->bins(), ba->bins());
+  EXPECT_EQ(ab->hits("a"), 5u);
 }
 
 }  // namespace

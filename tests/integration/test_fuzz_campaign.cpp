@@ -9,18 +9,32 @@
 // constants below and are fully deterministic.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
+#include <vector>
 
 #include "bfm/bfm.hpp"
 #include "fifo/fifo.hpp"
 #include "lip/chain.hpp"
 #include "metrics/coverage.hpp"
+#include "sim/campaign.hpp"
 #include "sync/clock.hpp"
 
 namespace mts {
 namespace {
 
 using sim::Time;
+
+/// Worker count for the parallelized campaigns: MTS_CAMPAIGN_JOBS if set
+/// (the determinism suite pins it), otherwise 4 -- enough to exercise the
+/// pool even on small CI hosts, cheap enough to oversubscribe one core.
+unsigned campaign_jobs() {
+  if (const char* e = std::getenv("MTS_CAMPAIGN_JOBS")) {
+    const unsigned long v = std::strtoul(e, nullptr, 10);
+    if (v > 0 && v < 256) return static_cast<unsigned>(v);
+  }
+  return 4;
+}
 
 struct FuzzCase {
   unsigned capacity;
@@ -129,31 +143,28 @@ RelayFuzzCase draw_relay(std::mt19937_64& rng) {
   return c;
 }
 
-TEST(FuzzCampaign, RelayChainTopologiesHoldInvariantsAndCoverEveryBin) {
-  // Fig. 11a / Fig. 14 topology mixes: SRS chains of random length on both
-  // sides of the MCRS, and ARS chains feeding the ASRS, under random valid
-  // rates and random stop duty cycles. Coverage aggregates across trials
-  // (shared bin prefixes); the campaign as a whole must reach every
-  // detector transition, both token-ring wraps and all four stall x valid
-  // combinations on both link flavours.
-  std::mt19937_64 rng(20260806);
-  metrics::Coverage cov("relay-campaign");
+// One relay-chain fuzz trial: trials [0, kMcTrials) drive the mixed-clock
+// link (Fig. 11a), the rest the async-sync link (Fig. 14). Coverage bins
+// land in the caller's per-worker Coverage slot; invariants are recorded
+// as RunResult scalars and asserted by the caller after the campaign
+// joins (gtest EXPECTs are not thread-safe inside pool bodies).
+constexpr std::size_t kMcTrials = 12;
+constexpr std::size_t kAsTrials = 8;
 
-  for (int trial = 0; trial < 12; ++trial) {
-    const RelayFuzzCase c = draw_relay(rng);
-    SCOPED_TRACE(::testing::Message()
-                 << "mc trial " << trial << ": cap=" << c.capacity
-                 << " srs=" << c.left << "+" << c.right
-                 << " ratio=" << c.ratio << " v=" << c.valid_rate
-                 << " st=" << c.stall_rate << " pause=" << c.pause
-                 << " seed=" << c.seed);
+void run_relay_trial(sim::CampaignContext& ctx, const RelayFuzzCase& c,
+                     metrics::Coverage& cov) {
+  fifo::FifoConfig cfg;
+  cfg.capacity = c.capacity;
+  cfg.width = 8;
+  cfg.controller = fifo::ControllerKind::kRelayStation;
 
-    fifo::FifoConfig cfg;
-    cfg.capacity = c.capacity;
-    cfg.width = 8;
-    cfg.controller = fifo::ControllerKind::kRelayStation;
+  // The trial's stochastic identity is its pre-drawn seed, not the
+  // campaign-derived one: reseeding keeps every trial bit-identical to the
+  // historical sequential loop while still reusing the worker's arenas.
+  sim::Simulation& sim = ctx.sim();
+  sim.reset(c.seed);
 
-    sim::Simulation sim(c.seed);
+  if (ctx.spec().index < kMcTrials) {
     const Time pp = 2 * fifo::SyncPutSide::min_period(cfg);
     const Time gp = static_cast<Time>(
         c.ratio * 2.0 * static_cast<double>(fifo::SyncGetSide::min_period(cfg)));
@@ -174,26 +185,12 @@ TEST(FuzzCampaign, RelayChainTopologiesHoldInvariantsAndCoverEveryBin) {
       sim.sched().at(4 * pp + 700 * pp, [&src] { src.set_enabled(true); });
     }
     sim.run_until(4 * pp + 900 * pp);
-    EXPECT_EQ(sb.errors(), 0u);
-    EXPECT_EQ(link.mcrs().fifo().overflow_count(), 0u);
-    EXPECT_EQ(link.mcrs().fifo().underflow_count(), 0u);
-    EXPECT_GT(sink.received_valid(), 50u);
-  }
-
-  for (int trial = 0; trial < 8; ++trial) {
-    const RelayFuzzCase c = draw_relay(rng);
-    SCOPED_TRACE(::testing::Message()
-                 << "as trial " << trial << ": cap=" << c.capacity
-                 << " ars=" << c.left % 4 << " srs=" << c.right
-                 << " v=" << c.valid_rate << " st=" << c.stall_rate
-                 << " seed=" << c.seed);
-
-    fifo::FifoConfig cfg;
-    cfg.capacity = c.capacity;
-    cfg.width = 8;
-    cfg.controller = fifo::ControllerKind::kRelayStation;
-
-    sim::Simulation sim(c.seed);
+    ctx.set("errors", static_cast<double>(sb.errors()));
+    ctx.set("overflow", static_cast<double>(link.mcrs().fifo().overflow_count()));
+    ctx.set("underflow",
+            static_cast<double>(link.mcrs().fifo().underflow_count()));
+    ctx.set("received", static_cast<double>(sink.received_valid()));
+  } else {
     const Time gp = 2 * fifo::SyncGetSide::min_period(cfg);
     sync::Clock cg(sim, "cg", {gp, 4 * gp, 0.5, 0});
     lip::AsyncSyncLink link(sim, "link", cfg, cg.out(), c.left % 4, c.right);
@@ -210,8 +207,55 @@ TEST(FuzzCampaign, RelayChainTopologiesHoldInvariantsAndCoverEveryBin) {
                                link.stop_in());
     metrics::cover_async_sync_fifo(cov, "asrs", link.asrs().fifo());
     sim.run_until(4 * gp + 900 * gp);
-    EXPECT_EQ(sb.errors(), 0u);
-    EXPECT_GT(sink.received_valid(), 30u);
+    ctx.set("errors", static_cast<double>(sb.errors()));
+    ctx.set("overflow", 0.0);
+    ctx.set("underflow", 0.0);
+    ctx.set("received", static_cast<double>(sink.received_valid()));
+  }
+}
+
+TEST(FuzzCampaign, RelayChainTopologiesHoldInvariantsAndCoverEveryBin) {
+  // Fig. 11a / Fig. 14 topology mixes: SRS chains of random length on both
+  // sides of the MCRS, and ARS chains feeding the ASRS, under random valid
+  // rates and random stop duty cycles, fanned across a sim::Campaign
+  // worker pool. The trials are pre-drawn from the historical RNG stream
+  // on this thread, so the case list is byte-for-byte the old sequential
+  // one regardless of worker count. Coverage aggregates across trials into
+  // per-worker shards merged here (shared bin prefixes); the campaign as a
+  // whole must reach every detector transition, both token-ring wraps and
+  // all four stall x valid combinations on both link flavours.
+  std::mt19937_64 rng(20260806);
+  std::vector<RelayFuzzCase> cases;
+  for (std::size_t i = 0; i < kMcTrials + kAsTrials; ++i) {
+    cases.push_back(draw_relay(rng));
+  }
+
+  sim::CampaignOptions opt;
+  opt.workers = campaign_jobs();
+  opt.seed = 20260806;
+  sim::Campaign campaign(cases.size(), 1, opt);
+  std::vector<metrics::Coverage> covs(campaign.workers());
+  campaign.run([&](sim::CampaignContext& ctx) {
+    run_relay_trial(ctx, cases[ctx.spec().index], covs[ctx.worker()]);
+  });
+
+  metrics::Coverage cov("relay-campaign");
+  for (const metrics::Coverage& shard : covs) cov.merge(shard);
+
+  ASSERT_EQ(campaign.failed(), 0u);
+  for (const sim::RunResult& r : campaign.results()) {
+    const RelayFuzzCase& c = cases[r.index];
+    const bool mc = r.index < kMcTrials;
+    SCOPED_TRACE(::testing::Message()
+                 << (mc ? "mc" : "as") << " trial " << r.index
+                 << ": cap=" << c.capacity << " left=" << c.left
+                 << " right=" << c.right << " ratio=" << c.ratio
+                 << " v=" << c.valid_rate << " st=" << c.stall_rate
+                 << " pause=" << c.pause << " seed=" << c.seed);
+    EXPECT_EQ(r.scalars.at("errors"), 0.0);
+    EXPECT_EQ(r.scalars.at("overflow"), 0.0);
+    EXPECT_EQ(r.scalars.at("underflow"), 0.0);
+    EXPECT_GT(r.scalars.at("received"), mc ? 50.0 : 30.0);
   }
 
   EXPECT_TRUE(cov.all_hit()) << cov.summary();

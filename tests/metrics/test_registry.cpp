@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/report.hpp"
 
@@ -141,6 +143,64 @@ TEST(Registry, ReportIntoEmitsOneLinePerHistogram) {
   r.report_into(report, 1234);
   EXPECT_EQ(report.count("metrics"), 1u);
   EXPECT_EQ(report.failure_count(), 0u);  // kInfo lines are not failures
+}
+
+TEST(RegistryMerge, CountersAddGaugesMaxAcrossShards) {
+  Registry a;
+  a.counter("dut", "puts").inc(3);
+  a.gauge("dut", "occ").set(2.0);
+  Registry b;
+  b.counter("dut", "puts").inc(4);
+  b.counter("dut", "gets").inc(1);       // only in b
+  b.gauge("dut", "occ").set(5.0);
+  b.gauge("other", "depth").set(1.0);    // new instance
+  a.merge(b);
+  EXPECT_EQ(a.counter("dut", "puts").value(), 7u);
+  EXPECT_EQ(a.counter("dut", "gets").value(), 1u);
+  EXPECT_DOUBLE_EQ(a.gauge("dut", "occ").value(), 5.0);  // max, not last
+  EXPECT_DOUBLE_EQ(a.gauge("other", "depth").value(), 1.0);
+}
+
+TEST(RegistryMerge, HistogramBucketsCountsAndExtremaCombine) {
+  const std::vector<double> bounds{10.0, 100.0};
+  Registry a;
+  a.histogram("dut", "lat", bounds).observe(5.0);
+  a.histogram("dut", "lat", bounds).observe(50.0);
+  Registry b;
+  b.histogram("dut", "lat", bounds).observe(500.0);
+  a.merge(b);
+  const Histogram* h = a.find_histogram("dut", "lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->min(), 5.0);
+  EXPECT_DOUBLE_EQ(h->max(), 500.0);
+  // Percentiles see the union of the shards' buckets.
+  EXPECT_GT(h->percentile(0.99), 100.0);
+}
+
+TEST(RegistryMerge, HistogramBoundsMismatchThrows) {
+  Registry a;
+  a.histogram("dut", "lat", {10.0}).observe(1.0);
+  Registry b;
+  b.histogram("dut", "lat", {20.0}).observe(1.0);
+  EXPECT_THROW(a.merge(b), ConfigError);
+}
+
+TEST(RegistryMerge, CommutativeAndIndependentOfShardOrder) {
+  // The campaign reduction folds worker registries in worker order; the
+  // result must not depend on that order.
+  auto build = [](std::uint64_t n, double g) {
+    auto r = std::make_unique<Registry>();  // Registry is non-copyable
+    r->counter("dut", "puts").inc(n);
+    r->gauge("dut", "occ").set(g);
+    r->histogram("dut", "lat", {10.0}).observe(g);
+    return r;
+  };
+  auto ab = build(1, 2.0);
+  ab->merge(*build(5, 9.0));
+  auto ba = build(5, 9.0);
+  ba->merge(*build(1, 2.0));
+  EXPECT_EQ(ab->to_json(), ba->to_json());
 }
 
 }  // namespace

@@ -113,5 +113,83 @@ TEST(Report, ClearResetsKernelStats) {
   EXPECT_EQ(r.kernel().events_executed, 0u);
 }
 
+TEST(ReportMerge, CategoryTotalsAndFailuresAddEntriesAppend) {
+  Report a;
+  a.add(10, Severity::kViolation, "setup", "late edge");
+  a.add(11, Severity::kInfo, "note", "fyi");
+  Report b;
+  b.add(20, Severity::kViolation, "setup", "another late edge");
+  b.add(21, Severity::kError, "scoreboard", "mismatch");
+  a.merge(b);
+  EXPECT_EQ(a.count("setup"), 2u);
+  EXPECT_EQ(a.count("note"), 1u);
+  EXPECT_EQ(a.count("scoreboard"), 1u);
+  EXPECT_EQ(a.failure_count(), 3u);
+  EXPECT_EQ(a.total_added(), 4u);
+  ASSERT_EQ(a.entries().size(), 4u);
+  EXPECT_EQ(a.entries().back().message, "mismatch");
+}
+
+TEST(ReportMerge, AppendedEntriesRespectTheDestinationCap) {
+  Report a;
+  a.set_max_entries(3);
+  a.add(1, Severity::kWarning, "w", "a0");
+  a.add(2, Severity::kWarning, "w", "a1");
+  Report b;
+  for (int i = 0; i < 4; ++i) {
+    b.add(static_cast<Time>(10 + i), Severity::kWarning, "w", "bx");
+  }
+  a.merge(b);
+  // Storage bounded by a's cap; accounting stays exact.
+  EXPECT_EQ(a.entries().size(), 3u);
+  EXPECT_EQ(a.count("w"), 6u);
+  EXPECT_EQ(a.total_added(), 6u);
+}
+
+TEST(ReportMerge, KernelCountersAddAndPeakTakesMax) {
+  // Shards are independent schedulers: events/pool sum (aggregate work),
+  // peak depth maxes (worst single-run pressure).
+  Report a;
+  KernelStats ka;
+  ka.events_executed = 100;
+  ka.peak_queue_depth = 4;
+  ka.pool_high_water = 16;
+  a.set_kernel(ka);
+  Report b;
+  KernelStats kb;
+  kb.events_executed = 50;
+  kb.peak_queue_depth = 9;
+  kb.pool_high_water = 8;
+  kb.hot_sites.push_back({"site", 50, 1234});
+  b.set_kernel(kb);
+  a.merge(b);
+  EXPECT_EQ(a.kernel().events_executed, 150u);
+  EXPECT_EQ(a.kernel().peak_queue_depth, 9u);
+  EXPECT_EQ(a.kernel().pool_high_water, 24u);
+  ASSERT_EQ(a.kernel().hot_sites.size(), 1u);
+  EXPECT_EQ(a.kernel().hot_sites[0].label, "site");
+  EXPECT_EQ(a.kernel().hot_sites[0].events, 50u);
+}
+
+TEST(ReportMerge, HotSiteRowsWithTheSameLabelCombine) {
+  Report a;
+  KernelStats ka;
+  ka.hot_sites.push_back({"fifo.put", 10, 100});
+  ka.hot_sites.push_back({"clk", 5, 10});
+  a.set_kernel(ka);
+  Report b;
+  KernelStats kb;
+  kb.hot_sites.push_back({"fifo.put", 20, 900});
+  b.set_kernel(kb);
+  a.merge(b);
+  const auto& sites = a.kernel().hot_sites;
+  ASSERT_EQ(sites.size(), 2u);
+  // Sorted hottest (wall time) first after the label-merge.
+  EXPECT_EQ(sites[0].label, "fifo.put");
+  EXPECT_EQ(sites[0].events, 30u);
+  EXPECT_EQ(sites[0].wall_ns, 1000u);
+  EXPECT_EQ(sites[1].label, "clk");
+}
+
 }  // namespace
 }  // namespace mts::sim

@@ -196,5 +196,38 @@ TEST(Scheduler, SteadyStateChainDoesNotGrowPools) {
   EXPECT_LE(s.stats().pool_high_water, 64u);
 }
 
+// reset() is the campaign engine's arena-reuse hook: it must return the
+// scheduler to t=0 with empty queues and zeroed counters while KEEPING the
+// grown event-pool storage, so a worker's next run allocates nothing.
+TEST(Scheduler, ResetDropsPendingWorkButKeepsArenas) {
+  Scheduler s;
+  int late_fires = 0;
+  for (int i = 0; i < 32; ++i) {
+    s.at(static_cast<Time>(100 + i), [&] { ++late_fires; });
+  }
+  s.run_until(50);  // nothing executed yet; queue is primed
+  const std::size_t grown_pool = s.stats().pool_high_water;
+  EXPECT_GE(grown_pool, 32u);
+
+  s.reset();
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(s.stats().events_executed, 0u);
+  EXPECT_EQ(s.stats().peak_queue_depth, 0u);
+  // Pending callbacks were destroyed, not deferred.
+  s.run();
+  EXPECT_EQ(late_fires, 0);
+  EXPECT_EQ(s.now(), 0u);
+
+  // The arena survived: refilling to the same depth allocates no new slots.
+  int refill_fires = 0;
+  for (int i = 0; i < 32; ++i) {
+    s.at(static_cast<Time>(10 + i), [&] { ++refill_fires; });
+  }
+  s.run();
+  EXPECT_EQ(refill_fires, 32);
+  EXPECT_EQ(s.stats().events_executed, 32u);
+  EXPECT_LE(s.stats().pool_high_water, grown_pool);
+}
+
 }  // namespace
 }  // namespace mts::sim
