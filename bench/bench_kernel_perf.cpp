@@ -23,6 +23,7 @@
 #include "gates/gates.hpp"
 #include "sim/profiler.hpp"
 #include "sync/clock.hpp"
+#include "verify/hub.hpp"
 
 #include "campaign_workload.hpp"
 
@@ -317,6 +318,45 @@ HotPathMeasurement measure_signal_writes(std::uint64_t writes) {
   return m;
 }
 
+/// The mixed-clock FIFO soak with protocol monitors disarmed or armed. The
+/// disarmed number is the one CI gates (scripts/check_kernel_perf.py, 5%
+/// tolerance): components probe sim.monitors() once at construction, so a
+/// run without an armed verify::Hub must cost the same as before the
+/// monitor subsystem existed. The armed number is informational -- it
+/// documents what the always-on checkers cost when you opt in.
+HotPathMeasurement measure_fifo_monitored(std::uint64_t cycles, bool armed) {
+  fifo::FifoConfig cfg;
+  cfg.capacity = 4;
+  cfg.width = 8;
+  sim::Simulation sim(1);
+  verify::Hub hub;
+  hub.set_policy(verify::Policy::kCount);
+  if (armed) hub.arm(sim);
+  const Time pp = 2 * fifo::SyncPutSide::min_period(cfg);
+  const Time gp = 2 * fifo::SyncGetSide::min_period(cfg);
+  sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
+  sync::Clock cg(sim, "cg", {gp, 4 * pp + gp / 3, 0.5, 0});
+  fifo::MixedClockFifo dut(sim, "dut", cfg, cp.out(), cg.out());
+  bfm::SyncPutDriver put(sim, "put", cp.out(), dut.req_put(), dut.data_put(),
+                         dut.full(), cfg.dm, {1.0, 1}, 0xFF);
+  bfm::SyncGetDriver get(sim, "get", cg.out(), dut.req_get(), cfg.dm,
+                         {1.0, 1});
+  sim.run_until(4 * pp + 64 * pp);  // warmup: arenas + listener tables
+
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(4 * pp + (64 + cycles) * pp);
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t allocs = g_alloc_count.load() - allocs_before;
+
+  HotPathMeasurement m;
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  m.events_per_sec = static_cast<double>(cycles) / secs;  // put cycles/sec
+  m.allocs_per_million_events =
+      static_cast<double>(allocs) * 1e6 / static_cast<double>(cycles);
+  return m;
+}
+
 // Seed-kernel numbers, measured on the reference host at the growth seed
 // (std::function callbacks, single priority_queue, shared_ptr transactions):
 // google-benchmark BM_SchedulerEventChain and a direct allocation probe.
@@ -351,6 +391,12 @@ void write_kernel_json(bool smoke) {
       best_of(3, [&] { return measure_chain_profiled(chain_events); });
   const HotPathMeasurement sig =
       best_of(3, [&] { return measure_signal_writes(signal_writes); });
+
+  const std::uint64_t fifo_cycles = smoke ? 400 : 4'000;
+  const HotPathMeasurement mon_off =
+      best_of(3, [&] { return measure_fifo_monitored(fifo_cycles, false); });
+  const HotPathMeasurement mon_on =
+      best_of(3, [&] { return measure_fifo_monitored(fifo_cycles, true); });
 
   // Campaign scaling on the shared FIFO-soak workload (see
   // campaign_workload.hpp). Speedup is bounded by host cores; host_cores
@@ -406,6 +452,16 @@ void write_kernel_json(bool smoke) {
   std::fprintf(f, "    \"profiler_overhead_pct\": %.1f\n",
                (chain.events_per_sec / profiled.events_per_sec - 1.0) * 100.0);
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"monitors\": {\n");
+  std::fprintf(f, "    \"fifo_cycles\": %llu,\n",
+               static_cast<unsigned long long>(fifo_cycles));
+  std::fprintf(f, "    \"fifo_cycles_per_sec_disarmed\": %.4g,\n",
+               mon_off.events_per_sec);
+  std::fprintf(f, "    \"fifo_cycles_per_sec_armed\": %.4g,\n",
+               mon_on.events_per_sec);
+  std::fprintf(f, "    \"armed_overhead_pct\": %.1f\n",
+               (mon_off.events_per_sec / mon_on.events_per_sec - 1.0) * 100.0);
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"campaign\": {\n");
   std::fprintf(f, "    \"runs\": %zu,\n",
                static_cast<std::size_t>(3) * campaign_reps);
@@ -437,6 +493,7 @@ void write_kernel_json(bool smoke) {
   std::printf("\nBENCH_kernel.json: chain %.3g events/s (%.2fx seed), "
               "%.3g allocs/Mevent (seed %.3g); signal writes %.3g allocs/Mwrite "
               "(seed %.3g); profiler armed %.3g events/s (+%.1f%% overhead); "
+              "monitors disarmed %.3g cycles/s, armed %.3g (+%.1f%%); "
               "campaign %.1f runs/s @1w, %.2fx @4w (%u host cores)\n",
               chain.events_per_sec,
               chain.events_per_sec / kSeedChainEventsPerSec,
@@ -444,6 +501,8 @@ void write_kernel_json(bool smoke) {
               sig.allocs_per_million_events, kSeedSignalAllocsPerMillionWrites,
               profiled.events_per_sec,
               (chain.events_per_sec / profiled.events_per_sec - 1.0) * 100.0,
+              mon_off.events_per_sec, mon_on.events_per_sec,
+              (mon_off.events_per_sec / mon_on.events_per_sec - 1.0) * 100.0,
               campaign_rps[0], campaign_rps[2] / campaign_rps[0],
               std::thread::hardware_concurrency());
 }

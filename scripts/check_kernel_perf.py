@@ -20,6 +20,13 @@ Fails (exit 1) when any of these regress beyond `tolerance` (default 15%):
     the event chain must stay under max(100%, recorded * (1 + tolerance)).
     The 100% floor keeps the ceiling meaningful on noisy CI hosts while
     still catching a relapse toward the pre-ring-buffer ~456% cost.
+  * monitors.fifo_cycles_per_sec_disarmed -- the mixed-clock FIFO soak with
+    protocol monitors DISARMED must stay within a fixed 5% of the recorded
+    throughput (the zero-cost-when-disarmed contract: components probe
+    sim.monitors() once at construction, so the disarmed run may not pay
+    for the verify subsystem). Gated only when both sides measured the
+    same fifo_cycles workload (smoke vs full are not comparable). The
+    armed number is always informational.
 """
 import json
 import sys
@@ -74,6 +81,35 @@ def main() -> int:
                     f"  campaign_runs_per_sec[{w}w]: {rps_new[w]:.3e} "
                     "(informational: bounded by host cores)"
                 )
+
+    mon_rec = recorded.get("monitors", {})
+    mon_new = fresh.get("monitors", {})
+    key = "fifo_cycles_per_sec_disarmed"
+    if key in mon_rec and key in mon_new:
+        if mon_rec.get("fifo_cycles") == mon_new.get("fifo_cycles"):
+            # Fixed 5% budget, independent of the CLI tolerance: this gate
+            # protects a zero-cost contract, not a best-effort trend.
+            floor = mon_rec[key] * 0.95
+            ok = mon_new[key] >= floor
+            failed = failed or not ok
+            print(
+                f"monitors_disarmed_fifo_cycles_per_sec: recorded "
+                f"{mon_rec[key]:.3e}, fresh {mon_new[key]:.3e} "
+                f"({mon_new[key] / mon_rec[key] * 100.0:.1f}% of recorded, "
+                f"floor {floor:.3e}, fixed 5% budget) "
+                f"-> {'OK' if ok else 'REGRESSION'}"
+            )
+        else:
+            print(
+                f"monitors_disarmed_fifo_cycles_per_sec: recorded "
+                f"{mon_rec[key]:.3e}, fresh {mon_new[key]:.3e} "
+                "(informational: workload shapes differ, e.g. smoke vs full)"
+            )
+    if "armed_overhead_pct" in mon_new:
+        print(
+            f"  monitors_armed_overhead: {mon_new['armed_overhead_pct']:.1f}% "
+            "(informational: armed checkers are an opt-in cost)"
+        )
 
     obs_rec = recorded.get("observability", {})
     obs_new = fresh.get("observability", {})

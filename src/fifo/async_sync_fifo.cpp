@@ -1,6 +1,8 @@
 #include "fifo/async_sync_fifo.hpp"
 
 #include "ctrl/specs.hpp"
+#include "fifo/async_timing.hpp"
+#include "fifo/detectors.hpp"
 #include "fifo/interface_sides.hpp"
 #include "gates/combinational.hpp"
 #include "gates/tristate.hpp"
@@ -91,12 +93,23 @@ AsyncSyncFifo::AsyncSyncFifo(sim::Simulation& sim, const std::string& name,
         ++overflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "overflow",
                           nl_.prefix() + ": put into a full cell");
+        if (mon_ != nullptr) {
+          verify::Violation v;
+          v.time = sim_.now();
+          v.invariant = verify::Invariant::kOverflow;
+          v.site = nl_.prefix();
+          v.observed = "put into a full cell";
+          v.expected = "puts only while a cell is empty";
+          mon_->hub->report(std::move(v));
+        }
       }
       // At we-rise the bundled data is stable (bundling constraint) and the
       // transparent latch is capturing it; every async put is a valid item.
+      std::uint64_t txn = 0;
       if (obs_ != nullptr) {
-        obs_->put_committed(put_data_->read(), occupancy() + 1);
+        txn = obs_->put_committed(put_data_->read(), occupancy() + 1);
       }
+      if (mon_ != nullptr) mon_->stream->put(put_data_->read(), txn);
     });
     sim::Word* rq = &put_part.reg_q();
     get_part.re().on_rise([this, fw, rq] {
@@ -104,11 +117,22 @@ AsyncSyncFifo::AsyncSyncFifo(sim::Simulation& sim, const std::string& name,
         ++underflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "underflow",
                           nl_.prefix() + ": get from an empty cell");
+        if (mon_ != nullptr) {
+          verify::Violation v;
+          v.time = sim_.now();
+          v.invariant = verify::Invariant::kUnderflow;
+          v.site = nl_.prefix();
+          v.observed = "get from an empty cell";
+          v.expected = "gets only while an item is resident";
+          mon_->hub->report(std::move(v));
+        }
       }
+      std::uint64_t txn = 0;
       if (obs_ != nullptr) {
         const unsigned occ = occupancy();
-        obs_->get_observed(rq->read(), occ > 0 ? occ - 1 : 0);
+        txn = obs_->get_observed(rq->read(), occ > 0 ? occ - 1 : 0);
       }
+      if (mon_ != nullptr) mon_->stream->get(rq->read(), txn);
     });
   }
 
@@ -133,6 +157,34 @@ AsyncSyncFifo::AsyncSyncFifo(sim::Simulation& sim, const std::string& name,
         if (stop_in_->read() && !empty_w_->read()) obs_->stalled_by_stop_in();
       });
     }
+  }
+
+  // --- protocol-invariant monitors (armed runs only) ---
+  if (verify::Hub* hub = sim.monitors()) {
+    mon_ = std::make_unique<verify::MonitorSet>();
+    mon_->hub = hub;
+    const unsigned ne_win = anticipation_window(cfg_.sync.depth);
+    const sim::Time settle =
+        dm.sr_latch + detector_delay(n, ne_win, dm) + dm.gate(2);
+    // Bundled-data slack measured from req+ as seen at the FIFO boundary:
+    // the environment's nominal launch leads req+ by one gate (the matched
+    // delay in bfm::AsyncPutDriver), so the capture margin from req+ is the
+    // full transparency window minus that lead.
+    const sim::Time margin = async_put_data_margin(cfg_);
+    const sim::Time lead = dm.gate(1);
+    mon_->handshake = std::make_unique<verify::HandshakeMonitor>(
+        *hub, sim, nl_.prefix() + ".put", *put_req_, *put_ack_, *put_data_,
+        margin > lead ? margin - lead : 0);
+    mon_->rings.push_back(std::make_unique<verify::TokenRingMonitor>(
+        *hub, sim, nl_.prefix() + ".gtok", gtok, clk_get));
+    mon_->detectors.push_back(std::make_unique<verify::DetectorMonitor>(
+        *hub, sim, nl_.prefix() + ".ne", verify::Invariant::kEmptyDetector,
+        f_, *ne_raw_, ne_win, clk_get, settle));
+    mon_->detectors.push_back(std::make_unique<verify::DetectorMonitor>(
+        *hub, sim, nl_.prefix() + ".oe", verify::Invariant::kEmptyDetector,
+        f_, *oe_raw_, 1, clk_get, settle));
+    mon_->stream = std::make_unique<verify::StreamMonitor>(*hub, sim,
+                                                           nl_.prefix());
   }
 }
 

@@ -30,6 +30,7 @@
 #include "sim/observe.hpp"
 #include "sim/signal.hpp"
 #include "sim/simulation.hpp"
+#include "verify/checkers.hpp"
 
 namespace mts::fifo {
 
@@ -95,6 +96,9 @@ class AsyncSyncFifo {
   std::uint64_t underflows_ = 0;
   /// Non-null only when observability was armed at construction time.
   std::unique_ptr<sim::TransitObserver> obs_;
+  /// Non-null only when a verify::Hub was armed at construction time:
+  /// 4-phase handshake + bundled-data + detector + scoreboard checkers.
+  std::unique_ptr<verify::MonitorSet> mon_;
 };
 
 }  // namespace mts::fifo

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "ctrl/specs.hpp"
+#include "fifo/detectors.hpp"
 #include "fifo/interface_sides.hpp"
 #include "gates/combinational.hpp"
 #include "gates/latch.hpp"
@@ -48,6 +49,8 @@ MixedClockFifo::MixedClockFifo(sim::Simulation& sim, const std::string& name,
     ptok[i] = &nl_.wire("c" + std::to_string(i) + ".ptok", i == 0);
     gtok[i] = &nl_.wire("c" + std::to_string(i) + ".gtok", i == 0);
   }
+  ptok_ = ptok;
+  gtok_ = gtok;
 
   // --- shared output buses ---
   auto& data_bus = nl_.add<gates::TristateBus<std::uint64_t>>(
@@ -97,12 +100,25 @@ MixedClockFifo::MixedClockFifo(sim::Simulation& sim, const std::string& name,
         ++overflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "overflow",
                           nl_.prefix() + ": put into a full cell");
+        if (mon_ != nullptr) {
+          verify::Violation v;
+          v.time = sim_.now();
+          v.invariant = verify::Invariant::kOverflow;
+          v.site = nl_.prefix();
+          v.observed = "put into a full cell";
+          v.expected = "puts only while a cell is empty";
+          mon_->hub->report(std::move(v));
+        }
       }
       // we rises mid-cycle, before the latching edge: data_put/req_put still
       // carry the committing item. Relay mode enqueues void packets every
       // cycle; only valid ones become transactions.
-      if (obs_ != nullptr && req_put_->read()) {
-        obs_->put_committed(data_put_->read(), occupancy() + 1);
+      if (req_put_->read()) {
+        std::uint64_t txn = 0;
+        if (obs_ != nullptr) {
+          txn = obs_->put_committed(data_put_->read(), occupancy() + 1);
+        }
+        if (mon_ != nullptr) mon_->stream->put(data_put_->read(), txn);
       }
     });
     sim::Wire* vq = &put_part.v_q();
@@ -112,11 +128,24 @@ MixedClockFifo::MixedClockFifo(sim::Simulation& sim, const std::string& name,
         ++underflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "underflow",
                           nl_.prefix() + ": get from an empty cell");
+        if (mon_ != nullptr) {
+          verify::Violation v;
+          v.time = sim_.now();
+          v.invariant = verify::Invariant::kUnderflow;
+          v.site = nl_.prefix();
+          v.observed = "get from an empty cell";
+          v.expected = "gets only while an item is resident";
+          mon_->hub->report(std::move(v));
+        }
       }
       // At re-rise the cell's registered outputs hold the departing item.
-      if (obs_ != nullptr && vq->read()) {
-        const unsigned occ = occupancy();
-        obs_->get_observed(rq->read(), occ > 0 ? occ - 1 : 0);
+      if (vq->read()) {
+        std::uint64_t txn = 0;
+        if (obs_ != nullptr) {
+          const unsigned occ = occupancy();
+          txn = obs_->get_observed(rq->read(), occ > 0 ? occ - 1 : 0);
+        }
+        if (mon_ != nullptr) mon_->stream->get(rq->read(), txn);
       }
     });
   }
@@ -144,6 +173,38 @@ MixedClockFifo::MixedClockFifo(sim::Simulation& sim, const std::string& name,
         if (stop_in_->read() && !empty_w_->read()) obs_->stalled_by_stop_in();
       });
     }
+  }
+
+  // --- protocol-invariant monitors (armed runs only) ---
+  // Built last so the we/re listeners above (which test mon_ at run time)
+  // and all checked wires already exist. Every checker is read-only and
+  // draws from no RNG: an armed run's waveforms match the unarmed run.
+  if (verify::Hub* hub = sim.monitors()) {
+    mon_ = std::make_unique<verify::MonitorSet>();
+    mon_->hub = hub;
+    const unsigned full_win = cfg_.full_kind == FullDetectorKind::kAnticipating
+                                  ? anticipation_window(cfg_.sync.depth)
+                                  : 1;
+    const unsigned ne_win = anticipation_window(cfg_.sync.depth);
+    // Worst-case detector tree latency after a DV-latch commit, plus one
+    // 2-input gate of margin: a mismatch older than this is a real fault.
+    const sim::Time settle =
+        dm.sr_latch + detector_delay(n, ne_win, dm) + dm.gate(2);
+    mon_->rings.push_back(std::make_unique<verify::TokenRingMonitor>(
+        *hub, sim, nl_.prefix() + ".ptok", ptok_, clk_put));
+    mon_->rings.push_back(std::make_unique<verify::TokenRingMonitor>(
+        *hub, sim, nl_.prefix() + ".gtok", gtok_, clk_get));
+    mon_->detectors.push_back(std::make_unique<verify::DetectorMonitor>(
+        *hub, sim, nl_.prefix() + ".full", verify::Invariant::kFullDetector,
+        e_, *full_raw_, full_win, clk_put, settle));
+    mon_->detectors.push_back(std::make_unique<verify::DetectorMonitor>(
+        *hub, sim, nl_.prefix() + ".ne", verify::Invariant::kEmptyDetector,
+        f_, *ne_raw_, ne_win, clk_get, settle));
+    mon_->detectors.push_back(std::make_unique<verify::DetectorMonitor>(
+        *hub, sim, nl_.prefix() + ".oe", verify::Invariant::kEmptyDetector,
+        f_, *oe_raw_, 1, clk_get, settle));
+    mon_->stream = std::make_unique<verify::StreamMonitor>(*hub, sim,
+                                                           nl_.prefix());
   }
 }
 

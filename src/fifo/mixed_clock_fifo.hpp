@@ -32,6 +32,7 @@
 #include "sim/signal.hpp"
 #include "sim/simulation.hpp"
 #include "sync/synchronizer.hpp"
+#include "verify/checkers.hpp"
 
 namespace mts::fifo {
 
@@ -70,6 +71,10 @@ class MixedClockFifo {
   unsigned occupancy() const;
   sim::Wire& cell_f(unsigned i) { return *f_.at(i); }
   sim::Wire& cell_e(unsigned i) { return *e_.at(i); }
+  /// Token-ring state, for verification harnesses (fault injection into a
+  /// ring is how the token-ring monitor's positive path is exercised).
+  sim::Wire& put_token(unsigned i) { return *ptok_.at(i); }
+  sim::Wire& get_token(unsigned i) { return *gtok_.at(i); }
   sim::Wire& full_raw() noexcept { return *full_raw_; }
   sim::Wire& ne_raw() noexcept { return *ne_raw_; }
   sim::Wire& oe_raw() noexcept { return *oe_raw_; }
@@ -112,6 +117,8 @@ class MixedClockFifo {
 
   std::vector<sim::Wire*> e_;
   std::vector<sim::Wire*> f_;
+  std::vector<sim::Wire*> ptok_;
+  std::vector<sim::Wire*> gtok_;
 
   std::uint64_t overflows_ = 0;
   std::uint64_t underflows_ = 0;
@@ -119,6 +126,9 @@ class MixedClockFifo {
   /// Non-null only when the owning Simulation had observability armed at
   /// construction time (sim/observe.hpp); the seed path keeps a nullptr.
   std::unique_ptr<sim::TransitObserver> obs_;
+  /// Non-null only when a verify::Hub was armed at construction time:
+  /// token-ring + detector-consistency + scoreboard checkers.
+  std::unique_ptr<verify::MonitorSet> mon_;
 };
 
 }  // namespace mts::fifo

@@ -1,6 +1,7 @@
 #include "fifo/sync_async_fifo.hpp"
 
 #include "ctrl/specs.hpp"
+#include "fifo/detectors.hpp"
 #include "fifo/interface_sides.hpp"
 #include "gates/combinational.hpp"
 #include "gates/tristate.hpp"
@@ -78,9 +79,22 @@ SyncAsyncFifo::SyncAsyncFifo(sim::Simulation& sim, const std::string& name,
         ++overflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "overflow",
                           nl_.prefix() + ": put into a full cell");
+        if (mon_ != nullptr) {
+          verify::Violation v;
+          v.time = sim_.now();
+          v.invariant = verify::Invariant::kOverflow;
+          v.site = nl_.prefix();
+          v.observed = "put into a full cell";
+          v.expected = "puts only while a cell is empty";
+          mon_->hub->report(std::move(v));
+        }
       }
-      if (obs_ != nullptr && req_put_->read()) {
-        obs_->put_committed(data_put_->read(), occupancy() + 1);
+      if (req_put_->read()) {
+        std::uint64_t txn = 0;
+        if (obs_ != nullptr) {
+          txn = obs_->put_committed(data_put_->read(), occupancy() + 1);
+        }
+        if (mon_ != nullptr) mon_->stream->put(data_put_->read(), txn);
       }
     });
     sim::Word* rq = &put_part.reg_q();
@@ -89,11 +103,22 @@ SyncAsyncFifo::SyncAsyncFifo(sim::Simulation& sim, const std::string& name,
         ++underflows_;
         sim_.report().add(sim_.now(), sim::Severity::kError, "underflow",
                           nl_.prefix() + ": get from an empty cell");
+        if (mon_ != nullptr) {
+          verify::Violation v;
+          v.time = sim_.now();
+          v.invariant = verify::Invariant::kUnderflow;
+          v.site = nl_.prefix();
+          v.observed = "get from an empty cell";
+          v.expected = "gets only while an item is resident";
+          mon_->hub->report(std::move(v));
+        }
       }
+      std::uint64_t txn = 0;
       if (obs_ != nullptr) {
         const unsigned occ = occupancy();
-        obs_->get_observed(rq->read(), occ > 0 ? occ - 1 : 0);
+        txn = obs_->get_observed(rq->read(), occ > 0 ? occ - 1 : 0);
       }
+      if (mon_ != nullptr) mon_->stream->get(rq->read(), txn);
     });
   }
 
@@ -108,6 +133,24 @@ SyncAsyncFifo::SyncAsyncFifo(sim::Simulation& sim, const std::string& name,
   auto& put_side = nl_.add<SyncPutSide>(nl_, clk_put, cfg_, put_dom_, e_,
                                         *req_put_, *en_put_b_);
   full_ext_ = &put_side.full_ext();
+
+  // --- protocol-invariant monitors (armed runs only) ---
+  if (verify::Hub* hub = sim.monitors()) {
+    mon_ = std::make_unique<verify::MonitorSet>();
+    mon_->hub = hub;
+    const unsigned full_win = cfg_.full_kind == FullDetectorKind::kAnticipating
+                                  ? anticipation_window(cfg_.sync.depth)
+                                  : 1;
+    const sim::Time settle = dm.sr_latch +
+                             detector_delay(n, full_win, dm) + dm.gate(2);
+    mon_->rings.push_back(std::make_unique<verify::TokenRingMonitor>(
+        *hub, sim, nl_.prefix() + ".ptok", ptok, clk_put));
+    mon_->detectors.push_back(std::make_unique<verify::DetectorMonitor>(
+        *hub, sim, nl_.prefix() + ".full", verify::Invariant::kFullDetector,
+        e_, put_side.full_raw(), full_win, clk_put, settle));
+    mon_->stream = std::make_unique<verify::StreamMonitor>(*hub, sim,
+                                                           nl_.prefix());
+  }
 }
 
 unsigned SyncAsyncFifo::occupancy() const {

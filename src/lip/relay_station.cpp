@@ -22,6 +22,11 @@ RelayStation::RelayStation(sim::Simulation& sim, std::string name,
     obs_ = std::make_unique<sim::TransitObserver>(*o, sim, name_, clk.name(),
                                                   clk.name(), 2);
   }
+  if (verify::Hub* hub = sim.monitors()) {
+    mon_ = std::make_unique<verify::MonitorSet>();
+    mon_->hub = hub;
+    mon_->stream = std::make_unique<verify::StreamMonitor>(*hub, sim, name_);
+  }
   clk.on_rise([this] { on_edge(); });
 }
 
@@ -68,14 +73,20 @@ void RelayStation::on_edge() {
 
   stop_out_.write(aux_occupied_, clk_to_q_, sim::DelayKind::kInertial);
 
+  // Departure first, arrival second: same edge, but the departing packet
+  // is the older transaction in the in-flight queue.
+  std::uint64_t txn_out = 0;
+  std::uint64_t txn_in = 0;
   if (obs_ != nullptr) {
-    // Departure first, arrival second: same edge, but the departing packet
-    // is the older transaction in the in-flight queue.
-    if (emitted) obs_->get_observed(emitted_data, buffered_valid());
-    if (accepted) obs_->put_committed(accepted_data, buffered_valid());
+    if (emitted) txn_out = obs_->get_observed(emitted_data, buffered_valid());
+    if (accepted) txn_in = obs_->put_committed(accepted_data, buffered_valid());
     if (stop_right && (mr_valid_ || (aux_occupied_ && aux_valid_))) {
       obs_->stalled_by_stop_in();
     }
+  }
+  if (mon_ != nullptr) {
+    if (emitted) mon_->stream->get(emitted_data, txn_out);
+    if (accepted) mon_->stream->put(accepted_data, txn_in);
   }
 }
 

@@ -24,6 +24,7 @@
 #include "sim/observe.hpp"
 #include "sim/signal.hpp"
 #include "sim/simulation.hpp"
+#include "verify/checkers.hpp"
 
 namespace mts::lip {
 
@@ -64,6 +65,9 @@ class RelayStation {
   bool aux_occupied_ = false;
   /// Non-null only when observability was armed at construction time.
   std::unique_ptr<sim::TransitObserver> obs_;
+  /// Non-null only when a verify::Hub was armed at construction time: a
+  /// packet scoreboard (no loss / duplication / reorder through MR+AUX).
+  std::unique_ptr<verify::MonitorSet> mon_;
 };
 
 }  // namespace mts::lip

@@ -4,13 +4,42 @@
 #include <chrono>
 #include <deque>
 #include <exception>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <thread>
+#include <typeinfo>
 
 #include "sim/error.hpp"
+#include "sim/watchdog.hpp"
+#include "verify/hub.hpp"
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+
+#include <cstdlib>
+#endif
 
 namespace mts::sim {
+
+namespace {
+
+/// Human-readable exception type for failure entries and repro bundles.
+std::string demangled(const char* name) {
+#if defined(__GNUG__)
+  int status = 0;
+  char* p = abi::__cxa_demangle(name, nullptr, nullptr, &status);
+  if (p != nullptr) {
+    std::string s(p);
+    std::free(p);
+    return s;
+  }
+#endif
+  return name;
+}
+
+}  // namespace
 
 std::uint64_t campaign_run_seed(std::uint64_t campaign_seed,
                                 std::uint64_t run_index) noexcept {
@@ -24,14 +53,20 @@ std::uint64_t campaign_run_seed(std::uint64_t campaign_seed,
 }
 
 /// Worker-lifetime shard: the Simulation whose arenas stay warm across
-/// every run this worker executes, plus its metric/report accumulators.
+/// every run this worker executes, plus its metric/report accumulators and
+/// (collect_violations only) the hub its runs' monitors report into. The
+/// hub outlives every component the body constructs -- the required
+/// lifetime contract -- and is cleared + re-armed before each attempt.
 struct Campaign::Worker {
   Simulation sim;
   metrics::Registry registry;
+  verify::Hub hub;
 };
 
 struct Campaign::Cursor {
   std::atomic<std::size_t> next{0};
+  /// Per-config finally-failed counts (quarantine_after > 0 only).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> config_failures;
 };
 
 Campaign::Campaign(std::size_t configs, std::size_t reps, CampaignOptions opt)
@@ -63,17 +98,101 @@ void Campaign::worker_loop(Worker& w, unsigned worker_index,
     r.index = i;
     r.seed = spec.seed;
 
-    w.sim.reset(spec.seed);
-    CampaignContext ctx(w.sim, w.registry, spec, worker_index, r);
-    try {
-      body(ctx);
-      r.ok = true;
-    } catch (const std::exception& e) {
+    // Quarantine gate: a config that already burned its failure budget is
+    // skipped, not executed (attempts == 0 marks the skip).
+    if (opt_.quarantine_after > 0 &&
+        cursor_->config_failures[spec.config].load(
+            std::memory_order_relaxed) >= opt_.quarantine_after) {
       r.ok = false;
-      r.error = e.what();
-    } catch (...) {
-      r.ok = false;
-      r.error = "unknown exception";
+      r.attempts = 0;
+      r.classification = "quarantined";
+      r.error = "config " + std::to_string(spec.config) +
+                " quarantined after " +
+                std::to_string(opt_.quarantine_after) + " failed runs";
+      continue;
+    }
+
+    const unsigned max_attempts = opt_.max_attempts == 0 ? 1
+                                                         : opt_.max_attempts;
+    bool ok = false;
+    bool identical = true;  // every failure same type + message so far
+    std::string first_error;
+    std::string first_type;
+    unsigned executed = 0;
+
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+      executed = attempt;
+      // Retries re-run the SAME seed from scratch: clear what the previous
+      // attempt's body recorded so the slot holds one attempt's output.
+      r.scalars.clear();
+      r.artifact.clear();
+      r.error.clear();
+      r.error_type.clear();
+
+      w.sim.reset(spec.seed);
+      verify::Hub* hub = nullptr;
+      if (opt_.collect_violations) {
+        w.hub.clear();
+        w.hub.arm(w.sim);
+        hub = &w.hub;
+      }
+      // Per-attempt deadline: a hung attempt dies with DeadlineError on a
+      // scheduler tick instead of hanging its pool thread forever.
+      Watchdog wd(WatchdogConfig{opt_.run_deadline_sec, 0, 4096});
+      if (opt_.run_deadline_sec > 0.0) wd.arm(w.sim);
+
+      CampaignContext ctx(w.sim, w.registry, spec, worker_index, r, attempt,
+                          hub);
+      std::string err;
+      std::string type;
+      bool attempt_ok = false;
+      try {
+        body(ctx);
+        attempt_ok = true;
+      } catch (const std::exception& e) {
+        err = e.what();
+        type = demangled(typeid(e).name());
+      } catch (...) {
+        err = "unknown exception";
+        type = "unknown";
+      }
+      // The local watchdog dies with this scope: never leave the scheduler
+      // holding a pointer to it.
+      if (opt_.run_deadline_sec > 0.0) Watchdog::disarm(w.sim);
+
+      if (attempt_ok) {
+        ok = true;
+        break;
+      }
+      if (attempt == 1) {
+        first_error = err;
+        first_type = type;
+      } else if (err != first_error || type != first_type) {
+        identical = false;
+      }
+      r.error = err;  // last failure is the one reported
+      r.error_type = type;
+    }
+
+    r.ok = ok;
+    r.attempts = executed;
+    if (ok) {
+      if (executed > 1) r.classification = "flaky";  // self-healed
+    } else if (max_attempts > 1) {
+      r.classification = identical ? "deterministic" : "flaky";
+    }
+
+    if (opt_.collect_violations) {
+      r.violations = w.hub.total();
+      if (r.violations > 0) r.violations_json = w.hub.to_json();
+    }
+
+    if (!ok) {
+      if (opt_.quarantine_after > 0) {
+        cursor_->config_failures[spec.config].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      if (!opt_.repro_dir.empty()) write_repro(spec, r);
     }
 
     // Snapshot the run's report with the pool high-water zeroed: arena
@@ -91,6 +210,40 @@ void Campaign::worker_loop(Worker& w, unsigned worker_index,
   }
 }
 
+void Campaign::write_repro(const RunSpec& spec, RunResult& r) const {
+  std::error_code ec;
+  std::filesystem::create_directories(opt_.repro_dir, ec);
+  const std::string path =
+      opt_.repro_dir + "/run-" + std::to_string(spec.index) + ".json";
+  std::ofstream out(path);
+  if (!out) return;  // unwritable repro_dir must not fail the campaign
+  out << "{\n"
+      << "  \"run\": {\"index\": " << spec.index
+      << ", \"config\": " << spec.config << ", \"rep\": " << spec.rep
+      << ", \"seed\": " << spec.seed
+      << ", \"campaign_seed\": " << opt_.seed << "},\n"
+      << "  \"failure\": {\"type\": \"" << json_escape(r.error_type)
+      << "\", \"what\": \"" << json_escape(r.error)
+      << "\", \"classification\": \"" << json_escape(r.classification)
+      << "\", \"attempts\": " << r.attempts << "}";
+  if (!r.scalars.empty()) {
+    out << ",\n  \"scalars\": {";
+    bool first = true;
+    for (const auto& [name, v] : r.scalars) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << json_escape(name) << "\": " << v;
+    }
+    out << "}";
+  }
+  if (!r.artifact.empty()) out << ",\n  \"artifact\": " << r.artifact;
+  if (!r.violations_json.empty()) {
+    out << ",\n  \"violations\": " << r.violations_json;
+  }
+  out << "\n}\n";
+  if (out) r.repro_path = path;
+}
+
 void Campaign::run(const Body& body) {
   if (ran_) throw ConfigError("Campaign::run may only be called once");
   ran_ = true;
@@ -101,6 +254,13 @@ void Campaign::run(const Body& body) {
   if (n == 0) return;
 
   Cursor cursor;
+  if (opt_.quarantine_after > 0 && configs_ > 0) {
+    cursor.config_failures =
+        std::make_unique<std::atomic<std::uint32_t>[]>(configs_);
+    for (std::size_t c = 0; c < configs_; ++c) {
+      cursor.config_failures[c].store(0, std::memory_order_relaxed);
+    }
+  }
   cursor_ = &cursor;
 
   // Workers live in a deque: Simulation is non-movable and each shard's
@@ -121,6 +281,14 @@ void Campaign::run(const Body& body) {
   }
   const auto t1 = std::chrono::steady_clock::now();
   wall_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+  if (cursor.config_failures != nullptr) {
+    for (std::size_t c = 0; c < configs_; ++c) {
+      if (cursor.config_failures[c].load(std::memory_order_relaxed) >=
+          opt_.quarantine_after) {
+        quarantined_.push_back(c);
+      }
+    }
+  }
   cursor_ = nullptr;
 
   // Reduce the shards. Registries fold in worker-index order: every
@@ -132,6 +300,21 @@ void Campaign::run(const Body& body) {
   for (const Worker& w : shards) merged_.merge(w.registry);
   for (Report& rr : run_reports_) merged_report_.merge(rr);
   run_reports_.clear();  // per-run JSON (when captured) is in results_
+
+  // Failure manifest: one merged-report entry per failed run, folded in
+  // run-index order so the merged artifact stays worker-count independent.
+  for (const RunResult& r : results_) {
+    if (r.ok) continue;
+    std::string msg = "run " + std::to_string(r.index) + " (config " +
+                      std::to_string(reps_ == 0 ? 0 : r.index / reps_) +
+                      ", rep " +
+                      std::to_string(reps_ == 0 ? 0 : r.index % reps_) +
+                      ", seed " + std::to_string(r.seed) + ")";
+    if (!r.classification.empty()) msg += " [" + r.classification + "]";
+    if (!r.error_type.empty()) msg += " " + r.error_type;
+    msg += ": " + r.error;
+    merged_report_.add(0, Severity::kError, "campaign-failure", msg);
+  }
 }
 
 std::size_t Campaign::failed() const noexcept {
@@ -164,6 +347,18 @@ std::string Campaign::to_json(bool include_host_stats) const {
     if (!r.error.empty()) {
       os << ", \"error\": \"" << json_escape(r.error) << "\"";
     }
+    if (!r.error_type.empty()) {
+      os << ", \"error_type\": \"" << json_escape(r.error_type) << "\"";
+    }
+    if (r.attempts != 1) os << ", \"attempts\": " << r.attempts;
+    if (!r.classification.empty()) {
+      os << ", \"classification\": \"" << json_escape(r.classification)
+         << "\"";
+    }
+    if (!r.repro_path.empty()) {
+      os << ", \"repro\": \"" << json_escape(r.repro_path) << "\"";
+    }
+    if (r.violations > 0) os << ", \"violations\": " << r.violations;
     if (!r.scalars.empty()) {
       os << ", \"scalars\": {";
       bool sfirst = true;
@@ -179,8 +374,17 @@ std::string Campaign::to_json(bool include_host_stats) const {
     os << "}";
   }
   os << (first ? "]" : "\n  ]") << ",\n";
-  os << "  \"merged\": {\"failed_runs\": " << failed()
-     << ", \"report\": " << merged_report_.to_json()
+  os << "  \"merged\": {\"failed_runs\": " << failed();
+  if (!quarantined_.empty()) {
+    os << ", \"quarantined_configs\": [";
+    bool qfirst = true;
+    for (std::size_t q : quarantined_) {
+      os << (qfirst ? "" : ", ") << q;
+      qfirst = false;
+    }
+    os << "]";
+  }
+  os << ", \"report\": " << merged_report_.to_json()
      << ", \"metrics\": " << merged_.to_json() << "}\n";
   os << "}\n";
   return os.str();

@@ -39,6 +39,34 @@
 // its per-run locals, and read-only captures (per-worker slots indexed by
 // ctx.worker() are fine). gtest assertions belong on the caller's thread,
 // after run() returns -- record findings in RunResult scalars instead.
+//
+// Run supervision (CampaignOptions knobs, all off by default):
+//
+//   * Failure capture. A thrown body exception records the demangled
+//     exception TYPE alongside what(), the config/rep coordinates and the
+//     seed -- enough to re-run that cell in isolation.
+//   * Self-healing retries. With max_attempts > 1 a failed run is re-run
+//     with the SAME seed (the simulation is deterministic, so a real bug
+//     reproduces). All attempts failing identically classifies the run
+//     "deterministic"; an eventual pass or differing errors classify it
+//     "flaky" (host-dependent: thread timing in the body, wall-clock
+//     deadlines).
+//   * Quarantine. With quarantine_after > 0, once a config accumulates
+//     that many finally-failed runs its remaining cells are skipped
+//     ("quarantined") instead of executed, so one broken config cannot eat
+//     the campaign's wall-clock budget. Which cells get skipped depends on
+//     execution order, so quarantine is inherently placement-dependent:
+//     leave it off in determinism-sensitive sweeps.
+//   * Repro bundles. With repro_dir set, each finally-failed run writes
+//     <repro_dir>/run-<index>.json: coordinates, seeds, error, scalars and
+//     the run's recorded protocol violations -- a self-contained repro
+//     recipe (see docs/ARCHITECTURE.md section 9).
+//   * Deadlines. run_deadline_sec arms a per-attempt sim::Watchdog so a
+//     hung run dies with DeadlineError instead of hanging the pool.
+//   * Violation collection. collect_violations arms a per-worker
+//     verify::Hub (record-and-continue) around every run, so components
+//     constructed by the body carry protocol monitors and their findings
+//     land in the run's report and repro bundle.
 #pragma once
 
 #include <cstddef>
@@ -51,6 +79,10 @@
 #include "metrics/registry.hpp"  // header-only by design; no link edge
 #include "sim/report.hpp"
 #include "sim/simulation.hpp"
+
+namespace mts::verify {
+class Hub;
+}  // namespace mts::verify
 
 namespace mts::sim {
 
@@ -73,6 +105,24 @@ struct CampaignOptions {
   /// placement), not the run's behaviour, and per-run captures must be
   /// placement-independent.
   bool capture_run_reports = false;
+  /// Total body executions per run (1 = no retries). A failed run re-runs
+  /// with the same seed up to this many attempts and is classified
+  /// "deterministic" (every attempt failed identically) or "flaky"
+  /// (eventual pass, or differing failures).
+  unsigned max_attempts = 1;
+  /// After this many finally-failed runs of one config, skip its remaining
+  /// cells (classification "quarantined"). 0 disables quarantine.
+  unsigned quarantine_after = 0;
+  /// When non-empty, each finally-failed run writes a self-contained repro
+  /// bundle to <repro_dir>/run-<index>.json (directory is created).
+  std::string repro_dir;
+  /// Per-ATTEMPT wall-clock budget; a run exceeding it fails with
+  /// sim::DeadlineError. 0 disables the per-run watchdog.
+  double run_deadline_sec = 0.0;
+  /// Arm a per-worker verify::Hub (policy kRecord) around every run:
+  /// components the body constructs attach protocol monitors, and the
+  /// run's violations land in its report, RunResult and repro bundle.
+  bool collect_violations = false;
 };
 
 /// One cell of the run matrix, in row-major order over (config, rep).
@@ -94,6 +144,15 @@ struct RunResult {
   std::map<std::string, double> scalars;  ///< body-recorded per-run numbers
   std::string report_json;                ///< capture_run_reports only
   std::string artifact;                   ///< optional user JSON fragment
+
+  // -- supervision fields (see CampaignOptions) ---------------------------
+  std::string error_type;      ///< demangled exception type when !ok
+  unsigned attempts = 1;       ///< body executions (0: quarantine-skipped)
+  /// "", "deterministic", "flaky" or "quarantined".
+  std::string classification;
+  std::string repro_path;      ///< repro bundle file when one was written
+  std::uint64_t violations = 0;  ///< hub total (collect_violations only)
+  std::string violations_json;   ///< hub JSON when violations > 0
 };
 
 /// The body's window onto its shard: the worker's (reset, reseeded)
@@ -102,12 +161,15 @@ struct RunResult {
 class CampaignContext {
  public:
   CampaignContext(Simulation& sim, metrics::Registry& metrics,
-                  const RunSpec& spec, unsigned worker, RunResult& result)
+                  const RunSpec& spec, unsigned worker, RunResult& result,
+                  unsigned attempt = 1, verify::Hub* monitors = nullptr)
       : sim_(sim),
         metrics_(metrics),
         spec_(spec),
         worker_(worker),
-        result_(result) {}
+        result_(result),
+        attempt_(attempt),
+        monitors_(monitors) {}
 
   CampaignContext(const CampaignContext&) = delete;
   CampaignContext& operator=(const CampaignContext&) = delete;
@@ -134,12 +196,23 @@ class CampaignContext {
   /// Shorthand: result().scalars[name] = v.
   void set(const std::string& name, double v) { result_.scalars[name] = v; }
 
+  /// 1-based attempt number for this execution (retries re-run the same
+  /// seed with increasing attempt numbers; see CampaignOptions).
+  unsigned attempt() const noexcept { return attempt_; }
+
+  /// The engine-armed violation hub (CampaignOptions::collect_violations),
+  /// already armed on sim() and cleared for this attempt; nullptr when
+  /// collection is off. Bodies may tighten policies on it per run.
+  verify::Hub* monitors() const noexcept { return monitors_; }
+
  private:
   Simulation& sim_;
   metrics::Registry& metrics_;
   const RunSpec& spec_;
   unsigned worker_;
   RunResult& result_;
+  unsigned attempt_ = 1;
+  verify::Hub* monitors_ = nullptr;
 };
 
 class Campaign {
@@ -183,8 +256,20 @@ class Campaign {
   /// to any run (see CampaignOptions::capture_run_reports).
   const Report& merged_report() const noexcept { return merged_report_; }
 
-  /// Runs whose body threw.
+  /// Runs whose body threw (quarantine-skipped cells included).
   std::size_t failed() const noexcept;
+
+  /// Config indices quarantined during the run (quarantine_after > 0);
+  /// sorted ascending.
+  const std::vector<std::size_t>& quarantined() const noexcept {
+    return quarantined_;
+  }
+  bool config_quarantined(std::size_t config) const noexcept {
+    for (std::size_t q : quarantined_) {
+      if (q == config) return true;
+    }
+    return false;
+  }
 
   double wall_seconds() const noexcept { return wall_seconds_; }
   double runs_per_sec() const noexcept {
@@ -210,6 +295,10 @@ class Campaign {
   struct Worker;
 
   void worker_loop(Worker& w, unsigned worker_index, const Body& body);
+  /// Writes <repro_dir>/run-<index>.json for a finally-failed run and
+  /// records its path in `r`. I/O failures are swallowed (repro bundles
+  /// are best-effort; the in-memory RunResult is authoritative).
+  void write_repro(const RunSpec& spec, RunResult& r) const;
 
   std::size_t configs_;
   std::size_t reps_;
@@ -221,6 +310,7 @@ class Campaign {
   std::vector<Report> run_reports_;  // merge staging; cleared after run()
   metrics::Registry merged_;
   Report merged_report_;
+  std::vector<std::size_t> quarantined_;
   double wall_seconds_ = 0.0;
 
   // Work distribution: pool threads claim run indices from this cursor.

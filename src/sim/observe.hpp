@@ -86,10 +86,14 @@ class TransitObserver {
   }
 
   /// An item was latched (`occupancy`: items resident just after commit).
-  void put_committed(std::uint64_t data, unsigned occupancy) {
+  /// Returns the TraceSession transaction id (0 with no trace session) so
+  /// callers can tie other sinks -- e.g. a verify::StreamMonitor -- to the
+  /// same transaction.
+  std::uint64_t put_committed(std::uint64_t data, unsigned occupancy) {
     const Time t = sim_.now();
+    std::uint64_t txn = 0;
     if (trace_ != nullptr) {
-      trace_->put_committed(stream_, t, data);
+      txn = trace_->put_committed(stream_, t, data);
     } else if (latency_ps_ != nullptr) {
       // No trace session to keep the in-flight queue: keep our own put
       // timestamps so the latency histogram still fills.
@@ -99,17 +103,21 @@ class TransitObserver {
       puts_->inc();
       occupancy_->observe(static_cast<double>(occupancy));
     }
+    return txn;
   }
 
-  /// The oldest item left on the get side.
-  void get_observed(std::uint64_t data, unsigned occupancy) {
+  /// The oldest item left on the get side. Returns the departing
+  /// transaction's id (0 with no trace session).
+  std::uint64_t get_observed(std::uint64_t data, unsigned occupancy) {
     const Time t = sim_.now();
     Time put_time = 0;
     bool have_put = false;
+    std::uint64_t txn = 0;
     if (trace_ != nullptr) {
       const TraceSession::Departure dep = trace_->get_observed(stream_, t, data);
       put_time = dep.put_time;
       have_put = dep.id != 0;
+      txn = dep.id;
     } else if (!put_times_.empty()) {
       put_time = put_times_.front();
       put_times_.pop_front();
@@ -120,6 +128,7 @@ class TransitObserver {
       occupancy_->observe(static_cast<double>(occupancy));
       if (have_put) latency_ps_->observe(static_cast<double>(t - put_time));
     }
+    return txn;
   }
 
   /// The oldest item became visible across the timing boundary.

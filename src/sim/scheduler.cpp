@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "sim/watchdog.hpp"
+
 namespace mts::sim {
 
 void Scheduler::run_one_from_ring() {
@@ -61,6 +63,7 @@ bool Scheduler::step() {
   } else {
     return false;
   }
+  if (watchdog_ != nullptr) watchdog_->tick(now_);
   return true;
 }
 
@@ -74,6 +77,7 @@ void Scheduler::run_until(Time t) {
     } else {
       break;
     }
+    if (watchdog_ != nullptr) watchdog_->tick(now_);
   }
   if (now_ < t) {
     now_ = t;
@@ -95,6 +99,7 @@ std::size_t Scheduler::run(std::size_t max_events) {
       break;
     }
     ++executed;
+    if (watchdog_ != nullptr) watchdog_->tick(now_);
   }
   if (profiler_ != nullptr) profiler_->flush();
   return executed;

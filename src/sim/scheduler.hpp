@@ -36,6 +36,8 @@
 
 namespace mts::sim {
 
+class Watchdog;
+
 class Scheduler {
  public:
   using Callback = InplaceFunction<void()>;
@@ -122,6 +124,12 @@ class Scheduler {
   void set_profiler(KernelProfiler* p) noexcept { profiler_ = p; }
   KernelProfiler* profiler() const noexcept { return profiler_; }
 
+  /// Arms (nullptr: disarms) a run watchdog (sim/watchdog.hpp): the run
+  /// loops call Watchdog::tick once per executed event. One pointer branch
+  /// per event when disarmed, same cost shape as the profiler.
+  void set_watchdog(Watchdog* w) noexcept { watchdog_ = w; }
+  Watchdog* watchdog() const noexcept { return watchdog_; }
+
   /// Snapshot of the kernel health counters (plus the hottest-site table
   /// when a profiler is armed; pending profiler samples are flushed first).
   KernelStats stats() const {
@@ -191,6 +199,7 @@ class Scheduler {
   std::size_t timestamp_budget_ = 4'000'000;
   KernelStats stats_;
   KernelProfiler* profiler_ = nullptr;
+  Watchdog* watchdog_ = nullptr;
 };
 
 }  // namespace mts::sim

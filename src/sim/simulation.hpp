@@ -9,6 +9,11 @@
 #include "sim/report.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
+#include "sim/watchdog.hpp"
+
+namespace mts::verify {
+class Hub;
+}  // namespace mts::verify
 
 namespace mts::sim {
 
@@ -38,10 +43,12 @@ class Simulation {
   void reset(std::uint64_t seed) {
     sched_.reset();
     sched_.set_profiler(nullptr);
+    sched_.set_watchdog(nullptr);
     report_.clear();
     rng_.seed(seed);
     faults_ = nullptr;
     obs_ = nullptr;
+    monitors_ = nullptr;
   }
 
   /// Arms (or, with nullptr, disarms) a fault-injection plan. Components
@@ -61,23 +68,42 @@ class Simulation {
   void set_observability(Observability* o) noexcept { obs_ = o; }
   Observability* observability() const noexcept { return obs_; }
 
+  /// Arms (nullptr: disarms) a runtime protocol-monitor hub (see
+  /// verify/hub.hpp). Same contract as observability: components check
+  /// this ONCE, at construction, to decide whether to attach their
+  /// invariant checkers; arm before building the design. Prefer
+  /// verify::Hub::arm(sim), which also wires the Report sink.
+  void arm_monitors(verify::Hub* hub) noexcept { monitors_ = hub; }
+  verify::Hub* monitors() const noexcept { return monitors_; }
+
   Time now() const noexcept { return sched_.now(); }
   void run_until(Time t) {
     sched_.run_until(t);
     report_.set_kernel(sched_.stats());
+    notify_drain();
   }
   std::size_t run(std::size_t max_events = Scheduler::kDefaultRunBudget) {
     const std::size_t n = sched_.run(max_events);
     report_.set_kernel(sched_.stats());
+    notify_drain();
     return n;
   }
 
  private:
+  /// Deadlock hook: an armed watchdog inspects its probes whenever a run
+  /// leaves the queue empty -- a drained queue with transactions still in
+  /// flight can never complete (throws DeadlockError; sim/watchdog.hpp).
+  void notify_drain() {
+    Watchdog* wd = sched_.watchdog();
+    if (wd != nullptr && sched_.empty()) wd->on_drain(sched_.now());
+  }
+
   Scheduler sched_;
   Report report_;
   std::mt19937_64 rng_;
   FaultPlan* faults_ = nullptr;
   Observability* obs_ = nullptr;
+  verify::Hub* monitors_ = nullptr;
 };
 
 }  // namespace mts::sim

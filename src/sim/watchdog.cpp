@@ -1,0 +1,106 @@
+#include "sim/watchdog.hpp"
+
+#include <utility>
+
+#include "sim/kernel_stats.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::sim {
+
+void Watchdog::watch(std::string site, std::function<std::uint64_t()> in_flight,
+                     std::function<std::uint64_t()> progress) {
+  Probe p;
+  p.site = std::move(site);
+  p.in_flight = std::move(in_flight);
+  p.progress = std::move(progress);
+  if (p.progress) p.last_progress = p.progress();
+  probes_.push_back(std::move(p));
+}
+
+void Watchdog::arm(Simulation& sim) {
+  sched_ = &sim.sched();
+  sched_->set_watchdog(this);
+  start_ = std::chrono::steady_clock::now();
+  last_progress_time_ = sim.now();
+  events_since_poll_ = 0;
+}
+
+void Watchdog::disarm(Simulation& sim) { sim.sched().set_watchdog(nullptr); }
+
+std::string Watchdog::stuck_sites() const {
+  std::string s;
+  for (const Probe& p : probes_) {
+    if (!p.in_flight) continue;
+    const std::uint64_t n = p.in_flight();
+    if (n == 0) continue;
+    if (!s.empty()) s += ", ";
+    s += p.site + " (" + std::to_string(n) + " in flight)";
+  }
+  return s.empty() ? std::string("none identified") : s;
+}
+
+std::string Watchdog::kernel_suffix() const {
+  if (sched_ == nullptr) return "";
+  const KernelStats ks = sched_->stats();
+  return "; kernel: " + std::to_string(ks.events_executed) +
+         " events executed, peak queue depth " +
+         std::to_string(ks.peak_queue_depth);
+}
+
+void Watchdog::poll(Time now) {
+  ++polls_;
+  if (cfg_.wall_deadline_sec > 0.0) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    if (elapsed > cfg_.wall_deadline_sec) {
+      throw DeadlineError(
+          "wall-clock deadline: run exceeded " +
+          std::to_string(cfg_.wall_deadline_sec) + "s (elapsed " +
+          std::to_string(elapsed) + "s) at t=" + format_time(now) +
+          "; in-flight sites: " + stuck_sites() + kernel_suffix());
+    }
+  }
+  if (cfg_.progress_window == 0 || probes_.empty()) return;
+
+  bool moved = false;
+  std::uint64_t in_flight = 0;
+  for (Probe& p : probes_) {
+    if (p.progress) {
+      const std::uint64_t v = p.progress();
+      if (v != p.last_progress) {
+        p.last_progress = v;
+        moved = true;
+      }
+    }
+    if (p.in_flight) in_flight += p.in_flight();
+  }
+  if (moved) {
+    last_progress_time_ = now;
+    return;
+  }
+  if (in_flight > 0 && now - last_progress_time_ >= cfg_.progress_window) {
+    throw LivelockError(
+        "livelock: events executing but no token movement for " +
+        format_time(now - last_progress_time_) + " (window " +
+        format_time(cfg_.progress_window) + ") at t=" + format_time(now) +
+        "; stuck sites: " + stuck_sites() + kernel_suffix());
+  }
+}
+
+void Watchdog::on_drain(Time now) {
+  std::uint64_t in_flight = 0;
+  for (const Probe& p : probes_) {
+    if (p.in_flight) in_flight += p.in_flight();
+  }
+  if (in_flight == 0) return;
+  throw DeadlockError("deadlock: event queue drained at t=" +
+                      format_time(now) + " with " +
+                      std::to_string(in_flight) +
+                      " transaction(s) in flight; stuck sites: " +
+                      stuck_sites() + kernel_suffix());
+}
+
+}  // namespace mts::sim

@@ -1,0 +1,144 @@
+// Run watchdog: wall-clock deadlines plus a progress heartbeat that tells
+// deadlock from livelock and names the stuck sites.
+//
+// A hung mixed-timing run has exactly two shapes:
+//
+//   deadlock  -- the event queue DRAINS while transactions are still in
+//                flight (e.g. an async put blocked on a withheld ack with
+//                every clock stopped): nothing will ever run again.
+//                Diagnosed by on_drain(), called by Simulation::run /
+//                run_until when the queue empties.
+//   livelock  -- events keep executing (clocks tick, detectors settle) but
+//                no token moves for a whole progress window (e.g. a relay
+//                chain with stopIn held forever): the run burns host time
+//                without advancing the protocol. Diagnosed by the periodic
+//                poll when every probe's progress counter is frozen while
+//                items remain in flight.
+//
+// Probes are named (site, in_flight, progress) closures registered by the
+// harness -- e.g. a driver's issued-minus-completed count and a sink's
+// accepted count -- so the thrown diagnostic lists WHICH sites are stuck,
+// alongside the scheduler's KernelStats.
+//
+// Cost model: the scheduler calls tick() once per executed event when armed
+// (one pointer branch when not, same pattern as the profiler); tick() is a
+// counter decrement until poll_interval_events elapse, then one poll doing
+// the wall-clock read and probe scan. Campaign supervision arms a
+// deadline-only watchdog per run (CampaignOptions::run_deadline_sec).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/error.hpp"
+#include "sim/time.hpp"
+
+namespace mts::sim {
+
+class Scheduler;
+class Simulation;
+
+/// Base of every watchdog diagnosis.
+class WatchdogError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+/// Wall-clock deadline exceeded (the run may be healthy but too slow).
+class DeadlineError : public WatchdogError {
+ public:
+  using WatchdogError::WatchdogError;
+};
+
+/// Queue drained with transactions in flight: nothing can ever complete.
+class DeadlockError : public WatchdogError {
+ public:
+  using WatchdogError::WatchdogError;
+};
+
+/// Events executing, zero token movement over the progress window.
+class LivelockError : public WatchdogError {
+ public:
+  using WatchdogError::WatchdogError;
+};
+
+struct WatchdogConfig {
+  /// Wall-clock budget for the run; 0 disables the deadline.
+  double wall_deadline_sec = 0.0;
+  /// Sim-time window with no probe progress (while items are in flight)
+  /// that convicts a livelock; 0 disables the heartbeat.
+  Time progress_window = 0;
+  /// Events between polls: the cost/latency knob. Detection latency is at
+  /// most one interval; the per-event cost is one decrement.
+  std::size_t poll_interval_events = 65'536;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogConfig cfg = {}) : cfg_(cfg) {}
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers a named probe. `in_flight` returns the transactions the
+  /// site is still responsible for (counted by the deadlock/livelock
+  /// verdicts); `progress` (optional) returns a monotonic completion
+  /// counter -- any change across a poll means the protocol is moving.
+  void watch(std::string site, std::function<std::uint64_t()> in_flight,
+             std::function<std::uint64_t()> progress = {});
+
+  /// Arms this watchdog on `sim`'s scheduler and starts the wall clock.
+  /// The watchdog must outlive the simulation or be disarmed first
+  /// (Simulation::reset disarms it, like the profiler).
+  void arm(Simulation& sim);
+
+  /// Returns `sim` to the dormant fast path.
+  static void disarm(Simulation& sim);
+
+  /// Per-event hook (called by the scheduler when armed): counts down to
+  /// the next poll.
+  void tick(Time now) {
+    if (++events_since_poll_ >= cfg_.poll_interval_events) {
+      events_since_poll_ = 0;
+      poll(now);
+    }
+  }
+
+  /// Deadline + livelock checks; throws DeadlineError / LivelockError.
+  /// Normally driven by tick(); callable directly from harness loops.
+  void poll(Time now);
+
+  /// Queue-drain hook (called by Simulation when the queue empties):
+  /// throws DeadlockError if any probe still reports in-flight items.
+  void on_drain(Time now);
+
+  std::uint64_t polls() const noexcept { return polls_; }
+  const WatchdogConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Probe {
+    std::string site;
+    std::function<std::uint64_t()> in_flight;
+    std::function<std::uint64_t()> progress;
+    std::uint64_t last_progress = 0;
+  };
+
+  /// "site-a (3 in flight), site-b (1 in flight)" over probes with items.
+  std::string stuck_sites() const;
+  /// Appends the armed scheduler's kernel counters to a diagnostic.
+  std::string kernel_suffix() const;
+
+  WatchdogConfig cfg_;
+  std::vector<Probe> probes_;
+  Scheduler* sched_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+  Time last_progress_time_ = 0;
+  std::size_t events_since_poll_ = 0;
+  std::uint64_t polls_ = 0;
+};
+
+}  // namespace mts::sim

@@ -6,6 +6,7 @@
 #include "sim/error.hpp"
 #include "sim/fault.hpp"
 #include "sim/observe.hpp"
+#include "verify/hub.hpp"
 
 namespace mts::sync {
 
@@ -22,6 +23,7 @@ Clock::Clock(sim::Simulation& sim, std::string name, const ClockConfig& config)
       o != nullptr && o->profiler != nullptr) {
     site_ = o->profiler->site("clock " + out_.name());
   }
+  mon_ = sim.monitors();
   schedule_rise(config_.phase);
 }
 
@@ -56,6 +58,29 @@ void Clock::schedule_rise(sim::Time t) {
         const auto floor = static_cast<std::int64_t>(config_.period / 4 + 1);
         period = static_cast<sim::Time>(p < floor ? floor : p);
         fp->note("clock.perturb");
+      }
+    }
+    if (mon_ != nullptr) {
+      // Period-envelope check: the nominal jitter never leaves the
+      // configured band, so only injected drift / extra jitter (or a
+      // generator bug) can trip this.
+      const auto nominal = static_cast<std::int64_t>(config_.period);
+      std::int64_t dev = static_cast<std::int64_t>(period) - nominal;
+      if (dev < 0) dev = -dev;
+      auto tol = static_cast<std::int64_t>(
+          mon_->clock_tolerance() * static_cast<double>(nominal));
+      if (tol < static_cast<std::int64_t>(config_.jitter)) {
+        tol = static_cast<std::int64_t>(config_.jitter);
+      }
+      if (dev > tol) {
+        verify::Violation v;
+        v.time = sim_.now();
+        v.invariant = verify::Invariant::kClockPeriod;
+        v.site = out_.name();
+        v.observed = "period " + std::to_string(period) + "ps";
+        v.expected = std::to_string(config_.period) + "ps +/- " +
+                     std::to_string(tol) + "ps";
+        mon_->report(std::move(v));
       }
     }
     const auto high = static_cast<sim::Time>(static_cast<double>(period) *

@@ -50,6 +50,10 @@ class Clock {
   /// armed at construction). Everything scheduled downstream of an edge
   /// inherits it, so the hot-sites table groups work by clock domain.
   sim::KernelProfiler::SiteId site_ = 0;
+  /// Set only when a verify::Hub was armed at construction: each generated
+  /// period is checked against the configured envelope (nominal +/- the
+  /// larger of the configured jitter and the hub's fractional tolerance).
+  verify::Hub* mon_ = nullptr;
 };
 
 }  // namespace mts::sync

@@ -6,6 +6,7 @@
 #include "sim/fault.hpp"
 #include "sim/observe.hpp"
 #include "sim/report.hpp"
+#include "verify/hub.hpp"
 
 namespace mts::sync {
 
@@ -23,6 +24,7 @@ Synchronizer::Synchronizer(sim::Simulation& sim, const std::string& name,
     in_window_ctr_ = &o->metrics->counter(name, "sync_in_window");
     escape_ctr_ = &o->metrics->counter(name, "sync_escapes");
   }
+  mon_ = sim.monitors();
   if (config_.depth == 0) {
     // Ablation passthrough: a buffer only; the raw asynchronous level feeds
     // the synchronous controller directly.
@@ -82,6 +84,15 @@ Synchronizer::Synchronizer(sim::Simulation& sim, const std::string& name,
           if (escape_ctr_ != nullptr) escape_ctr_->inc();
           sim_.report().add(edge, sim::Severity::kWarning, "sync-failure",
                             nl_.prefix() + ": metastability escaped final stage");
+          if (mon_ != nullptr) {
+            verify::Violation v;
+            v.time = edge;
+            v.invariant = verify::Invariant::kMetastabilityEscape;
+            v.site = nl_.prefix();
+            v.observed = "in-window sample at the final stage";
+            v.expected = "metastability resolved within the chain";
+            mon_->report(std::move(v));
+          }
         }
         if (config_.mode == MetaMode::kDeterministic) {
           return gates::AsyncSample{old_value, 0};
@@ -117,6 +128,17 @@ Synchronizer::Synchronizer(sim::Simulation& sim, const std::string& name,
                             nl_.prefix() +
                                 ": injected metastability settled " +
                                 std::to_string(extra) + "ps after sampling");
+          if (mon_ != nullptr) {
+            verify::Violation v;
+            v.time = edge;
+            v.invariant = verify::Invariant::kMetastabilityEscape;
+            v.site = nl_.prefix();
+            v.observed = "settled " + std::to_string(extra) +
+                         "ps after sampling";
+            v.expected = "resolution within " +
+                         std::to_string(mf->escape_threshold) + "ps";
+            mon_->report(std::move(v));
+          }
         }
         return gates::AsyncSample{coin(*rng) ? new_value : old_value, extra};
       });

@@ -85,6 +85,9 @@ class Synchronizer {
   // construction (sim/observe.hpp); dormant chains keep null pointers.
   metrics::Counter* in_window_ctr_ = nullptr;
   metrics::Counter* escape_ctr_ = nullptr;
+  /// Set only when a verify::Hub was armed at construction: escapes past
+  /// the final stage become kMetastabilityEscape violations.
+  verify::Hub* mon_ = nullptr;
 };
 
 }  // namespace mts::sync

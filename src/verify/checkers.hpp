@@ -1,0 +1,321 @@
+// Runtime protocol checkers for the paper's interface invariants.
+//
+// Each checker is a small read-only observer a component constructs when a
+// verify::Hub is armed (Simulation::monitors() non-null at construction).
+// They sample wires at settled instants -- pre-edge inside clock rise
+// listeners (registered outputs change clk-to-q AFTER the edge, so a rise
+// listener reads the values stable over the ending cycle), or on the
+// monitored handshake edges themselves -- and never write a wire or draw
+// from any RNG, so an armed run's waveforms are bit-identical to the same
+// seed unarmed.
+//
+//   TokenRingMonitor   exactly one put (get) token circulating (Section 3.1)
+//   DetectorMonitor    full/ne/oe raw outputs consistent with the true cell
+//                      e_i/f_i state under the detector's window definition
+//                      (Fig. 6); transient mismatches re-checked after the
+//                      detector tree's settle delay before being reported
+//   HandshakeMonitor   4-phase req/ack edge ordering + bundled-data
+//                      stability over the transparency window (Section 4)
+//   StreamMonitor      scoreboard: items leave in FIFO order, none lost,
+//                      duplicated or invented, tied to TraceSession txn ids
+//                      when observability is also armed
+//
+// MonitorSet is the per-component bundle: FIFOs / relay stations own one
+// and the hub outlives it (same lifetime contract as sim::Observability).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+#include "verify/hub.hpp"
+#include "verify/violation.hpp"
+
+namespace mts::verify {
+
+namespace detail {
+inline std::string hex(std::uint64_t v) {
+  char buf[2 + 16 + 1];
+  int n = std::snprintf(buf, sizeof buf, "0x%llx",
+                        static_cast<unsigned long long>(v));
+  return std::string(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+}
+}  // namespace detail
+
+/// Counts the tokens resident in a ring of wires at every rising edge of
+/// the ring's clock; the paper's rings carry exactly one.
+class TokenRingMonitor {
+ public:
+  TokenRingMonitor(Hub& hub, sim::Simulation& sim, std::string site,
+                   std::vector<sim::Wire*> tokens, sim::Wire& clk)
+      : hub_(hub), sim_(sim), site_(std::move(site)),
+        tokens_(std::move(tokens)) {
+    clk.on_rise([this] { check(); });
+  }
+
+  TokenRingMonitor(const TokenRingMonitor&) = delete;
+  TokenRingMonitor& operator=(const TokenRingMonitor&) = delete;
+
+  void check() {
+    unsigned count = 0;
+    for (const sim::Wire* w : tokens_) count += w->read() ? 1u : 0u;
+    if (count == 1) return;
+    Violation v;
+    v.time = sim_.now();
+    v.invariant = Invariant::kTokenRing;
+    v.site = site_;
+    v.observed = std::to_string(count) + " tokens";
+    v.expected = "exactly 1 circulating token";
+    hub_.report(std::move(v));
+  }
+
+ private:
+  Hub& hub_;
+  sim::Simulation& sim_;
+  std::string site_;
+  std::vector<sim::Wire*> tokens_;
+};
+
+/// Recomputes a global-state detector's defining predicate from the true
+/// cell state wires and compares it with the built detector's raw output.
+///
+/// `window` generalizes Fig. 6: the raw output must be asserted iff the
+/// ring of `state` wires contains NO run of `window` consecutive asserted
+/// cells (window 1 degenerates to "no cell asserted" -- the oe / exact
+/// detectors).
+///
+/// A pre-edge mismatch can be a benign in-flight transition (a cell's e/f
+/// commit still propagating through the AND rank and OR tree), so the
+/// monitor defers: it schedules a read-only re-check `settle` later and
+/// reports only if the disagreement persists -- a genuine inconsistency
+/// (e.g. an injected detector corruption), not tree latency.
+class DetectorMonitor {
+ public:
+  DetectorMonitor(Hub& hub, sim::Simulation& sim, std::string site,
+                  Invariant invariant, std::vector<sim::Wire*> state,
+                  sim::Wire& raw, unsigned window, sim::Wire& clk,
+                  sim::Time settle)
+      : hub_(hub), sim_(sim), site_(std::move(site)), invariant_(invariant),
+        state_(std::move(state)), raw_(raw), window_(window),
+        settle_(settle) {
+    // Track when the cell state last moved: a deferred re-check only
+    // convicts the detector if the state has been quiet for a full settle
+    // window (otherwise the raw output may legitimately still be catching
+    // up to a commit newer than the one that triggered the check).
+    for (sim::Wire* w : state_) {
+      w->on_change([this](const bool&, const bool&) {
+        last_state_change_ = sim_.now();
+      });
+    }
+    clk.on_rise([this] { check(); });
+  }
+
+  DetectorMonitor(const DetectorMonitor&) = delete;
+  DetectorMonitor& operator=(const DetectorMonitor&) = delete;
+
+  /// The predicate the detector implements, from the true cell state.
+  bool expected() const {
+    const std::size_t n = state_.size();
+    if (n == 0) return true;
+    unsigned run = 0;
+    // Walk the ring twice so wrapping runs are seen; cap at 2n reads.
+    for (std::size_t k = 0; k < 2 * n; ++k) {
+      if (state_[k % n]->read()) {
+        if (++run >= window_) return false;
+      } else {
+        run = 0;
+      }
+    }
+    return true;
+  }
+
+  void check() {
+    if (raw_.read() == expected() || pending_) return;
+    pending_ = true;
+    sim_.sched().after(settle_, [this] {
+      pending_ = false;
+      if (sim_.now() - last_state_change_ < settle_) return;  // still moving
+      const bool want = expected();
+      if (raw_.read() == want) return;  // transient: tree was settling
+      Violation v;
+      v.time = sim_.now();
+      v.invariant = invariant_;
+      v.site = site_;
+      v.observed = std::string(raw_.read() ? "asserted" : "deasserted") +
+                   " (" + raw_.name() + ")";
+      v.expected = std::string(want ? "asserted" : "deasserted") +
+                   ": no " + std::to_string(window_) +
+                   " consecutive cells set";
+      hub_.report(std::move(v));
+    });
+  }
+
+ private:
+  Hub& hub_;
+  sim::Simulation& sim_;
+  std::string site_;
+  Invariant invariant_;
+  std::vector<sim::Wire*> state_;
+  sim::Wire& raw_;
+  unsigned window_;
+  sim::Time settle_;
+  sim::Time last_state_change_ = 0;
+  bool pending_ = false;
+};
+
+/// 4-phase req/ack ordering plus bundled-data stability (Section 4).
+///
+/// Legal sequence: req+ -> ack+ -> req- -> ack- (data stable from its
+/// launch until the cell latches it). Any edge out of order is a
+/// kHandshakeOrder violation. A data commit while a handshake is open is
+/// measured against `data_slack`, the FIFO-side bundling margin FROM req+
+/// (fifo::async_put_data_margin minus the driver's data-to-req offset):
+/// movement beyond the slack has provably missed the transparency window
+/// and is reported as kBundledData; earlier movement is still captured
+/// correctly and stays silent (the fault suite pins both sides).
+class HandshakeMonitor {
+ public:
+  HandshakeMonitor(Hub& hub, sim::Simulation& sim, std::string site,
+                   sim::Wire& req, sim::Wire& ack, sim::Word& data,
+                   sim::Time data_slack)
+      : hub_(hub), sim_(sim), site_(std::move(site)), slack_(data_slack) {
+    req.on_rise([this] { edge(Phase::kIdle, Phase::kReqUp, "req+"); });
+    ack.on_rise([this] { edge(Phase::kReqUp, Phase::kAckUp, "ack+"); });
+    req.on_fall([this] { edge(Phase::kAckUp, Phase::kReqDown, "req-"); });
+    ack.on_fall([this] { edge(Phase::kReqDown, Phase::kIdle, "ack-"); });
+    data.on_change([this](std::uint64_t, std::uint64_t now_value) {
+      data_changed(now_value);
+    });
+  }
+
+  HandshakeMonitor(const HandshakeMonitor&) = delete;
+  HandshakeMonitor& operator=(const HandshakeMonitor&) = delete;
+
+  std::uint64_t handshakes() const noexcept { return handshakes_; }
+
+ private:
+  enum class Phase { kIdle, kReqUp, kAckUp, kReqDown };
+
+  static const char* phase_name(Phase p) noexcept {
+    switch (p) {
+      case Phase::kIdle: return "idle";
+      case Phase::kReqUp: return "req-high";
+      case Phase::kAckUp: return "ack-high";
+      case Phase::kReqDown: return "req-released";
+    }
+    return "?";
+  }
+
+  void edge(Phase expect, Phase next, const char* name) {
+    if (phase_ != expect) {
+      Violation v;
+      v.time = sim_.now();
+      v.invariant = Invariant::kHandshakeOrder;
+      v.site = site_;
+      v.observed = std::string(name) + " in phase " + phase_name(phase_);
+      v.expected = std::string(name) + " only in phase " + phase_name(expect);
+      hub_.report(std::move(v));
+    }
+    if (next == Phase::kReqUp) t_req_ = sim_.now();
+    if (next == Phase::kIdle) ++handshakes_;
+    phase_ = next;
+  }
+
+  void data_changed(std::uint64_t now_value) {
+    if (phase_ == Phase::kIdle) return;  // nominal launch, before req+
+    const sim::Time lag = sim_.now() - t_req_;
+    if (lag <= slack_) return;  // inside the transparency window
+    Violation v;
+    v.time = sim_.now();
+    v.invariant = Invariant::kBundledData;
+    v.site = site_;
+    v.observed = "data -> " + detail::hex(now_value) + " moved " +
+                 std::to_string(lag) + "ps after req+";
+    v.expected = "stable within " + std::to_string(slack_) + "ps of req+";
+    hub_.report(std::move(v));
+  }
+
+  Hub& hub_;
+  sim::Simulation& sim_;
+  std::string site_;
+  sim::Time slack_;
+  Phase phase_ = Phase::kIdle;
+  sim::Time t_req_ = 0;
+  std::uint64_t handshakes_ = 0;
+};
+
+/// FIFO-order scoreboard: put() on commit, get() on departure. Items must
+/// leave in arrival order with unchanged payloads; a get with an empty
+/// in-flight queue is spurious. When the component also has observability
+/// armed, the caller passes the TraceSession txn id so violations name the
+/// exact transaction; otherwise a per-instance sequence number stands in.
+class StreamMonitor {
+ public:
+  StreamMonitor(Hub& hub, sim::Simulation& sim, std::string site)
+      : hub_(hub), sim_(sim), site_(std::move(site)) {}
+
+  StreamMonitor(const StreamMonitor&) = delete;
+  StreamMonitor& operator=(const StreamMonitor&) = delete;
+
+  void put(std::uint64_t data, std::uint64_t txn = 0) {
+    q_.push_back(Entry{txn != 0 ? txn : seq_, data});
+    ++seq_;
+  }
+
+  void get(std::uint64_t data, std::uint64_t txn = 0) {
+    if (q_.empty()) {
+      Violation v;
+      v.time = sim_.now();
+      v.invariant = Invariant::kPacketSpurious;
+      v.site = site_;
+      v.txn = txn;
+      v.observed = detail::hex(data) + " departed with 0 items in flight";
+      v.expected = "departures only while items are resident";
+      hub_.report(std::move(v));
+      return;
+    }
+    const Entry front = q_.front();
+    q_.pop_front();
+    if (front.data == data) return;
+    Violation v;
+    v.time = sim_.now();
+    v.invariant = Invariant::kPacketOrder;
+    v.site = site_;
+    v.txn = txn != 0 ? txn : front.txn;
+    v.observed = detail::hex(data);
+    v.expected = detail::hex(front.data) + " (oldest in-flight item)";
+    hub_.report(std::move(v));
+  }
+
+  std::size_t in_flight() const noexcept { return q_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t txn;
+    std::uint64_t data;
+  };
+
+  Hub& hub_;
+  sim::Simulation& sim_;
+  std::string site_;
+  std::deque<Entry> q_;
+  std::uint64_t seq_ = 1;
+};
+
+/// The per-component checker bundle a FIFO / relay station owns when a hub
+/// was armed at its construction; nullptr otherwise (the dormant path).
+struct MonitorSet {
+  Hub* hub = nullptr;
+  std::vector<std::unique_ptr<TokenRingMonitor>> rings;
+  std::vector<std::unique_ptr<DetectorMonitor>> detectors;
+  std::unique_ptr<HandshakeMonitor> handshake;
+  std::unique_ptr<StreamMonitor> stream;
+};
+
+}  // namespace mts::verify

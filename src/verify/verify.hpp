@@ -1,0 +1,15 @@
+// Umbrella header for the runtime protocol-monitor framework.
+//
+// Typical armed-run setup (see docs/ARCHITECTURE.md section 9):
+//
+//   mts::verify::Hub hub;
+//   hub.set_policy(mts::verify::Policy::kRecord);   // or kCount / kThrow
+//   hub.arm(sim);                                   // BEFORE building the DUT
+//   mts::fifo::MixedClockFifo dut(sim, "fig3", cfg, clkp, clkg);
+//   ... run ...
+//   for (const auto& v : hub.violations()) ...      // structured findings
+#pragma once
+
+#include "verify/checkers.hpp"  // IWYU pragma: export
+#include "verify/hub.hpp"       // IWYU pragma: export
+#include "verify/violation.hpp" // IWYU pragma: export

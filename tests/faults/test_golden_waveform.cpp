@@ -6,7 +6,9 @@
 //   1. the Fig. 3 protocol timing itself (any kernel or netlist change
 //      that shifts an edge shows up here first), and
 //   2. the fault subsystem's zero-cost-when-unarmed contract: a run with
-//      an armed but *empty* FaultPlan must be bit-identical too.
+//      an armed but *empty* FaultPlan must be bit-identical too, and
+//   3. the monitor read-only contract: a run with an armed verify::Hub
+//      (monitors attached, nothing violated) must be bit-identical as well.
 //
 // Regenerating the goldens after an INTENDED timing change:
 //   ./tests/mts_test_faults --gtest_filter='GoldenWaveform.*' 2>&1 | \
@@ -27,6 +29,7 @@
 #include "sim/fault.hpp"
 #include "sim/trace.hpp"
 #include "sync/clock.hpp"
+#include "verify/hub.hpp"
 
 namespace mts {
 namespace {
@@ -54,12 +57,14 @@ std::string slurp(const std::string& path) {
 }
 
 /// The bench's sync_protocols() circuit: two puts, then gets (Fig. 3a/3c).
-std::uint64_t sync_vcd_hash(const std::string& path, sim::FaultPlan* plan) {
+std::uint64_t sync_vcd_hash(const std::string& path, sim::FaultPlan* plan,
+                            verify::Hub* hub = nullptr) {
   fifo::FifoConfig cfg;
   cfg.capacity = 4;
   cfg.width = 8;
   sim::Simulation sim(1);
   if (plan != nullptr) sim.arm_faults(plan);
+  if (hub != nullptr) hub->arm(sim);  // before the DUT: monitors attach now
   const Time pp = 2 * fifo::SyncPutSide::min_period(cfg);
   const Time gp = 2 * fifo::SyncGetSide::min_period(cfg);
   sync::Clock cp(sim, "clk_put", {pp, 4 * pp, 0.5, 0});
@@ -94,12 +99,14 @@ std::uint64_t sync_vcd_hash(const std::string& path, sim::FaultPlan* plan) {
 }
 
 /// The bench's async_protocol() circuit: 4-phase put handshakes (Fig. 3b).
-std::uint64_t async_vcd_hash(const std::string& path, sim::FaultPlan* plan) {
+std::uint64_t async_vcd_hash(const std::string& path, sim::FaultPlan* plan,
+                             verify::Hub* hub = nullptr) {
   fifo::FifoConfig cfg;
   cfg.capacity = 4;
   cfg.width = 8;
   sim::Simulation sim(1);
   if (plan != nullptr) sim.arm_faults(plan);
+  if (hub != nullptr) hub->arm(sim);  // before the DUT: monitors attach now
   const Time gp = 2 * fifo::SyncGetSide::min_period(cfg);
   sync::Clock cg(sim, "clk_get", {gp, 4 * gp, 0.5, 0});
   fifo::AsyncSyncFifo dut(sim, "fifo", cfg, cg.out());
@@ -164,6 +171,24 @@ TEST(GoldenWaveform, ArmedUnmatchedSitesAreBitIdentical) {
             kGoldenSyncHash);
   EXPECT_EQ(async_vcd_hash("golden_fig3_async_unmatched.vcd", &plan2),
             kGoldenAsyncHash);
+}
+
+TEST(GoldenWaveform, ArmedMonitorHubIsBitIdentical) {
+  // The monitor read-only contract: a full set of attached protocol
+  // monitors observing a clean run must not move a single edge. These are
+  // the real Fig. 3 circuits with every FIFO-side checker live (token
+  // rings, detectors, handshake and stream monitors, clock monitors).
+  verify::Hub sync_hub;
+  EXPECT_EQ(sync_vcd_hash("golden_fig3_sync_monitored.vcd", nullptr,
+                          &sync_hub),
+            kGoldenSyncHash);
+  EXPECT_EQ(sync_hub.total(), 0u) << sync_hub.to_json();
+
+  verify::Hub async_hub;
+  EXPECT_EQ(async_vcd_hash("golden_fig3_async_monitored.vcd", nullptr,
+                           &async_hub),
+            kGoldenAsyncHash);
+  EXPECT_EQ(async_hub.total(), 0u) << async_hub.to_json();
 }
 
 }  // namespace

@@ -1,0 +1,94 @@
+// Negative-path coverage for FifoConfig::validate(): every ConfigError
+// branch fires with a diagnosable message, and the error type slots into
+// the standard exception hierarchy harnesses catch by.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "fifo/config.hpp"
+#include "sim/error.hpp"
+
+namespace mts::fifo {
+namespace {
+
+/// Runs validate() and returns the ConfigError message (empty = no throw).
+std::string validate_message(const FifoConfig& cfg) {
+  try {
+    cfg.validate();
+  } catch (const ConfigError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(FifoConfigValidate, DefaultConfigIsValid) {
+  FifoConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(FifoConfigValidate, SmallestLegalConfigIsValid) {
+  FifoConfig cfg;
+  cfg.capacity = 2;
+  cfg.width = 1;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(FifoConfigValidate, CapacityBelowTwoIsRejected) {
+  FifoConfig cfg;
+  cfg.capacity = 1;
+  EXPECT_NE(validate_message(cfg).find("capacity must be >= 2"),
+            std::string::npos);
+  cfg.capacity = 0;
+  EXPECT_NE(validate_message(cfg).find("capacity must be >= 2"),
+            std::string::npos);
+}
+
+TEST(FifoConfigValidate, CapacityBelowTheAnticipationWindowIsRejected) {
+  // Deeper synchronizers widen the detector's anticipation window; a FIFO
+  // shorter than the window could never declare itself non-full safely.
+  FifoConfig cfg;
+  cfg.capacity = 3;
+  cfg.sync.depth = 4;  // window = depth = 4 > capacity
+  EXPECT_NE(validate_message(cfg).find("anticipation"), std::string::npos);
+  cfg.capacity = 4;  // capacity == window: legal again
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(FifoConfigValidate, WidthOutsideOneTo64IsRejected) {
+  FifoConfig cfg;
+  cfg.width = 0;
+  EXPECT_NE(validate_message(cfg).find("width must be 1..64"),
+            std::string::npos);
+  cfg.width = 65;
+  EXPECT_NE(validate_message(cfg).find("width must be 1..64"),
+            std::string::npos);
+  cfg.width = 64;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(FifoConfigValidate, BimodalDetectorWithoutSynchronizerIsRejected) {
+  // Depth 0 would close a combinational loop through the Fig. 7b OR gate.
+  FifoConfig cfg;
+  cfg.sync.depth = 0;
+  cfg.empty_kind = EmptyDetectorKind::kBimodal;
+  EXPECT_NE(validate_message(cfg).find("bi-modal empty detector"),
+            std::string::npos);
+  // The single-detector ablations tolerate a passthrough synchronizer.
+  cfg.empty_kind = EmptyDetectorKind::kOeOnly;
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.empty_kind = EmptyDetectorKind::kNeOnly;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(FifoConfigValidate, ConfigErrorIsAnInvalidArgument) {
+  // Generic harnesses catch std::invalid_argument / std::exception.
+  FifoConfig cfg;
+  cfg.capacity = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_THROW(cfg.validate(), std::exception);
+}
+
+}  // namespace
+}  // namespace mts::fifo

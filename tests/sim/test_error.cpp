@@ -1,0 +1,85 @@
+// The library-wide exception hierarchy and MTS_ASSERT. Campaign supervision
+// and the watchdog classify failures by these types; the hierarchy and the
+// assertion message format are API.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/error.hpp"
+#include "sim/watchdog.hpp"
+
+namespace mts {
+namespace {
+
+TEST(Errors, ConfigErrorIsInvalidArgument) {
+  ConfigError e("capacity must be >= 2");
+  EXPECT_STREQ(e.what(), "capacity must be >= 2");
+  EXPECT_THROW(throw ConfigError("x"), std::invalid_argument);
+}
+
+TEST(Errors, SimulationErrorIsRuntimeError) {
+  SimulationError e("bus conflict");
+  EXPECT_STREQ(e.what(), "bus conflict");
+  EXPECT_THROW(throw SimulationError("x"), std::runtime_error);
+}
+
+TEST(Errors, AssertionErrorIsLogicError) {
+  // User mistakes (ConfigError) and circuit misbehaviour (SimulationError)
+  // are runtime conditions; a failed MTS_ASSERT is a library bug.
+  EXPECT_THROW(throw AssertionError("x"), std::logic_error);
+}
+
+TEST(Errors, TheThreeRootsAreDisjoint) {
+  EXPECT_THROW(throw ConfigError("x"), std::exception);
+  try {
+    throw ConfigError("x");
+  } catch (const std::runtime_error&) {
+    FAIL() << "ConfigError must not be a runtime_error";
+  } catch (const std::invalid_argument&) {
+  }
+  try {
+    throw SimulationError("x");
+  } catch (const std::logic_error&) {
+    FAIL() << "SimulationError must not be a logic_error";
+  } catch (const std::runtime_error&) {
+  }
+}
+
+TEST(Errors, WatchdogFamilyDerivesFromSimulationError) {
+  // Harnesses that catch SimulationError see watchdog verdicts too; ones
+  // that catch the concrete type can tell the three hang shapes apart.
+  EXPECT_THROW(throw sim::WatchdogError("x"), SimulationError);
+  EXPECT_THROW(throw sim::DeadlineError("x"), sim::WatchdogError);
+  EXPECT_THROW(throw sim::DeadlockError("x"), sim::WatchdogError);
+  EXPECT_THROW(throw sim::LivelockError("x"), sim::WatchdogError);
+}
+
+TEST(MtsAssert, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(MTS_ASSERT(1 + 1 == 2, "arithmetic holds"));
+}
+
+TEST(MtsAssert, FailureNamesExpressionLocationAndMessage) {
+  try {
+    MTS_ASSERT(2 + 2 == 5, "arithmetic is broken");
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("assertion failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 + 2 == 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("test_error.cpp"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("arithmetic is broken"), std::string::npos) << msg;
+  }
+}
+
+TEST(MtsAssert, EmptyMessageOmitsTheSeparator) {
+  try {
+    MTS_ASSERT(false, "");
+    FAIL() << "expected AssertionError";
+  } catch (const AssertionError& e) {
+    EXPECT_EQ(std::string(e.what()).find("--"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mts

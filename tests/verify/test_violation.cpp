@@ -1,0 +1,219 @@
+// Unit tests for the violation records and the verify::Hub policy
+// switchboard: record / count / throw semantics, per-invariant overrides,
+// the log cap, the metrics and Report sinks, and the arming contract on
+// sim::Simulation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/registry.hpp"
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+#include "verify/hub.hpp"
+#include "verify/violation.hpp"
+
+namespace mts::verify {
+namespace {
+
+Violation make(Invariant inv, sim::Time t = 100, std::uint64_t txn = 0) {
+  Violation v;
+  v.time = t;
+  v.invariant = inv;
+  v.site = "fig3.ptok";
+  v.txn = txn;
+  v.observed = "2 tokens";
+  v.expected = "exactly 1 circulating token";
+  return v;
+}
+
+TEST(Violation, InvariantNamesAreStable) {
+  // These strings key metrics counters and report categories; renaming one
+  // breaks every dashboard built on them.
+  EXPECT_STREQ(invariant_name(Invariant::kTokenRing), "token-ring");
+  EXPECT_STREQ(invariant_name(Invariant::kFullDetector), "full-detector");
+  EXPECT_STREQ(invariant_name(Invariant::kEmptyDetector), "empty-detector");
+  EXPECT_STREQ(invariant_name(Invariant::kOverflow), "overflow");
+  EXPECT_STREQ(invariant_name(Invariant::kUnderflow), "underflow");
+  EXPECT_STREQ(invariant_name(Invariant::kHandshakeOrder), "handshake-order");
+  EXPECT_STREQ(invariant_name(Invariant::kBundledData), "bundled-data");
+  EXPECT_STREQ(invariant_name(Invariant::kPacketOrder), "packet-order");
+  EXPECT_STREQ(invariant_name(Invariant::kPacketSpurious), "packet-spurious");
+  EXPECT_STREQ(invariant_name(Invariant::kMetastabilityEscape), "meta-escape");
+  EXPECT_STREQ(invariant_name(Invariant::kClockPeriod), "clock-period");
+  EXPECT_STREQ(invariant_name(Invariant::kDeadlock), "deadlock");
+  EXPECT_STREQ(invariant_name(Invariant::kLivelock), "livelock");
+}
+
+TEST(Violation, ToStringCarriesEveryField) {
+  const Violation v = make(Invariant::kTokenRing, 100, 7);
+  const std::string s = v.to_string();
+  EXPECT_NE(s.find("token-ring"), std::string::npos) << s;
+  EXPECT_NE(s.find("fig3.ptok"), std::string::npos) << s;
+  EXPECT_NE(s.find("2 tokens"), std::string::npos) << s;
+  EXPECT_NE(s.find("exactly 1 circulating token"), std::string::npos) << s;
+  EXPECT_NE(s.find("[txn 7]"), std::string::npos) << s;
+}
+
+TEST(Violation, ToStringOmitsUnknownTxn) {
+  const Violation v = make(Invariant::kOverflow);
+  EXPECT_EQ(v.to_string().find("txn"), std::string::npos);
+}
+
+TEST(Violation, ToJsonEscapesAndTagsFields) {
+  Violation v = make(Invariant::kBundledData, 42, 3);
+  v.site = "a\"b";
+  const std::string j = v.to_json();
+  EXPECT_NE(j.find("\"invariant\": \"bundled-data\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"t\": 42"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"txn\": 3"), std::string::npos) << j;
+  EXPECT_NE(j.find("a\\\"b"), std::string::npos) << j;
+}
+
+TEST(ProtocolViolationError, CarriesTheViolationAndDerivesSimulationError) {
+  const Violation v = make(Invariant::kUnderflow, 9, 5);
+  ProtocolViolationError e(v);
+  EXPECT_EQ(e.violation().invariant, Invariant::kUnderflow);
+  EXPECT_EQ(e.violation().txn, 5u);
+  EXPECT_NE(std::string(e.what()).find("protocol violation"),
+            std::string::npos);
+  // Catchable at every level of the hierarchy campaign supervision uses.
+  const SimulationError& base = e;
+  EXPECT_NE(std::string(base.what()).find("underflow"), std::string::npos);
+}
+
+TEST(Hub, DefaultPolicyRecordsAndCounts) {
+  Hub hub;
+  hub.report(make(Invariant::kTokenRing));
+  hub.report(make(Invariant::kOverflow));
+  EXPECT_EQ(hub.total(), 2u);
+  EXPECT_EQ(hub.count(Invariant::kTokenRing), 1u);
+  EXPECT_EQ(hub.count(Invariant::kOverflow), 1u);
+  EXPECT_EQ(hub.count(Invariant::kUnderflow), 0u);
+  ASSERT_EQ(hub.violations().size(), 2u);
+  EXPECT_EQ(hub.violations()[0].invariant, Invariant::kTokenRing);
+}
+
+TEST(Hub, CountPolicySkipsTheLogButKeepsTotals) {
+  Hub hub;
+  hub.set_policy(Policy::kCount);
+  hub.report(make(Invariant::kTokenRing));
+  EXPECT_EQ(hub.total(), 1u);
+  EXPECT_EQ(hub.count(Invariant::kTokenRing), 1u);
+  EXPECT_TRUE(hub.violations().empty());
+}
+
+TEST(Hub, ThrowPolicyRecordsFirstThenThrows) {
+  Hub hub;
+  hub.set_policy(Policy::kThrow);
+  try {
+    hub.report(make(Invariant::kHandshakeOrder, 77));
+    FAIL() << "expected ProtocolViolationError";
+  } catch (const ProtocolViolationError& e) {
+    EXPECT_EQ(e.violation().invariant, Invariant::kHandshakeOrder);
+    EXPECT_EQ(e.violation().time, 77u);
+  }
+  // The fatal finding is in the post-mortem log too.
+  ASSERT_EQ(hub.violations().size(), 1u);
+  EXPECT_EQ(hub.count(Invariant::kHandshakeOrder), 1u);
+}
+
+TEST(Hub, PerInvariantOverrideBeatsTheDefault) {
+  Hub hub;
+  hub.set_policy(Policy::kCount);
+  hub.set_policy(Invariant::kTokenRing, Policy::kThrow);
+  EXPECT_EQ(hub.policy_for(Invariant::kTokenRing), Policy::kThrow);
+  EXPECT_EQ(hub.policy_for(Invariant::kOverflow), Policy::kCount);
+  hub.report(make(Invariant::kOverflow));  // counted, no throw
+  EXPECT_THROW(hub.report(make(Invariant::kTokenRing)),
+               ProtocolViolationError);
+}
+
+TEST(Hub, LogCapBoundsMemoryWhileCountingContinues) {
+  Hub hub;
+  hub.set_max_log(2);
+  for (int i = 0; i < 5; ++i) hub.report(make(Invariant::kTokenRing));
+  EXPECT_EQ(hub.violations().size(), 2u);
+  EXPECT_EQ(hub.count(Invariant::kTokenRing), 5u);
+  EXPECT_EQ(hub.total(), 5u);
+}
+
+TEST(Hub, MetricsSinkCountsPerSiteAndInvariant) {
+  Hub hub;
+  metrics::Registry reg;
+  hub.set_metrics(&reg);
+  hub.report(make(Invariant::kTokenRing));
+  hub.report(make(Invariant::kTokenRing));
+  const metrics::Counter* c =
+      reg.find_counter("fig3.ptok", "violation.token-ring");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 2u);
+}
+
+TEST(Hub, ReportSinkMirrorsRecordedViolations) {
+  Hub hub;
+  sim::Report rep;
+  hub.set_report(&rep);
+  hub.report(make(Invariant::kBundledData, 55));
+  EXPECT_EQ(rep.count("verify-bundled-data"), 1u);
+  EXPECT_EQ(rep.failure_count(), 1u);  // Severity::kViolation
+  ASSERT_EQ(rep.entries().size(), 1u);
+  EXPECT_EQ(rep.entries()[0].severity, sim::Severity::kViolation);
+  // kCount policy stays out of the report.
+  hub.set_policy(Policy::kCount);
+  hub.report(make(Invariant::kBundledData));
+  EXPECT_EQ(rep.count("verify-bundled-data"), 1u);
+}
+
+TEST(Hub, ClearDropsLogAndCountersButKeepsPolicies) {
+  Hub hub;
+  hub.set_policy(Invariant::kTokenRing, Policy::kThrow);
+  hub.set_policy(Policy::kCount);
+  hub.report(make(Invariant::kOverflow));
+  hub.clear();
+  EXPECT_EQ(hub.total(), 0u);
+  EXPECT_EQ(hub.count(Invariant::kOverflow), 0u);
+  EXPECT_TRUE(hub.violations().empty());
+  EXPECT_EQ(hub.policy_for(Invariant::kTokenRing), Policy::kThrow);
+  EXPECT_EQ(hub.policy_for(Invariant::kOverflow), Policy::kCount);
+}
+
+TEST(Hub, ToJsonListsTotalsCountsAndLog) {
+  Hub hub;
+  hub.report(make(Invariant::kTokenRing, 10));
+  hub.report(make(Invariant::kOverflow, 20));
+  const std::string j = hub.to_json();
+  EXPECT_NE(j.find("\"total\": 2"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"token-ring\": 1"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"overflow\": 1"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"violations\": ["), std::string::npos) << j;
+}
+
+TEST(Hub, ArmWiresTheSimulationAndItsReport) {
+  sim::Simulation sim(1);
+  EXPECT_EQ(sim.monitors(), nullptr);
+  Hub hub;
+  hub.arm(sim);
+  EXPECT_EQ(sim.monitors(), &hub);
+  hub.report(make(Invariant::kDeadlock, 5));
+  EXPECT_EQ(sim.report().count("verify-deadlock"), 1u);
+  Hub::disarm(sim);
+  EXPECT_EQ(sim.monitors(), nullptr);
+}
+
+TEST(Hub, SimulationResetDisarmsTheHub) {
+  sim::Simulation sim(1);
+  Hub hub;
+  hub.arm(sim);
+  sim.reset(2);
+  EXPECT_EQ(sim.monitors(), nullptr);
+}
+
+TEST(Hub, ClockToleranceDefaultsToOnePercent) {
+  Hub hub;
+  EXPECT_DOUBLE_EQ(hub.clock_tolerance(), 0.01);
+  hub.set_clock_tolerance(0.25);
+  EXPECT_DOUBLE_EQ(hub.clock_tolerance(), 0.25);
+}
+
+}  // namespace
+}  // namespace mts::verify
