@@ -3,6 +3,12 @@
 // synchronous system bus through the async-sync FIFO -- the paper's
 // Section 4 design doing the job it was built for.
 //
+// The system is declared as a builder::Design -- an external async node for
+// the DSP, an edge carrying the FifoConfig, a generated consuming sink --
+// and elaborate() inserts the async-sync FIFO, the bus-side driver/monitor
+// pair and the scoreboard. Only the DSP behaviour itself is hand-written,
+// against the handshake port the elaborator exposes.
+//
 // Demonstrates:
 //   - the async put interface absorbing an irregular producer (the FIFO
 //     simply withholds put_ack while full),
@@ -13,9 +19,8 @@
 //   $ ./example_async_dsp_bridge
 #include <cstdio>
 
-#include "bfm/bfm.hpp"
+#include "builder/builder.hpp"
 #include "fifo/fifo.hpp"
-#include "sync/clock.hpp"
 
 namespace {
 
@@ -27,14 +32,14 @@ using sim::Time;
 /// a block filter draining its pipeline).
 class SelfTimedDsp {
  public:
-  SelfTimedDsp(sim::Simulation& sim, fifo::AsyncSyncFifo& fifo,
+  SelfTimedDsp(sim::Simulation& sim, builder::HandshakePort port,
                bfm::Scoreboard& sb)
-      : sim_(sim), fifo_(fifo), sb_(sb) {
-    fifo_.put_ack().on_change([this](bool, bool now) {
+      : sim_(sim), port_(port), sb_(sb) {
+    port_.ack->on_change([this](bool, bool now) {
       if (now) {
-        sb_.push(fifo_.put_data().read());
+        sb_.push(port_.data->read());
         ++produced_;
-        fifo_.put_req().write(false, 150, sim::DelayKind::kTransport);
+        port_.req->write(false, 150, sim::DelayKind::kTransport);
       } else {
         schedule_next();
       }
@@ -54,12 +59,12 @@ class SelfTimedDsp {
   void emit() {
     // A toy FIR-ish value so the payload is recognizably "computed".
     state_ = (state_ * 5 + 7) & 0xFFFF;
-    fifo_.put_data().set(state_);
-    fifo_.put_req().write(true, 150, sim::DelayKind::kTransport);
+    port_.data->set(state_);
+    port_.req->write(true, 150, sim::DelayKind::kTransport);
   }
 
   sim::Simulation& sim_;
-  fifo::AsyncSyncFifo& fifo_;
+  builder::HandshakePort port_;
   bfm::Scoreboard& sb_;
   std::uint64_t state_ = 1;
   std::uint64_t produced_ = 0;
@@ -73,32 +78,38 @@ int main() {
   fifo::FifoConfig cfg;
   cfg.capacity = 8;
   cfg.width = 16;
-
   const Time bus_period = fifo::SyncGetSide::min_period(cfg) * 5 / 4;
-  sync::Clock clk_bus(sim, "clk_bus", {bus_period, 4 * bus_period, 0.5, 0});
 
-  fifo::AsyncSyncFifo bridge(sim, "bridge", cfg, clk_bus.out());
+  builder::Design d("async_dsp_bridge");
+  const builder::DomainId bus_dom =
+      d.domain("clk_bus", {bus_period, 4 * bus_period, 0.5, 0});
+  const builder::NodeId dsp =
+      d.external("dsp", {builder::Design::async_out("put", 16)});
+  const builder::NodeId bus =
+      d.sink("bus", builder::Design::sync_in("in", bus_dom, 16));
+  builder::LinkOptions opt;
+  opt.capacity = 8;
+  opt.controller = fifo::ControllerKind::kFifo;
+  const builder::EdgeId bridge = d.connect(dsp, "put", bus, "in", opt, "bridge");
 
-  bfm::Scoreboard sb(sim, "sb");
-  SelfTimedDsp dsp(sim, bridge, sb);
-  bfm::SyncGetDriver bus(sim, "bus", clk_bus.out(), bridge.req_get(), cfg.dm,
-                         {1.0, 0});
-  bfm::GetMonitor bus_mon(sim, clk_bus.out(), bridge.valid_get(),
-                          bridge.data_get(), sb);
+  auto elab = builder::elaborate(sim, d);
+  SelfTimedDsp core(sim, elab->handshake_port(dsp, "put"),
+                    elab->scoreboard(bus));
 
   sim.run_until(4 * bus_period + 3000 * bus_period);
 
+  const fifo::AsyncSyncFifo& fifo = *elab->edge(bridge).as_fifo;
   std::printf("async DSP -> %0.f MHz synchronous bus via async-sync FIFO\n",
               sim::period_to_mhz(bus_period));
   std::printf("  results produced   : %llu\n",
-              static_cast<unsigned long long>(dsp.produced()));
+              static_cast<unsigned long long>(core.produced()));
   std::printf("  results delivered  : %llu\n",
-              static_cast<unsigned long long>(bus_mon.dequeued()));
+              static_cast<unsigned long long>(elab->sink_received(bus)));
   std::printf("  order violations   : %llu\n",
-              static_cast<unsigned long long>(sb.errors()));
-  std::printf("  FIFO resident      : %u\n", bridge.occupancy());
-  const bool ok = sb.errors() == 0 && bus_mon.dequeued() > 500 &&
-                  bridge.underflow_count() == 0;
+              static_cast<unsigned long long>(elab->scoreboard(bus).errors()));
+  std::printf("  FIFO resident      : %u\n", fifo.occupancy());
+  const bool ok = elab->scoreboard(bus).errors() == 0 &&
+                  elab->sink_received(bus) > 500 && fifo.underflow_count() == 0;
   std::printf("  %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -7,6 +7,12 @@
 //   async producer --[3 ARS]--> ASRS --[3 SRS @ clk_bus]-->
 //     --[1 SRS @ clk_bus]--> MCRS --[2 SRS @ clk_display]--> sink
 //
+// The whole topology is ~15 lines of builder::Design declarations: an
+// async source, a repeater in the bus domain, a stalling sink, and two
+// annotated edges. elaborate() selects the Fig. 14 async-sync link and the
+// Fig. 11a mixed-clock link from the port annotations, wires the glue and
+// joins the trace streams automatically.
+//
 // Demonstrates:
 //   - the paper's headline combination: mixed async/sync interfaces AND
 //     multi-cycle interconnect AND a mixed-clock crossing, solved together,
@@ -17,19 +23,19 @@
 //     each packet from the asynchronous put all the way to valid_get in the
 //     display domain; spans land in soc_trace.json (load it in
 //     https://ui.perfetto.dev), per-instance latency/occupancy metrics and
-//     the kernel's hottest-callbacks table land in soc_report.json.
+//     the kernel's hottest-callbacks table land in soc_report.json, and the
+//     elaborated topology itself in soc_design.json / soc_design.dot.
 //
 //   $ ./example_latency_insensitive_soc
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <functional>
+#include <memory>
 
-#include "bfm/bfm.hpp"
+#include "builder/builder.hpp"
 #include "fifo/interface_sides.hpp"
-#include "gates/combinational.hpp"
-#include "lip/lip.hpp"
 #include "metrics/registry.hpp"
-#include "sync/clock.hpp"
 
 int main() {
   using namespace mts;
@@ -48,42 +54,43 @@ int main() {
   obs.arm(sim);
   registry.bind(sim.report());
 
-  fifo::FifoConfig cfg;
-  cfg.capacity = 8;
-  cfg.width = 16;
-  cfg.controller = fifo::ControllerKind::kRelayStation;
+  fifo::FifoConfig probe;
+  probe.capacity = 8;
+  probe.width = 16;
 
-  const Time base = std::max(fifo::SyncGetSide::min_period(cfg),
-                             fifo::SyncPutSide::min_period(cfg));
+  const Time base = std::max(fifo::SyncGetSide::min_period(probe),
+                             fifo::SyncPutSide::min_period(probe));
   const Time bus_period = base * 5 / 4;
   const Time disp_period = base * 7 / 4;  // unrelated frequency: true CDC
-  sync::Clock clk_bus(sim, "clk_bus", {bus_period, 4 * bus_period, 0.5, 0});
-  sync::Clock clk_disp(sim, "clk_display",
-                       {disp_period, 4 * disp_period, 0.5, 0});
 
-  // Fig. 14: 3 asynchronous relay stations, the ASRS, 3 bus-clock SRS.
-  lip::AsyncSyncLink fuse(sim, "fuse", cfg, clk_bus.out(), /*ars=*/3,
-                          /*srs=*/3);
-  // Fig. 11a: 1 bus-clock SRS, the MCRS, 2 display-clock SRS.
-  lip::MixedClockLink cross(sim, "cross", cfg, clk_bus.out(), clk_disp.out(),
-                            /*left=*/1, /*right=*/2);
+  // --- the whole SoC, declaratively ---
+  builder::Design d("soc");
+  const builder::DomainId bus_dom =
+      d.domain("clk_bus", {bus_period, 4 * bus_period, 0.5, 0});
+  const builder::DomainId disp_dom =
+      d.domain("clk_display", {disp_period, 4 * disp_period, 0.5, 0});
+  const builder::NodeId sensor =
+      d.source("sensor", builder::Design::async_out("out", 16),
+               {/*rate=*/1.0, /*gap=*/0, /*mask=*/0xFFFF});
+  const builder::NodeId glue = d.repeater("glue", bus_dom, 16);
+  const builder::NodeId display =
+      d.sink("display", builder::Design::sync_in("in", disp_dom, 16),
+             {/*stall_rate=*/0.2});
+  builder::LinkOptions fuse_opt;   // Fig. 14: 3 ARS + ASRS + 3 SRS
+  fuse_opt.capacity = 8;
+  fuse_opt.latency_left = 3;
+  fuse_opt.latency_right = 3;
+  d.connect(sensor, "out", glue, "in", fuse_opt, "fuse");
+  builder::LinkOptions cross_opt;  // Fig. 11a: 1 SRS + MCRS + 2 SRS
+  cross_opt.capacity = 8;
+  cross_opt.latency_left = 1;
+  cross_opt.latency_right = 2;
+  d.connect(glue, "out", display, "in", cross_opt, "cross");
 
-  // Glue the two links (same bus clock domain, one gate of wire each way)
-  // and join their trace streams so ids survive the hop.
-  gates::Netlist glue(sim, "glue");
-  glue.add<gates::WordBuf>(sim, glue.qualified("d"), fuse.data_out(),
-                           cross.data_in(), cfg.dm.gate(1));
-  gates::gate_into(glue, "v", gates::GateOp::kBuf, {&fuse.valid_out()},
-                   cross.valid_in(), cfg.dm.gate(1));
-  gates::gate_into(glue, "s", gates::GateOp::kBuf, {&cross.stop_out()},
-                   fuse.stop_in(), cfg.dm.gate(1));
-  trace.link(fuse.last_traced_instance(), cross.first_traced_instance());
-
-  bfm::Scoreboard sb(sim, "sb");
+  auto elab = builder::elaborate(sim, d);
 
   // Bursty asynchronous producer: streams back to back, then idles.
-  bfm::AsyncPutDriver producer(sim, "sensor", fuse.put_req(), fuse.put_ack(),
-                               fuse.put_data(), cfg.dm, 0, 0xFFFF, &sb);
+  bfm::AsyncPutDriver& producer = *elab->node(sensor).async_put;
   auto bursts = std::make_shared<std::uint64_t>(0);
   auto toggle = std::make_shared<std::function<void()>>();
   *toggle = [&sim, &producer, bursts, toggle, bus_period] {
@@ -94,20 +101,17 @@ int main() {
   };
   sim.sched().after(300 * bus_period, [toggle] { (*toggle)(); });
 
-  // Display pipeline: consumes valid packets, stalls 20% of cycles.
-  bfm::RsSink display(sim, "display", clk_disp.out(), cross.data_out(),
-                      cross.valid_out(), cross.stop_in(), cfg.dm, 0.2, sb);
-
   const unsigned horizon_cycles = 3000;
   sim.run_until(4 * bus_period + horizon_cycles * bus_period);
 
+  const bfm::Scoreboard& sb = elab->scoreboard(display);
   std::printf("latency-insensitive link: async sensor -> 3 ARS -> ASRS -> "
               "4 SRS @ %.0f MHz -> MCRS -> 2 SRS @ %.0f MHz -> display\n",
               sim::period_to_mhz(bus_period), sim::period_to_mhz(disp_period));
   std::printf("  packets sent       : %llu\n",
               static_cast<unsigned long long>(producer.completed()));
   std::printf("  packets displayed  : %llu\n",
-              static_cast<unsigned long long>(display.received_valid()));
+              static_cast<unsigned long long>(elab->sink_received(display)));
   std::printf("  in flight at end   : %llu\n",
               static_cast<unsigned long long>(sb.in_flight()));
   std::printf("  order violations   : %llu\n",
@@ -130,15 +134,18 @@ int main() {
 
   trace.write_json("soc_trace.json");
   std::ofstream("soc_report.json") << sim.report().to_json();
-  std::printf("  wrote soc_trace.json (%llu events) and soc_report.json\n",
+  std::ofstream("soc_design.json") << elab->to_json();
+  std::ofstream("soc_design.dot") << elab->to_dot();
+  std::printf("  wrote soc_trace.json (%llu events), soc_report.json, "
+              "soc_design.json and soc_design.dot\n",
               static_cast<unsigned long long>(trace.events_recorded()));
 
   // One id per packet end to end: ids are minted only at the ASRS, so a
   // re-mint anywhere downstream would inflate the count well past `sent`.
   const bool traced_ok =
       trace.transactions() > 500 &&
-      trace.transactions() <= producer.completed() + cfg.capacity;
-  const bool ok = sb.errors() == 0 && display.received_valid() > 500 &&
+      trace.transactions() <= producer.completed() + fuse_opt.capacity;
+  const bool ok = sb.errors() == 0 && elab->sink_received(display) > 500 &&
                   sb.in_flight() < 32 && traced_ok;
   std::printf("  %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

@@ -8,18 +8,19 @@
 //     -> async-sync FIFO                                     [Section 4]
 //   back into the memory domain, where results are checked.
 //
-// The accelerator is clockless: it pulls operands with a 4-phase
-// handshake, "computes" (data-dependent delay), and pushes results with
-// another handshake. End-to-end order and data integrity are verified
-// against the transform the accelerator applies.
+// The topology is declared as a builder::Design: a generated CPU source, a
+// repeater junction in the memory domain, an external node for the
+// clockless accelerator, and a generated checking sink. elaborate()
+// chooses every crossing from the port annotations -- the CPU edge becomes
+// the Fig. 11a mixed-clock link, the accelerator edges become the
+// sync-async and async-sync FIFOs -- and only the accelerator behaviour is
+// hand-written, against the handshake ports the elaborator exposes.
 //
 //   $ ./example_multi_domain_pipeline
 #include <cstdio>
 
-#include "bfm/bfm.hpp"
+#include "builder/builder.hpp"
 #include "fifo/fifo.hpp"
-#include "lip/lip.hpp"
-#include "sync/clock.hpp"
 
 namespace {
 
@@ -34,13 +35,13 @@ constexpr std::uint64_t transform(std::uint64_t x) {
 /// other, with a data-dependent compute delay in between.
 class Accelerator {
  public:
-  Accelerator(sim::Simulation& sim, fifo::SyncAsyncFifo& in,
-              fifo::AsyncSyncFifo& out)
+  Accelerator(sim::Simulation& sim, builder::HandshakePort in,
+              builder::HandshakePort out)
       : sim_(sim), in_(in), out_(out) {
-    in_.get_ack().on_change([this](bool, bool now) {
+    in_.ack->on_change([this](bool, bool now) {
       if (now) {
-        operand_ = in_.get_data().read();
-        in_.get_req().write(false, 150, sim::DelayKind::kTransport);
+        operand_ = in_.data->read();
+        in_.req->write(false, 150, sim::DelayKind::kTransport);
       } else {
         // Compute: longer for larger operands (data-dependent timing --
         // the reason this block is self-timed).
@@ -48,9 +49,9 @@ class Accelerator {
         sim_.sched().after(compute, [this] { push_result(); });
       }
     });
-    out_.put_ack().on_change([this](bool, bool now) {
+    out_.ack->on_change([this](bool, bool now) {
       if (now) {
-        out_.put_req().write(false, 150, sim::DelayKind::kTransport);
+        out_.req->write(false, 150, sim::DelayKind::kTransport);
       } else {
         ++completed_;
         pull_next();
@@ -62,17 +63,15 @@ class Accelerator {
   std::uint64_t completed() const { return completed_; }
 
  private:
-  void pull_next() {
-    in_.get_req().write(true, 150, sim::DelayKind::kTransport);
-  }
+  void pull_next() { in_.req->write(true, 150, sim::DelayKind::kTransport); }
   void push_result() {
-    out_.put_data().set(transform(operand_));
-    out_.put_req().write(true, 150, sim::DelayKind::kTransport);
+    out_.data->set(transform(operand_));
+    out_.req->write(true, 150, sim::DelayKind::kTransport);
   }
 
   sim::Simulation& sim_;
-  fifo::SyncAsyncFifo& in_;
-  fifo::AsyncSyncFifo& out_;
+  builder::HandshakePort in_;
+  builder::HandshakePort out_;
   std::uint64_t operand_ = 0;
   std::uint64_t completed_ = 0;
 };
@@ -82,67 +81,63 @@ class Accelerator {
 int main() {
   sim::Simulation sim(21);
 
-  fifo::FifoConfig link_cfg;
-  link_cfg.capacity = 8;
-  link_cfg.width = 16;
-  link_cfg.controller = fifo::ControllerKind::kRelayStation;
-
-  fifo::FifoConfig fifo_cfg;
-  fifo_cfg.capacity = 8;
-  fifo_cfg.width = 16;
+  fifo::FifoConfig probe;
+  probe.capacity = 8;
+  probe.width = 16;
 
   // Clocks: CPU fast, memory domain ~1.6x slower.
-  const Time mem_p =
-      std::max(fifo::SyncPutSide::min_period(fifo_cfg) * 5 / 4,
-               fifo::SyncGetSide::min_period(link_cfg) * 5 / 4);
-  const Time cpu_p = std::max(fifo::SyncPutSide::min_period(link_cfg) * 9 / 8,
+  const Time mem_p = std::max(fifo::SyncPutSide::min_period(probe) * 5 / 4,
+                              fifo::SyncGetSide::min_period(probe) * 5 / 4);
+  const Time cpu_p = std::max(fifo::SyncPutSide::min_period(probe) * 9 / 8,
                               mem_p * 5 / 8);
-  sync::Clock clk_cpu(sim, "clk_cpu", {cpu_p, 4 * mem_p, 0.5, 0});
-  sync::Clock clk_mem(sim, "clk_mem", {mem_p, 4 * mem_p + 431, 0.5, 0});
 
-  // Stage 1: CPU -> memory domain over a latency-insensitive link.
-  lip::MixedClockLink link(sim, "link", link_cfg, clk_cpu.out(), clk_mem.out(),
-                           /*left=*/2, /*right=*/2);
+  builder::Design d("multi_domain_pipeline");
+  const builder::DomainId cpu_dom =
+      d.domain("clk_cpu", {cpu_p, 4 * mem_p, 0.5, 0});
+  const builder::DomainId mem_dom =
+      d.domain("clk_mem", {mem_p, 4 * mem_p + 431, 0.5, 0});
 
-  // Stage 2: memory domain -> accelerator (sync put, async get).
-  fifo::SyncAsyncFifo to_acc(sim, "to_acc", fifo_cfg, clk_mem.out());
-  // Stage 3: accelerator -> memory domain (async put, sync get).
-  fifo::AsyncSyncFifo from_acc(sim, "from_acc", fifo_cfg, clk_mem.out());
-  Accelerator acc(sim, to_acc, from_acc);
+  const builder::NodeId cpu =
+      d.source("cpu", builder::Design::sync_out("out", cpu_dom, 16),
+               {/*rate=*/0.7, /*gap=*/0, /*mask=*/0xFFFF});
+  const builder::NodeId mem_j = d.repeater("mem_j", mem_dom, 16);
+  const builder::NodeId acc =
+      d.external("acc", {builder::Design::async_in("operand", 16),
+                         builder::Design::async_out("result", 16)});
+  const builder::NodeId sink =
+      d.sink("sink", builder::Design::sync_in("in", mem_dom, 16));
 
-  // Glue in the memory domain: the link's packet output feeds to_acc's put
-  // interface; back-pressure returns as the link's stopIn.
-  gates::Netlist glue(sim, "glue");
-  gates::gate_into(glue, "reqWire", gates::GateOp::kBuf, {&link.valid_out()},
-                   to_acc.req_put(), link_cfg.dm.gate(1));
-  glue.add<gates::WordBuf>(sim, "dataWire", link.data_out(), to_acc.data_put(),
-                           link_cfg.dm.gate(1));
-  gates::gate_into(glue, "stopWire", gates::GateOp::kBuf, {&to_acc.full()},
-                   link.stop_in(), link_cfg.dm.gate(1));
+  // Stage 1: CPU -> memory domain over a latency-insensitive link
+  // (elaborates to the Fig. 11a SRS + MCRS + SRS chain).
+  builder::LinkOptions li;
+  li.capacity = 8;
+  li.latency_left = 2;
+  li.latency_right = 2;
+  d.connect(cpu, "out", mem_j, "in", li, "link");
 
-  // Traffic: the CPU emits counting operands (1, 2, 3, ... masked).
-  bfm::Scoreboard raw_sb(sim, "raw_sb");  // RsSource's own bookkeeping
-  bfm::RsSource cpu(sim, "cpu", clk_cpu.out(), link.data_in(), link.valid_in(),
-                    link.stop_out(), link_cfg.dm, 0.7, 0xFFFF, raw_sb);
+  // Stage 2: memory domain -> accelerator (sync-async FIFO + LI glue).
+  builder::LinkOptions push;
+  push.capacity = 8;
+  d.connect(mem_j, "out", acc, "operand", push, "to_acc");
+
+  // Stage 3: accelerator -> memory domain (async-sync FIFO, on demand).
+  builder::LinkOptions pull;
+  pull.capacity = 8;
+  pull.controller = fifo::ControllerKind::kFifo;
+  d.connect(acc, "result", sink, "in", pull, "from_acc");
+
+  auto elab = builder::elaborate(sim, d);
+  Accelerator core(sim, elab->handshake_port(acc, "operand"),
+                   elab->handshake_port(acc, "result"));
 
   // End-to-end checking: expectations carry the accelerator's transform,
   // mirrored in lockstep with the CPU's confirmed sends.
-  bfm::Scoreboard end_sb(sim, "end_sb");
+  bfm::Scoreboard& end_sb = elab->scoreboard(sink);
   std::uint64_t mirrored = 0;
-  sim::on_rise(clk_cpu.out(), [&] {
-    while (mirrored < cpu.sent_valid()) {
+  sim::on_rise(elab->clock(cpu_dom).out(), [&] {
+    while (mirrored < elab->source_sent(cpu)) {
       ++mirrored;
       end_sb.push(transform(mirrored & 0xFFFF));
-    }
-  });
-
-  bfm::SyncGetDriver sink_req(sim, "sink", clk_mem.out(), from_acc.req_get(),
-                              fifo_cfg.dm, {1.0, 0});
-  std::uint64_t results = 0;
-  sim::on_rise(clk_mem.out(), [&] {
-    if (from_acc.valid_get().read()) {
-      end_sb.pop_check(from_acc.data_get().read());
-      ++results;
     }
   });
 
@@ -153,14 +148,14 @@ int main() {
               "@%.0f MHz -> async accelerator -> mem domain\n",
               sim::period_to_mhz(cpu_p), sim::period_to_mhz(mem_p));
   std::printf("  operands sent       : %llu\n",
-              static_cast<unsigned long long>(cpu.sent_valid()));
+              static_cast<unsigned long long>(elab->source_sent(cpu)));
   std::printf("  results computed    : %llu\n",
-              static_cast<unsigned long long>(acc.completed()));
+              static_cast<unsigned long long>(core.completed()));
   std::printf("  results delivered   : %llu\n",
-              static_cast<unsigned long long>(results));
+              static_cast<unsigned long long>(elab->sink_received(sink)));
   std::printf("  end-to-end mismatches: %llu\n",
               static_cast<unsigned long long>(end_sb.errors()));
-  const bool ok = end_sb.errors() == 0 && results > 500;
+  const bool ok = end_sb.errors() == 0 && elab->sink_received(sink) > 500;
   std::printf("  %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -100,4 +100,42 @@ void AsyncGetDriver::issue() {
   get_req_.write(true, dm_.gate(1), sim::DelayKind::kTransport);
 }
 
+AsyncAckSink::AsyncAckSink(sim::Simulation& sim, std::string name,
+                           sim::Wire& req, sim::Wire& ack, sim::Word& data,
+                           const gates::DelayModel& dm, sim::Time gap,
+                           Scoreboard* sb)
+    : sim_(sim), req_(req), ack_(ack), data_(data), dm_(dm), gap_(gap),
+      sb_(sb) {
+  (void)name;
+  req_.on_change([this](bool, bool now) {
+    if (now) {
+      last_req_ = sim_.now();
+      if (enabled_) {
+        accept();
+      } else {
+        pending_ = true;  // withhold ack until re-enabled (back-pressure)
+      }
+    } else {
+      // req-: complete the 4-phase reset.
+      ack_.write(false, dm_.gate(1), sim::DelayKind::kTransport);
+    }
+  });
+}
+
+void AsyncAckSink::set_enabled(bool on) {
+  enabled_ = on;
+  if (enabled_ && pending_) {
+    pending_ = false;
+    accept();
+  }
+}
+
+void AsyncAckSink::accept() {
+  // The bundling convention guarantees data is stable one matched delay
+  // before req+; sample it now, then acknowledge after the consumer gap.
+  if (sb_ != nullptr) sb_->pop_check(data_.read());
+  ++completed_;
+  ack_.write(true, gap_ + dm_.gate(1), sim::DelayKind::kTransport);
+}
+
 }  // namespace mts::bfm

@@ -91,4 +91,39 @@ class AsyncGetDriver {
   Scoreboard* sb_;
 };
 
+/// Asynchronous push-side receiver: answers a PRODUCER-driven req/ack
+/// channel (a micropipeline output, a bare bundled-data link) rather than
+/// pulling like AsyncGetDriver. Checks data against the scoreboard on
+/// req+, acknowledges after `gap`, and completes the 4-phase reset.
+class AsyncAckSink {
+ public:
+  AsyncAckSink(sim::Simulation& sim, std::string name, sim::Wire& req,
+               sim::Wire& ack, sim::Word& data, const gates::DelayModel& dm,
+               sim::Time gap, Scoreboard* sb);
+
+  AsyncAckSink(const AsyncAckSink&) = delete;
+  AsyncAckSink& operator=(const AsyncAckSink&) = delete;
+
+  /// Stops acknowledging (back-pressure: the producer stalls on req+).
+  /// Re-enabling answers a pending request immediately.
+  void set_enabled(bool on);
+  std::uint64_t completed() const noexcept { return completed_; }
+  sim::Time last_req_time() const noexcept { return last_req_; }
+
+ private:
+  void accept();
+
+  sim::Simulation& sim_;
+  sim::Wire& req_;
+  sim::Wire& ack_;
+  sim::Word& data_;
+  gates::DelayModel dm_;
+  sim::Time gap_;
+  std::uint64_t completed_ = 0;
+  sim::Time last_req_ = 0;
+  bool enabled_ = true;
+  bool pending_ = false;
+  Scoreboard* sb_;
+};
+
 }  // namespace mts::bfm

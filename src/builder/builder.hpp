@@ -1,0 +1,10 @@
+// Umbrella header for the declarative system builder.
+#pragma once
+
+#include "builder/bus.hpp"         // IWYU pragma: export
+#include "builder/design.hpp"      // IWYU pragma: export
+#include "builder/elaborate.hpp"   // IWYU pragma: export
+#include "builder/gearbox.hpp"     // IWYU pragma: export
+#include "builder/router.hpp"      // IWYU pragma: export
+#include "builder/topologies.hpp"  // IWYU pragma: export
+#include "builder/traffic.hpp"     // IWYU pragma: export

@@ -1,0 +1,80 @@
+#include "builder/bus.hpp"
+
+#include "builder/traffic.hpp"
+#include "sim/report.hpp"
+
+namespace mts::builder {
+
+BusFabric::BusFabric(sim::Simulation& sim, std::string name, sim::Wire& clk,
+                     std::vector<InPort> inputs, std::vector<OutPort> outputs,
+                     const gates::DelayModel& dm)
+    : sim_(sim),
+      name_(std::move(name)),
+      clk_to_q_(dm.flop.clk_to_q),
+      in_(std::move(inputs)),
+      out_(std::move(outputs)),
+      capture_(in_.size(), 0),
+      capture_full_(in_.size(), false),
+      prev_stop_(in_.size(), false),
+      held_(out_.size(), 0),
+      held_full_(out_.size(), false) {
+  clk.on_rise([this] { on_edge(); });
+}
+
+unsigned BusFabric::occupancy() const {
+  unsigned n = 0;
+  for (const bool c : capture_full_) n += c ? 1 : 0;
+  for (const bool h : held_full_) n += h ? 1 : 0;
+  return n;
+}
+
+void BusFabric::on_edge() {
+  // 1. Retire consumer registers whose downstream stop was low.
+  for (std::size_t o = 0; o < out_.size(); ++o) {
+    if (held_full_[o] && !out_[o].stop->read()) held_full_[o] = false;
+  }
+
+  // 2. Capture producer arrivals (transfer iff registered stop was low).
+  for (std::size_t i = 0; i < in_.size(); ++i) {
+    if (!prev_stop_[i] && in_[i].valid->read()) {
+      capture_[i] = in_[i].data->read();
+      capture_full_[i] = true;
+    }
+  }
+
+  // 3. Arbitration: one grant per cycle, round-robin over occupied capture
+  //    registers whose destination output register is free.
+  const std::size_t n = in_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (rr_ + k) % n;
+    if (!capture_full_[i]) continue;
+    const unsigned dest = PacketFormat::dest(capture_[i]);
+    if (dest >= out_.size()) {
+      capture_full_[i] = false;
+      ++misroutes_;
+      sim_.report().add(sim_.now(), sim::Severity::kWarning, "bus_fabric",
+                        name_ + ": dest " + std::to_string(dest) +
+                            " past the last output; packet dropped");
+      continue;  // the grant goes to the next contender this cycle
+    }
+    if (held_full_[dest]) continue;
+    held_[dest] = capture_[i];
+    held_full_[dest] = true;
+    capture_full_[i] = false;
+    ++granted_;
+    rr_ = (i + 1) % n;
+    break;
+  }
+
+  // 4. Drive registered outputs and back-pressure.
+  for (std::size_t o = 0; o < out_.size(); ++o) {
+    out_[o].valid->write(held_full_[o], clk_to_q_, sim::DelayKind::kInertial);
+    out_[o].data->write(held_[o], clk_to_q_, sim::DelayKind::kInertial);
+  }
+  for (std::size_t i = 0; i < in_.size(); ++i) {
+    prev_stop_[i] = capture_full_[i];
+    in_[i].stop->write(capture_full_[i], clk_to_q_, sim::DelayKind::kInertial);
+  }
+}
+
+}  // namespace mts::builder

@@ -1,0 +1,67 @@
+// Multi-drop shared bus with round-robin arbitration for the generated
+// arbitrated-bus topology.
+//
+// Synchronous LI component: each producer input has a 1-deep capture
+// register with registered stop back-pressure; each consumer output has a
+// 1-deep hold register drained under the LI convention. One bus grant per
+// cycle: a round-robin arbiter scans the occupied input registers and moves
+// the first packet whose destination output (PacketFormat dest = output
+// index) is free -- the single shared transport resource that makes it a
+// bus rather than a crossbar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gates/delay_model.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::builder {
+
+class BusFabric {
+ public:
+  struct InPort {
+    sim::Word* data;
+    sim::Wire* valid;
+    sim::Wire* stop;  ///< driven by the bus (back-pressure out)
+  };
+  struct OutPort {
+    sim::Word* data;
+    sim::Wire* valid;
+    sim::Wire* stop;  ///< read by the bus (downstream back-pressure)
+  };
+
+  BusFabric(sim::Simulation& sim, std::string name, sim::Wire& clk,
+            std::vector<InPort> inputs, std::vector<OutPort> outputs,
+            const gates::DelayModel& dm);
+
+  BusFabric(const BusFabric&) = delete;
+  BusFabric& operator=(const BusFabric&) = delete;
+
+  std::uint64_t granted() const noexcept { return granted_; }
+  /// Packets addressed past the last output (dropped).
+  std::uint64_t misroutes() const noexcept { return misroutes_; }
+  unsigned occupancy() const;
+
+ private:
+  void on_edge();
+
+  sim::Simulation& sim_;
+  std::string name_;
+  sim::Time clk_to_q_;
+  std::vector<InPort> in_;
+  std::vector<OutPort> out_;
+
+  std::vector<std::uint64_t> capture_;  ///< per input, 1-deep
+  std::vector<bool> capture_full_;
+  std::vector<bool> prev_stop_;
+  std::vector<std::uint64_t> held_;     ///< per output, 1-deep
+  std::vector<bool> held_full_;
+  std::size_t rr_ = 0;                  ///< arbiter scan start
+  std::uint64_t granted_ = 0;
+  std::uint64_t misroutes_ = 0;
+};
+
+}  // namespace mts::builder

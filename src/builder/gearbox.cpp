@@ -1,0 +1,98 @@
+#include "builder/gearbox.hpp"
+
+namespace mts::builder {
+
+namespace {
+std::uint64_t width_mask(unsigned bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+}  // namespace
+
+Serializer::Serializer(sim::Simulation& sim, std::string name, sim::Wire& clk,
+                       unsigned factor, unsigned link_width, sim::Word& in_data,
+                       sim::Wire& in_valid, sim::Wire& stop_out,
+                       sim::Word& out_data, sim::Wire& out_valid,
+                       sim::Wire& stop_in, const gates::DelayModel& dm)
+    : in_data_(in_data),
+      in_valid_(in_valid),
+      stop_out_(stop_out),
+      out_data_(out_data),
+      out_valid_(out_valid),
+      stop_in_(stop_in),
+      clk_to_q_(dm.flop.clk_to_q),
+      factor_(factor),
+      link_width_(link_width),
+      chunk_mask_(width_mask(link_width)) {
+  (void)sim;
+  (void)name;
+  clk.on_rise([this] { on_edge(); });
+}
+
+void Serializer::on_edge() {
+  // Downstream consumed the chunk we showed iff stop_in was low during the
+  // cycle ending at this edge.
+  if (left_ > 0 && !stop_in_.read()) {
+    word_ >>= link_width_;
+    --left_;
+    ++chunks_out_;
+  }
+  // Upstream delivered a word at this edge iff our registered stop_out was
+  // low; stop stays up while a word drains, so left_ is 0 here.
+  if (!prev_stop_ && in_valid_.read()) {
+    word_ = in_data_.read();
+    left_ = factor_;
+    ++words_in_;
+  }
+  const bool busy = left_ > 0;
+  prev_stop_ = busy;
+  stop_out_.write(busy, clk_to_q_, sim::DelayKind::kInertial);
+  out_valid_.write(busy, clk_to_q_, sim::DelayKind::kInertial);
+  out_data_.write(word_ & chunk_mask_, clk_to_q_, sim::DelayKind::kInertial);
+}
+
+Deserializer::Deserializer(sim::Simulation& sim, std::string name,
+                           sim::Wire& clk, unsigned factor,
+                           unsigned link_width, sim::Word& in_data,
+                           sim::Wire& in_valid, sim::Wire& stop_out,
+                           sim::Word& out_data, sim::Wire& out_valid,
+                           sim::Wire& stop_in, const gates::DelayModel& dm)
+    : in_data_(in_data),
+      in_valid_(in_valid),
+      stop_out_(stop_out),
+      out_data_(out_data),
+      out_valid_(out_valid),
+      stop_in_(stop_in),
+      clk_to_q_(dm.flop.clk_to_q),
+      factor_(factor),
+      link_width_(link_width) {
+  (void)sim;
+  (void)name;
+  clk.on_rise([this] { on_edge(); });
+}
+
+void Deserializer::on_edge() {
+  // The staged word we showed was consumed iff stop_in was low.
+  if (staged_full_ && !stop_in_.read()) {
+    staged_full_ = false;
+    ++words_out_;
+  }
+  // A chunk arrived at this edge iff our registered stop_out was low. While
+  // the staging register is occupied stop is up, so a completing word never
+  // finds it full.
+  if (!prev_stop_ && in_valid_.read()) {
+    acc_ |= in_data_.read() << (got_ * link_width_);
+    ++chunks_in_;
+    if (++got_ == factor_) {
+      staged_ = acc_;
+      staged_full_ = true;
+      acc_ = 0;
+      got_ = 0;
+    }
+  }
+  prev_stop_ = staged_full_;
+  stop_out_.write(staged_full_, clk_to_q_, sim::DelayKind::kInertial);
+  out_valid_.write(staged_full_, clk_to_q_, sim::DelayKind::kInertial);
+  out_data_.write(staged_, clk_to_q_, sim::DelayKind::kInertial);
+}
+
+}  // namespace mts::builder

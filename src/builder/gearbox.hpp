@@ -1,0 +1,99 @@
+// Width gearboxes for latency-insensitive links.
+//
+// A wide producer bus crossing a narrow physical link is serialized down to
+// the link width in the producer's clock domain and reassembled in the
+// consumer's domain. Both ends speak the library-wide LI transfer
+// convention: a transfer occurs on a link at a clock edge iff the link's
+// stop wire was low during the cycle ending at that edge.
+//
+// Chunks travel LSB-first; a word of width W over a link of width L takes
+// ceil(W / L) link beats (the factor is integral by Design::check()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gates/delay_model.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::builder {
+
+/// Wide-to-narrow: accepts a W-bit word, emits `factor` L-bit chunks.
+/// Raises stop_out while draining (one word in flight at a time), so
+/// sustained throughput is one word per factor + 2 cycles.
+class Serializer {
+ public:
+  Serializer(sim::Simulation& sim, std::string name, sim::Wire& clk,
+             unsigned factor, unsigned link_width, sim::Word& in_data,
+             sim::Wire& in_valid, sim::Wire& stop_out, sim::Word& out_data,
+             sim::Wire& out_valid, sim::Wire& stop_in,
+             const gates::DelayModel& dm);
+
+  Serializer(const Serializer&) = delete;
+  Serializer& operator=(const Serializer&) = delete;
+
+  std::uint64_t words_in() const noexcept { return words_in_; }
+  std::uint64_t chunks_out() const noexcept { return chunks_out_; }
+
+ private:
+  void on_edge();
+
+  sim::Word& in_data_;
+  sim::Wire& in_valid_;
+  sim::Wire& stop_out_;
+  sim::Word& out_data_;
+  sim::Wire& out_valid_;
+  sim::Wire& stop_in_;
+  sim::Time clk_to_q_;
+  unsigned factor_;
+  unsigned link_width_;
+  std::uint64_t chunk_mask_;
+
+  std::uint64_t word_ = 0;
+  unsigned left_ = 0;          ///< chunks still to emit
+  bool prev_stop_ = false;     ///< registered stop_out we drove last edge
+  std::uint64_t words_in_ = 0;
+  std::uint64_t chunks_out_ = 0;
+};
+
+/// Narrow-to-wide: accumulates `factor` L-bit chunks (LSB-first) into one
+/// W-bit word held in a 1-deep staging register; stop_out rises while a
+/// completed word waits for the consumer.
+class Deserializer {
+ public:
+  Deserializer(sim::Simulation& sim, std::string name, sim::Wire& clk,
+               unsigned factor, unsigned link_width, sim::Word& in_data,
+               sim::Wire& in_valid, sim::Wire& stop_out, sim::Word& out_data,
+               sim::Wire& out_valid, sim::Wire& stop_in,
+               const gates::DelayModel& dm);
+
+  Deserializer(const Deserializer&) = delete;
+  Deserializer& operator=(const Deserializer&) = delete;
+
+  std::uint64_t chunks_in() const noexcept { return chunks_in_; }
+  std::uint64_t words_out() const noexcept { return words_out_; }
+
+ private:
+  void on_edge();
+
+  sim::Word& in_data_;
+  sim::Wire& in_valid_;
+  sim::Wire& stop_out_;
+  sim::Word& out_data_;
+  sim::Wire& out_valid_;
+  sim::Wire& stop_in_;
+  sim::Time clk_to_q_;
+  unsigned factor_;
+  unsigned link_width_;
+
+  std::uint64_t acc_ = 0;
+  unsigned got_ = 0;           ///< chunks accumulated so far
+  std::uint64_t staged_ = 0;
+  bool staged_full_ = false;
+  bool prev_stop_ = false;
+  std::uint64_t chunks_in_ = 0;
+  std::uint64_t words_out_ = 0;
+};
+
+}  // namespace mts::builder

@@ -1,0 +1,120 @@
+#include "builder/router.hpp"
+
+#include "builder/traffic.hpp"
+#include "sim/report.hpp"
+
+namespace mts::builder {
+
+const char* to_string(RouterDir d) noexcept {
+  switch (d) {
+    case RouterDir::kNorth: return "N";
+    case RouterDir::kSouth: return "S";
+    case RouterDir::kEast: return "E";
+    case RouterDir::kWest: return "W";
+    case RouterDir::kLocal: return "L";
+  }
+  return "?";
+}
+
+MeshRouter::MeshRouter(sim::Simulation& sim, std::string name, sim::Wire& clk,
+                       unsigned x, unsigned y, unsigned queue_depth,
+                       std::vector<InPort> inputs, std::vector<OutPort> outputs,
+                       const gates::DelayModel& dm)
+    : sim_(sim),
+      name_(std::move(name)),
+      clk_to_q_(dm.flop.clk_to_q),
+      x_(x),
+      y_(y),
+      queue_depth_(queue_depth),
+      in_(std::move(inputs)),
+      out_(std::move(outputs)),
+      queues_(in_.size()),
+      prev_stop_(in_.size(), false),
+      held_(out_.size(), 0),
+      held_full_(out_.size(), false),
+      rr_(out_.size(), 0) {
+  clk.on_rise([this] { on_edge(); });
+}
+
+RouterDir MeshRouter::route(std::uint64_t packet) const {
+  const unsigned dest = PacketFormat::dest(packet);
+  const unsigned dx = (dest >> 4) & 0xF;
+  const unsigned dy = dest & 0xF;
+  if (dx > x_) return RouterDir::kEast;
+  if (dx < x_) return RouterDir::kWest;
+  if (dy > y_) return RouterDir::kNorth;
+  if (dy < y_) return RouterDir::kSouth;
+  return RouterDir::kLocal;
+}
+
+unsigned MeshRouter::occupancy() const {
+  unsigned n = 0;
+  for (const auto& q : queues_) n += static_cast<unsigned>(q.size());
+  for (const bool h : held_full_) n += h ? 1 : 0;
+  return n;
+}
+
+void MeshRouter::on_edge() {
+  // 1. Retire output registers whose downstream stop was low this cycle.
+  for (std::size_t o = 0; o < out_.size(); ++o) {
+    if (held_full_[o] && !out_[o].stop->read()) held_full_[o] = false;
+  }
+
+  // 2. Capture arrivals: a packet transferred at this edge iff our
+  //    registered stop was low during the ending cycle.
+  for (std::size_t i = 0; i < in_.size(); ++i) {
+    if (!prev_stop_[i] && in_[i].valid->read()) {
+      queues_[i].push_back(in_[i].data->read());
+    }
+  }
+
+  // 3. Dispatch: per-output round-robin over input queues whose head
+  //    XY-routes to it. Each queue head targets exactly one output, so no
+  //    input is popped twice in one cycle.
+  for (std::size_t o = 0; o < out_.size(); ++o) {
+    if (held_full_[o]) continue;
+    const std::size_t n = in_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = (rr_[o] + k) % n;
+      if (queues_[i].empty()) continue;
+      const std::uint64_t head = queues_[i].front();
+      const RouterDir dir = route(head);
+      bool known = false;
+      for (const OutPort& op : out_) known = known || op.dir == dir;
+      if (!known) {
+        // No port in that direction (edge of the mesh with a bad address):
+        // drop rather than wedge the queue.
+        queues_[i].pop_front();
+        ++misroutes_;
+        sim_.report().add(sim_.now(), sim::Severity::kWarning, "mesh_router",
+                          name_ + ": no " + std::string(to_string(dir)) +
+                              " port for dest " +
+                              std::to_string(PacketFormat::dest(head)) +
+                              "; packet dropped");
+        continue;
+      }
+      if (dir != out_[o].dir) continue;
+      queues_[i].pop_front();
+      held_[o] = head;
+      held_full_[o] = true;
+      ++forwarded_;
+      rr_[o] = (i + 1) % n;
+      break;
+    }
+  }
+
+  // 4. Drive registered outputs: packet registers toward downstream, stop
+  //    toward upstream (raised one short of full so the packet already in
+  //    flight under the LI convention still fits).
+  for (std::size_t o = 0; o < out_.size(); ++o) {
+    out_[o].valid->write(held_full_[o], clk_to_q_, sim::DelayKind::kInertial);
+    out_[o].data->write(held_[o], clk_to_q_, sim::DelayKind::kInertial);
+  }
+  for (std::size_t i = 0; i < in_.size(); ++i) {
+    const bool stop = queues_[i].size() + 1 >= queue_depth_;
+    prev_stop_[i] = stop;
+    in_[i].stop->write(stop, clk_to_q_, sim::DelayKind::kInertial);
+  }
+}
+
+}  // namespace mts::builder

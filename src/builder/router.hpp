@@ -1,0 +1,84 @@
+// 2D-mesh router with dimension-ordered (XY) routing for the generated
+// latency-insensitive NoC topology.
+//
+// The router is a synchronous LI component: each input port has a small
+// packet queue with registered stop back-pressure (raised while the queue
+// is one short of full, so the in-flight packet of the LI convention always
+// fits); each output port holds one packet in a register until the
+// downstream link's stop is low. Per-output round-robin arbitration picks
+// among the input queues whose head packet XY-routes to that output.
+//
+// XY routing on PacketFormat destinations (dest = (x << 4) | y): correct X
+// first (E/W), then Y (N/S), then the local port -- deadlock-free on a
+// mesh, and per-flow order-preserving (one path per source/dest pair),
+// which is what TaggedSink checks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "gates/delay_model.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::builder {
+
+enum class RouterDir { kNorth, kSouth, kEast, kWest, kLocal };
+
+const char* to_string(RouterDir d) noexcept;
+
+class MeshRouter {
+ public:
+  struct InPort {
+    RouterDir dir;
+    sim::Word* data;
+    sim::Wire* valid;
+    sim::Wire* stop;  ///< driven by the router (back-pressure out)
+  };
+  struct OutPort {
+    RouterDir dir;
+    sim::Word* data;
+    sim::Wire* valid;
+    sim::Wire* stop;  ///< read by the router (downstream back-pressure)
+  };
+
+  MeshRouter(sim::Simulation& sim, std::string name, sim::Wire& clk,
+             unsigned x, unsigned y, unsigned queue_depth,
+             std::vector<InPort> inputs, std::vector<OutPort> outputs,
+             const gates::DelayModel& dm);
+
+  MeshRouter(const MeshRouter&) = delete;
+  MeshRouter& operator=(const MeshRouter&) = delete;
+
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+  /// Packets whose XY direction has no declared output port here (dropped).
+  std::uint64_t misroutes() const noexcept { return misroutes_; }
+  /// Packets buffered in input queues and output registers right now.
+  unsigned occupancy() const;
+
+ private:
+  void on_edge();
+  /// The output direction a packet takes from this router, by XY rule.
+  RouterDir route(std::uint64_t packet) const;
+
+  sim::Simulation& sim_;
+  std::string name_;
+  sim::Time clk_to_q_;
+  unsigned x_;
+  unsigned y_;
+  unsigned queue_depth_;
+  std::vector<InPort> in_;
+  std::vector<OutPort> out_;
+
+  std::vector<std::deque<std::uint64_t>> queues_;  ///< per input
+  std::vector<bool> prev_stop_;                    ///< per input, registered
+  std::vector<std::uint64_t> held_;                ///< per output register
+  std::vector<bool> held_full_;
+  std::vector<std::size_t> rr_;                    ///< per output, round-robin
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t misroutes_ = 0;
+};
+
+}  // namespace mts::builder

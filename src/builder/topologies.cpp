@@ -1,0 +1,228 @@
+#include "builder/topologies.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "fifo/config.hpp"
+#include "fifo/interface_sides.hpp"
+
+namespace mts::builder {
+
+namespace {
+
+/// Twice the tighter of the two interface min-periods -- the same safety
+/// margin the hand-written examples use.
+sim::Time derived_period(unsigned capacity, unsigned width,
+                         unsigned sync_depth) {
+  fifo::FifoConfig cfg;
+  cfg.capacity = capacity;
+  cfg.width = width;
+  cfg.sync.depth = sync_depth;
+  return 2 * std::max(fifo::SyncPutSide::min_period(cfg),
+                      fifo::SyncGetSide::min_period(cfg));
+}
+
+/// Detuned domain period: every domain gets a distinct, mutually prime-ish
+/// period so CDC crossings sweep through all phase relationships.
+sim::Time detuned(sim::Time base, std::size_t index) {
+  return base * (16 + 3 * index) / 16;
+}
+
+}  // namespace
+
+Design make_mesh_noc(const MeshParams& p) {
+  Design d("mesh" + std::to_string(p.cols) + "x" + std::to_string(p.rows));
+  d.link_defaults().sync.depth = p.sync_depth;
+  const sim::Time base =
+      p.base_period != 0
+          ? p.base_period
+          : derived_period(p.link_capacity, p.width, p.sync_depth);
+  const sim::Time settle = 4 * detuned(base, p.cols);
+
+  // Domains: one per column (east-west links become MCRS crossings) or one
+  // shared clock for the whole mesh.
+  std::vector<DomainId> col_domain(p.cols);
+  if (p.per_column_domains) {
+    for (unsigned x = 0; x < p.cols; ++x) {
+      col_domain[x] = d.domain("col" + std::to_string(x),
+                               {detuned(base, x), settle, 0.5, 0});
+    }
+  } else {
+    const DomainId only = d.domain("clk", {base, settle, 0.5, 0});
+    for (unsigned x = 0; x < p.cols; ++x) col_domain[x] = only;
+  }
+
+  // Every router is a tagged destination; every source addresses all of
+  // them (uniform random traffic).
+  std::vector<unsigned> all_dests;
+  for (unsigned y = 0; y < p.rows; ++y) {
+    for (unsigned x = 0; x < p.cols; ++x) {
+      all_dests.push_back(mesh_address(x, y));
+    }
+  }
+
+  auto rname = [](unsigned x, unsigned y) {
+    return "r" + std::to_string(x) + "_" + std::to_string(y);
+  };
+
+  std::vector<std::vector<NodeId>> router(p.cols,
+                                          std::vector<NodeId>(p.rows));
+  for (unsigned y = 0; y < p.rows; ++y) {
+    for (unsigned x = 0; x < p.cols; ++x) {
+      std::vector<std::string> ports{"l_in", "l_out"};
+      if (y + 1 < p.rows) { ports.push_back("n_in"); ports.push_back("n_out"); }
+      if (y > 0) { ports.push_back("s_in"); ports.push_back("s_out"); }
+      if (x + 1 < p.cols) { ports.push_back("e_in"); ports.push_back("e_out"); }
+      if (x > 0) { ports.push_back("w_in"); ports.push_back("w_out"); }
+      router[x][y] = d.router(rname(x, y), col_domain[x], p.width,
+                              {x, y, p.router_queue}, ports);
+    }
+  }
+
+  // Local traffic endpoints.
+  for (unsigned y = 0; y < p.rows; ++y) {
+    for (unsigned x = 0; x < p.cols; ++x) {
+      const std::string xy = std::to_string(x) + "_" + std::to_string(y);
+      SourceAttrs sa;
+      sa.rate = p.inject_rate;
+      sa.tagged = true;
+      sa.flow = y * p.cols + x;
+      sa.dests = all_dests;
+      const NodeId src = d.source(
+          "src" + xy, Design::sync_out("out", col_domain[x], p.width), sa);
+      SinkAttrs ka;
+      ka.stall_rate = p.stall_rate;
+      ka.tagged = true;
+      const NodeId snk = d.sink(
+          "snk" + xy, Design::sync_in("in", col_domain[x], p.width), ka);
+      LinkOptions local;
+      local.capacity = p.link_capacity;
+      d.connect(src, "out", router[x][y], "l_in", local, "inj" + xy);
+      d.connect(router[x][y], "l_out", snk, "in", local, "eje" + xy);
+    }
+  }
+
+  // Mesh links. East-west crosses column domains (MCRS CDC when
+  // per_column_domains); north-south stays inside one column (SRS chain).
+  LinkOptions ew;
+  ew.capacity = p.link_capacity;
+  LinkOptions ns;
+  ns.capacity = p.link_capacity;
+  ns.latency_left = p.ns_latency;
+  for (unsigned y = 0; y < p.rows; ++y) {
+    for (unsigned x = 0; x < p.cols; ++x) {
+      const std::string xy = std::to_string(x) + "_" + std::to_string(y);
+      if (x + 1 < p.cols) {
+        d.connect(router[x][y], "e_out", router[x + 1][y], "w_in", ew,
+                  "e" + xy);
+        d.connect(router[x + 1][y], "w_out", router[x][y], "e_in", ew,
+                  "w" + xy);
+      }
+      if (y + 1 < p.rows) {
+        d.connect(router[x][y], "n_out", router[x][y + 1], "s_in", ns,
+                  "n" + xy);
+        d.connect(router[x][y + 1], "s_out", router[x][y], "n_in", ns,
+                  "s" + xy);
+      }
+    }
+  }
+  return d;
+}
+
+Design make_shared_bus(const BusParams& p) {
+  Design d("bus" + std::to_string(p.producers) + "to" +
+           std::to_string(p.consumers));
+  d.link_defaults().sync.depth = p.sync_depth;
+  const sim::Time base =
+      p.base_period != 0
+          ? p.base_period
+          : derived_period(p.link_capacity, p.width, p.sync_depth);
+  const std::size_t domains = 1 + p.producers + p.consumers;
+  const sim::Time settle = 4 * detuned(base, domains);
+
+  const DomainId bus_dom = d.domain("bus_clk", {base, settle, 0.5, 0});
+  const NodeId bus = d.bus("bus", bus_dom, p.width,
+                           {p.producers, p.consumers});
+
+  std::vector<unsigned> dests;
+  for (unsigned j = 0; j < p.consumers; ++j) dests.push_back(j);
+
+  LinkOptions link;
+  link.capacity = p.link_capacity;
+  for (unsigned i = 0; i < p.producers; ++i) {
+    const DomainId dom = d.domain("prod" + std::to_string(i),
+                                  {detuned(base, 1 + i), settle, 0.5, 0});
+    SourceAttrs sa;
+    sa.rate = p.inject_rate;
+    sa.tagged = true;
+    sa.flow = i;
+    sa.dests = dests;
+    const NodeId src = d.source("p" + std::to_string(i),
+                                Design::sync_out("out", dom, p.width), sa);
+    d.connect(src, "out", bus, "in" + std::to_string(i), link,
+              "feed" + std::to_string(i));
+  }
+  for (unsigned j = 0; j < p.consumers; ++j) {
+    const DomainId dom =
+        d.domain("cons" + std::to_string(j),
+                 {detuned(base, 1 + p.producers + j), settle, 0.5, 0});
+    SinkAttrs ka;
+    ka.stall_rate = p.stall_rate;
+    ka.tagged = true;
+    const NodeId snk = d.sink("c" + std::to_string(j),
+                              Design::sync_in("in", dom, p.width), ka);
+    d.connect(bus, "out" + std::to_string(j), snk, "in", link,
+              "drain" + std::to_string(j));
+  }
+  return d;
+}
+
+// --- campaign sweep axes -------------------------------------------------
+
+namespace {
+struct MeshCell {
+  unsigned cols, rows, sync_depth;
+};
+constexpr MeshCell kMeshCells[] = {
+    {2, 2, 2}, {3, 2, 2}, {2, 2, 3}, {3, 2, 3}};
+
+struct BusCell {
+  unsigned producers, sync_depth;
+};
+constexpr BusCell kBusCells[] = {{2, 2}, {3, 2}, {2, 3}, {3, 3}};
+}  // namespace
+
+std::size_t mesh_sweep_size() { return std::size(kMeshCells); }
+
+MeshParams mesh_sweep_cell(std::size_t config) {
+  const MeshCell& c = kMeshCells[config % std::size(kMeshCells)];
+  MeshParams p;
+  p.cols = c.cols;
+  p.rows = c.rows;
+  p.sync_depth = c.sync_depth;
+  return p;
+}
+
+std::string mesh_sweep_label(std::size_t config) {
+  const MeshCell& c = kMeshCells[config % std::size(kMeshCells)];
+  return "mesh" + std::to_string(c.cols) + "x" + std::to_string(c.rows) +
+         "-sync" + std::to_string(c.sync_depth);
+}
+
+std::size_t bus_sweep_size() { return std::size(kBusCells); }
+
+BusParams bus_sweep_cell(std::size_t config) {
+  const BusCell& c = kBusCells[config % std::size(kBusCells)];
+  BusParams p;
+  p.producers = c.producers;
+  p.sync_depth = c.sync_depth;
+  return p;
+}
+
+std::string bus_sweep_label(std::size_t config) {
+  const BusCell& c = kBusCells[config % std::size(kBusCells)];
+  return "bus" + std::to_string(c.producers) + "p-sync" +
+         std::to_string(c.sync_depth);
+}
+
+}  // namespace mts::builder

@@ -1,0 +1,72 @@
+// Parameterized topology generators over the declarative builder: a 2D-mesh
+// latency-insensitive NoC (XY routing, per-column clock domains) and a
+// multi-drop shared bus (round-robin arbitration, one domain per endpoint).
+//
+// Both return a plain builder::Design -- elaborate it onto any Simulation.
+// Every east-west mesh link and every bus attachment crosses clock domains,
+// so the generated systems exercise the paper's MCRS crossing at scale with
+// self-checking tagged traffic (traffic.hpp). The *_sweep_cell helpers
+// decode a sim::Campaign config index into a parameter set, making topology
+// shape a campaign axis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "builder/design.hpp"
+#include "sim/time.hpp"
+
+namespace mts::builder {
+
+struct MeshParams {
+  unsigned cols = 2;
+  unsigned rows = 2;
+  unsigned width = 32;          ///< port width (>= 24: tagged packets)
+  unsigned link_capacity = 4;   ///< CDC FIFO capacity on east-west links
+  unsigned router_queue = 4;    ///< per-input router queue depth
+  unsigned ns_latency = 1;      ///< relay stations on north-south links
+  double inject_rate = 0.3;     ///< per-cycle packet probability per source
+  double stall_rate = 0.1;      ///< per-cycle sink stall probability
+  unsigned sync_depth = 2;      ///< synchronizer depth of inserted CDCs
+  bool per_column_domains = true;  ///< false: one clock for the whole mesh
+  sim::Time base_period = 0;    ///< 0: derived from the FIFO min periods
+};
+
+/// Mesh address of router (x, y), as carried in tagged packets.
+inline unsigned mesh_address(unsigned x, unsigned y) {
+  return (x << 4) | (y & 0xF);
+}
+
+/// cols x rows mesh: routers "r<x>_<y>", one tagged source "src<x>_<y>" and
+/// sink "snk<x>_<y>" per local port, every source addressing every router.
+Design make_mesh_noc(const MeshParams& p);
+
+struct BusParams {
+  unsigned producers = 3;
+  unsigned consumers = 2;
+  unsigned width = 32;
+  unsigned link_capacity = 4;
+  double inject_rate = 0.4;
+  double stall_rate = 0.1;
+  unsigned sync_depth = 2;
+  sim::Time base_period = 0;
+};
+
+/// Shared bus "bus" in its own domain; producers "p<i>" and consumers
+/// "c<j>" each in a detuned domain of their own, attached through
+/// mixed-clock links. Tagged packet dest = consumer index.
+Design make_shared_bus(const BusParams& p);
+
+// --- campaign sweep axes -------------------------------------------------
+
+/// Mesh shape x synchronizer depth matrix for sim::Campaign(configs, ...).
+std::size_t mesh_sweep_size();
+MeshParams mesh_sweep_cell(std::size_t config);
+std::string mesh_sweep_label(std::size_t config);
+
+/// Producer count x synchronizer depth matrix.
+std::size_t bus_sweep_size();
+BusParams bus_sweep_cell(std::size_t config);
+std::string bus_sweep_label(std::size_t config);
+
+}  // namespace mts::builder

@@ -1,0 +1,90 @@
+#include "builder/traffic.hpp"
+
+#include <random>
+
+#include "sim/report.hpp"
+
+namespace mts::builder {
+
+TaggedSource::TaggedSource(sim::Simulation& sim, std::string name,
+                           sim::Wire& clk, sim::Word& out_data,
+                           sim::Wire& out_valid, sim::Wire& stop,
+                           const gates::DelayModel& dm, double rate,
+                           unsigned flow, std::vector<unsigned> dests,
+                           unsigned width)
+    : sim_(sim),
+      out_data_(out_data),
+      out_valid_(out_valid),
+      stop_(stop),
+      clk_to_q_(dm.flop.clk_to_q),
+      rate_(rate),
+      flow_(flow),
+      dests_(std::move(dests)),
+      width_(width) {
+  (void)name;
+  clk.on_rise([this] { on_edge(); });
+}
+
+void TaggedSource::on_edge() {
+  if (stop_.read()) return;  // link frozen: hold the pending packet
+
+  if (pending_valid_) ++sent_;
+
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  pending_valid_ = enabled_ && (rate_ >= 1.0 || dist(sim_.rng()) < rate_);
+  if (pending_valid_) {
+    const unsigned dest =
+        dests_.size() == 1
+            ? dests_[0]
+            : dests_[sim_.rng()() % dests_.size()];
+    pending_data_ = PacketFormat::pack(dest, flow_, next_seq_, width_);
+    ++next_seq_;
+  }
+  out_data_.write(pending_data_, clk_to_q_, sim::DelayKind::kInertial);
+  out_valid_.write(pending_valid_, clk_to_q_, sim::DelayKind::kInertial);
+}
+
+TaggedSink::TaggedSink(sim::Simulation& sim, std::string name, sim::Wire& clk,
+                       sim::Word& in_data, sim::Wire& in_valid,
+                       sim::Wire& stop, const gates::DelayModel& dm,
+                       double stall_rate)
+    : sim_(sim),
+      name_(std::move(name)),
+      in_data_(in_data),
+      in_valid_(in_valid),
+      stop_(stop),
+      clk_to_q_(dm.flop.clk_to_q),
+      stall_rate_(stall_rate) {
+  clk.on_rise([this] { on_edge(); });
+}
+
+std::uint64_t TaggedSink::received_from(unsigned flow) const {
+  const auto it = per_flow_.find(flow);
+  return it == per_flow_.end() ? 0 : it->second;
+}
+
+void TaggedSink::on_edge() {
+  if (!prev_stop_ && in_valid_.read()) {
+    const std::uint64_t pkt = in_data_.read();
+    const unsigned flow = PacketFormat::flow(pkt);
+    const std::uint64_t seq = PacketFormat::seq(pkt);
+    ++received_;
+    ++per_flow_[flow];
+    auto [it, fresh] = last_seq_.try_emplace(flow, 0);
+    if (!fresh && seq <= it->second) {
+      ++violations_;
+      sim_.report().add(sim_.now(), sim::Severity::kError, "tagged_sink",
+                        name_ + ": flow " + std::to_string(flow) + " seq " +
+                            std::to_string(seq) + " after " +
+                            std::to_string(it->second) +
+                            " (per-flow order violated)");
+    }
+    it->second = seq;
+  }
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const bool stall = stall_rate_ > 0.0 && dist(sim_.rng()) < stall_rate_;
+  prev_stop_ = stall;
+  stop_.write(stall, clk_to_q_, sim::DelayKind::kInertial);
+}
+
+}  // namespace mts::builder

@@ -1,0 +1,120 @@
+// Self-checking tagged packet traffic for generated topologies.
+//
+// Routers and buses interleave flows, so the plain scoreboard (global FIFO
+// order) cannot check them. Tagged packets carry their own evidence:
+//
+//   [63:56] dest   routing address (mesh: (x << 4) | y; bus: output index)
+//   [55:48] flow   source id
+//   [47:0]  seq    per-source sequence number (within the port width)
+//
+// A TaggedSink checks that each flow's sequence numbers arrive strictly
+// increasing -- XY routing and round-robin arbitration preserve per-flow
+// order, so any reordering, duplication or corruption trips the check.
+// Ports must be at least 24 bits wide (Design::check() enforces this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gates/delay_model.hpp"
+#include "sim/signal.hpp"
+#include "sim/simulation.hpp"
+
+namespace mts::builder {
+
+/// Field packing shared by TaggedSource, TaggedSink, MeshRouter, BusFabric.
+struct PacketFormat {
+  static constexpr unsigned kDestShift = 56;
+  static constexpr unsigned kFlowShift = 48;
+
+  static std::uint64_t pack(unsigned dest, unsigned flow, std::uint64_t seq,
+                            unsigned width) {
+    const std::uint64_t seq_mask =
+        (std::uint64_t{1} << (width - 16 > 48 ? 48 : width - 16)) - 1;
+    return (std::uint64_t{dest & 0xFF} << kDestShift) |
+           (std::uint64_t{flow & 0xFF} << kFlowShift) | (seq & seq_mask);
+  }
+  static unsigned dest(std::uint64_t packet) {
+    return static_cast<unsigned>((packet >> kDestShift) & 0xFF);
+  }
+  static unsigned flow(std::uint64_t packet) {
+    return static_cast<unsigned>((packet >> kFlowShift) & 0xFF);
+  }
+  static std::uint64_t seq(std::uint64_t packet) {
+    return packet & ((std::uint64_t{1} << kFlowShift) - 1);
+  }
+};
+
+/// Registered LI packet source: each cycle the link is unstalled it emits a
+/// tagged packet with probability `rate`, cycling destinations randomly
+/// from `dests` (simulation RNG, so campaigns reproduce per seed).
+class TaggedSource {
+ public:
+  TaggedSource(sim::Simulation& sim, std::string name, sim::Wire& clk,
+               sim::Word& out_data, sim::Wire& out_valid, sim::Wire& stop,
+               const gates::DelayModel& dm, double rate, unsigned flow,
+               std::vector<unsigned> dests, unsigned width);
+
+  TaggedSource(const TaggedSource&) = delete;
+  TaggedSource& operator=(const TaggedSource&) = delete;
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  void on_edge();
+
+  sim::Simulation& sim_;
+  sim::Word& out_data_;
+  sim::Wire& out_valid_;
+  sim::Wire& stop_;
+  sim::Time clk_to_q_;
+  double rate_;
+  unsigned flow_;
+  std::vector<unsigned> dests_;
+  unsigned width_;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t pending_data_ = 0;
+  bool pending_valid_ = false;
+  std::uint64_t sent_ = 0;
+  bool enabled_ = true;
+};
+
+/// Stalling LI packet sink: consumes tagged packets, checks per-flow
+/// sequence monotonicity, and raises stop with probability `stall_rate`.
+class TaggedSink {
+ public:
+  TaggedSink(sim::Simulation& sim, std::string name, sim::Wire& clk,
+             sim::Word& in_data, sim::Wire& in_valid, sim::Wire& stop,
+             const gates::DelayModel& dm, double stall_rate);
+
+  TaggedSink(const TaggedSink&) = delete;
+  TaggedSink& operator=(const TaggedSink&) = delete;
+
+  std::uint64_t received() const noexcept { return received_; }
+  std::uint64_t violations() const noexcept { return violations_; }
+  /// Packets received from one flow (0 when the flow never arrived here).
+  std::uint64_t received_from(unsigned flow) const;
+
+ private:
+  void on_edge();
+
+  sim::Simulation& sim_;
+  std::string name_;
+  sim::Word& in_data_;
+  sim::Wire& in_valid_;
+  sim::Wire& stop_;
+  sim::Time clk_to_q_;
+  double stall_rate_;
+
+  bool prev_stop_ = false;
+  std::uint64_t received_ = 0;
+  std::uint64_t violations_ = 0;
+  std::unordered_map<unsigned, std::uint64_t> last_seq_;
+  std::unordered_map<unsigned, std::uint64_t> per_flow_;
+};
+
+}  // namespace mts::builder

@@ -53,6 +53,41 @@ enum class ControllerKind {
   kRelayStation,
 };
 
+// Stable lowercase names for configuration axes, shared by reports,
+// campaign JSON and the builder's design exports.
+inline const char* to_string(EmptyDetectorKind k) noexcept {
+  switch (k) {
+    case EmptyDetectorKind::kBimodal: return "bimodal";
+    case EmptyDetectorKind::kNeOnly: return "ne_only";
+    case EmptyDetectorKind::kOeOnly: return "oe_only";
+  }
+  return "?";
+}
+
+inline const char* to_string(FullDetectorKind k) noexcept {
+  switch (k) {
+    case FullDetectorKind::kAnticipating: return "anticipating";
+    case FullDetectorKind::kExact: return "exact";
+  }
+  return "?";
+}
+
+inline const char* to_string(DvKind k) noexcept {
+  switch (k) {
+    case DvKind::kSrLatch: return "sr_latch";
+    case DvKind::kConservative: return "conservative";
+  }
+  return "?";
+}
+
+inline const char* to_string(ControllerKind k) noexcept {
+  switch (k) {
+    case ControllerKind::kFifo: return "fifo";
+    case ControllerKind::kRelayStation: return "relay_station";
+  }
+  return "?";
+}
+
 struct FifoConfig {
   unsigned capacity = 8;  ///< number of cells (paper: 4 / 8 / 16)
   unsigned width = 8;     ///< data bits (paper: 8 / 16)

@@ -1,0 +1,160 @@
+// builder::Design as pure data: the primitive-selection table, link-width
+// and FifoConfig derivation, graph inspection and the exported netlist
+// formats. Nothing here constructs a Simulation -- elaboration is covered
+// by test_elaborate.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "builder/design.hpp"
+
+namespace mts {
+namespace {
+
+using builder::Design;
+using builder::DomainId;
+using builder::LinkOptions;
+using builder::NodeId;
+using builder::Primitive;
+using builder::TimingStyle;
+using builder::kNoDomain;
+using builder::resolve_primitive;
+using fifo::ControllerKind;
+
+constexpr TimingStyle kSync = TimingStyle::kSync;
+constexpr TimingStyle kAsync = TimingStyle::kAsync;
+constexpr ControllerKind kRs = ControllerKind::kRelayStation;
+constexpr ControllerKind kFifo = ControllerKind::kFifo;
+
+TEST(BuilderDesign, PrimitiveSelectionTable) {
+  // Same domain, synchronous: relay stations when latency demands them,
+  // plain buffered wires otherwise.
+  EXPECT_EQ(resolve_primitive(kSync, 0, kSync, 0, kRs, 0), Primitive::kWire);
+  EXPECT_EQ(resolve_primitive(kSync, 0, kSync, 0, kRs, 3),
+            Primitive::kSrsChain);
+
+  // Distinct synchronous domains: the mixed-clock FIFO (MCRS with the
+  // relay-station controller) regardless of latency.
+  EXPECT_EQ(resolve_primitive(kSync, 0, kSync, 1, kRs, 0),
+            Primitive::kMixedClockFifo);
+  EXPECT_EQ(resolve_primitive(kSync, 0, kSync, 1, kRs, 4),
+            Primitive::kMixedClockFifo);
+  EXPECT_EQ(resolve_primitive(kSync, 0, kSync, 1, kFifo, 0),
+            Primitive::kMixedClockFifo);
+
+  // Async producer into a clocked consumer: the Section 4 async-sync FIFO
+  // (ASRS flavour under the relay-station controller).
+  EXPECT_EQ(resolve_primitive(kAsync, kNoDomain, kSync, 1, kRs, 3),
+            Primitive::kAsyncSyncFifo);
+  EXPECT_EQ(resolve_primitive(kAsync, kNoDomain, kSync, 1, kFifo, 0),
+            Primitive::kAsyncSyncFifo);
+
+  // Clocked producer into an async consumer.
+  EXPECT_EQ(resolve_primitive(kSync, 0, kAsync, kNoDomain, kRs, 1),
+            Primitive::kSyncAsyncFifo);
+  EXPECT_EQ(resolve_primitive(kSync, 0, kAsync, kNoDomain, kFifo, 0),
+            Primitive::kSyncAsyncFifo);
+
+  // Fully asynchronous: a micropipeline when the wire needs stages, the
+  // pure FIFO under the on-demand controller, a bare channel otherwise.
+  EXPECT_EQ(resolve_primitive(kAsync, kNoDomain, kAsync, kNoDomain, kRs, 2),
+            Primitive::kMicropipeline);
+  EXPECT_EQ(resolve_primitive(kAsync, kNoDomain, kAsync, kNoDomain, kRs, 0),
+            Primitive::kWire);
+  EXPECT_EQ(resolve_primitive(kAsync, kNoDomain, kAsync, kNoDomain, kFifo, 0),
+            Primitive::kAsyncAsyncFifo);
+}
+
+Design two_domain_design(LinkOptions opt, unsigned from_w = 16,
+                         unsigned to_w = 16) {
+  Design d("t");
+  const DomainId a = d.domain("a_clk", {1000, 0, 0.5, 0});
+  const DomainId b = d.domain("b_clk", {1300, 0, 0.5, 0});
+  const NodeId src =
+      d.source("src", Design::sync_out("out", a, from_w), {1.0, 0, 0xFF});
+  const NodeId snk = d.sink("snk", Design::sync_in("in", b, to_w));
+  d.connect(src, "out", snk, "in", opt, "link");
+  return d;
+}
+
+TEST(BuilderDesign, LinkWidthDefaultsToNarrowerEndpoint) {
+  Design d = two_domain_design({}, /*from_w=*/32, /*to_w=*/16);
+  EXPECT_EQ(d.link_width_of(d.edge(0)), 16u);
+
+  LinkOptions narrow;
+  narrow.link_width = 8;
+  Design d2 = two_domain_design(narrow, 32, 16);
+  EXPECT_EQ(d2.link_width_of(d2.edge(0)), 8u);
+}
+
+TEST(BuilderDesign, EdgeFifoConfigCarriesLinkAnnotations) {
+  LinkOptions opt;
+  opt.capacity = 6;
+  opt.controller = ControllerKind::kFifo;
+  Design d = two_domain_design(opt);
+  d.link_defaults().sync.depth = 3;
+
+  const fifo::FifoConfig cfg = d.edge_fifo_config(d.edge(0));
+  EXPECT_EQ(cfg.capacity, 6u);
+  EXPECT_EQ(cfg.width, 16u);  // the link width, not a default
+  EXPECT_EQ(cfg.controller, ControllerKind::kFifo);
+  EXPECT_EQ(cfg.sync.depth, 3u);  // inherited from link_defaults()
+
+  // A per-edge base template overrides the design-wide defaults.
+  LinkOptions based = opt;
+  based.base.sync.depth = 4;
+  based.base_set = true;
+  Design d2 = two_domain_design(based);
+  d2.link_defaults().sync.depth = 3;
+  EXPECT_EQ(d2.edge_fifo_config(d2.edge(0)).sync.depth, 4u);
+}
+
+TEST(BuilderDesign, GraphInspection) {
+  Design d = two_domain_design({});
+  EXPECT_EQ(d.domains().size(), 2u);
+  EXPECT_EQ(d.nodes().size(), 2u);
+  EXPECT_EQ(d.edges().size(), 1u);
+  EXPECT_EQ(d.edge_at(0, 0), 0u);          // src.out drives edge 0
+  EXPECT_EQ(d.port_index(1, "in"), 0u);
+  EXPECT_EQ(d.port(0, "out").width, 16u);
+  EXPECT_NO_THROW(d.check());
+
+  // Unknown ports are named errors, not UB.
+  EXPECT_THROW((void)d.port_index(0, "nope"), ConfigError);
+}
+
+TEST(BuilderDesign, ToJsonNamesEverything) {
+  LinkOptions opt;
+  opt.latency_left = 2;
+  Design d = two_domain_design(opt);
+  const std::string js = d.to_json();
+  for (const char* needle :
+       {"\"t\"", "a_clk", "b_clk", "\"src\"", "\"snk\"", "\"link\"",
+        "\"latency\": [2, 0]", "\"capacity\"", "\"controller\"",
+        "\"primitive\": \"mixed_clock_fifo\""}) {
+    EXPECT_NE(js.find(needle), std::string::npos) << needle << " missing in\n"
+                                                  << js;
+  }
+}
+
+TEST(BuilderDesign, ToDotNamesEverything) {
+  Design d = two_domain_design({});
+  const std::string dot = d.to_dot();
+  for (const char* needle : {"digraph", "src", "snk", "a_clk", "b_clk"}) {
+    EXPECT_NE(dot.find(needle), std::string::npos) << needle << " missing in\n"
+                                                   << dot;
+  }
+}
+
+TEST(BuilderDesign, EnumToStringRoundTrips) {
+  EXPECT_STREQ(builder::to_string(Primitive::kMixedClockFifo),
+               "mixed_clock_fifo");
+  EXPECT_STREQ(builder::to_string(TimingStyle::kAsync), "async");
+  EXPECT_STREQ(builder::to_string(builder::NodeKind::kRouter), "router");
+  EXPECT_STREQ(fifo::to_string(ControllerKind::kRelayStation),
+               "relay_station");
+  EXPECT_STREQ(fifo::to_string(ControllerKind::kFifo), "fifo");
+}
+
+}  // namespace
+}  // namespace mts

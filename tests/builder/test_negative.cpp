@@ -1,0 +1,241 @@
+// The negative path: every malformed graph is rejected by Design::check()
+// with a ConfigError that NAMES the offending node and port -- never an
+// assert, never undefined behaviour, never a mystery string. Each test
+// builds one specific illegal design and pins the diagnostic's substance.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "builder/design.hpp"
+#include "sim/error.hpp"
+
+namespace mts {
+namespace {
+
+using builder::Design;
+using builder::DomainId;
+using builder::LinkOptions;
+using builder::NodeId;
+using builder::Primitive;
+
+/// Runs `fn`, requires it to throw ConfigError, returns the message.
+template <typename Fn>
+std::string config_error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ConfigError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected ConfigError, nothing thrown";
+  return {};
+}
+
+void expect_mentions(const std::string& msg,
+                     std::initializer_list<const char*> needles) {
+  for (const char* n : needles) {
+    EXPECT_NE(msg.find(n), std::string::npos)
+        << "diagnostic should mention '" << n << "', got: " << msg;
+  }
+}
+
+TEST(BuilderNegative, WidthMismatchWithoutIntegerRatioNamesBothPorts) {
+  Design d;
+  const DomainId c = d.domain("clk", {1000, 0, 0.5, 0});
+  const NodeId a = d.external("alu", {Design::sync_out("res", c, 16)});
+  const NodeId b = d.sink("wb", Design::sync_in("in", c, 12));
+  d.connect(a, "res", b, "in");
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"alu.res", "wb.in", "16 bits", "12 bits",
+                   "no integer gearbox ratio"});
+}
+
+TEST(BuilderNegative, DanglingPortIsNamed) {
+  Design d;
+  const DomainId c = d.domain("clk", {1000, 0, 0.5, 0});
+  d.external("dsp", {Design::sync_out("tap", c, 8)});
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"dangling port", "dsp.tap"});
+}
+
+TEST(BuilderNegative, DoubleDrivenInputIsNamedWithDriverCount) {
+  Design d;
+  const DomainId c = d.domain("clk", {1000, 0, 0.5, 0});
+  const NodeId s1 = d.source("s1", Design::sync_out("out", c, 8));
+  const NodeId s2 = d.source("s2", Design::sync_out("out", c, 8));
+  const NodeId k = d.sink("merge", Design::sync_in("in", c, 8));
+  d.connect(s1, "out", k, "in");
+  d.connect(s2, "out", k, "in");
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"merge.in", "2 drivers", "exactly one"});
+}
+
+TEST(BuilderNegative, FannedOutOutputIsRejectedToo) {
+  Design d;
+  const DomainId c = d.domain("clk", {1000, 0, 0.5, 0});
+  const NodeId s = d.source("s", Design::sync_out("out", c, 8));
+  const NodeId k1 = d.sink("k1", Design::sync_in("in", c, 8));
+  const NodeId k2 = d.sink("k2", Design::sync_in("in", c, 8));
+  d.connect(s, "out", k1, "in");
+  d.connect(s, "out", k2, "in");
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"s.out", "2 consumers"});
+}
+
+TEST(BuilderNegative, SameDomainEdgeCannotRequestCdcPrimitive) {
+  Design d;
+  const DomainId c = d.domain("core", {1000, 0, 0.5, 0});
+  const NodeId s = d.source("s", Design::sync_out("out", c, 8));
+  const NodeId k = d.sink("k", Design::sync_in("in", c, 8));
+  LinkOptions opt;
+  opt.primitive = Primitive::kMixedClockFifo;
+  d.connect(s, "out", k, "in", opt, "bad");
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"bad", "domain 'core'",
+                   "same-domain edge cannot request the CDC primitive"});
+}
+
+TEST(BuilderNegative, SameDomainOnDemandFifoEdgeHasNoPrimitive) {
+  Design d;
+  const DomainId c = d.domain("core", {1000, 0, 0.5, 0});
+  const NodeId a = d.external("a", {Design::sync_out("o", c, 8)});
+  const NodeId b = d.external("b", {Design::sync_in("i", c, 8)});
+  LinkOptions opt;
+  opt.controller = fifo::ControllerKind::kFifo;
+  d.connect(a, "o", b, "i", opt);
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"domain 'core'", "no CDC primitive applies"});
+}
+
+TEST(BuilderNegative, OnDemandFifoEdgeRejectsLatencyAnnotation) {
+  Design d;
+  const DomainId c = d.domain("clk", {1000, 0, 0.5, 0});
+  const NodeId s = d.source("s", Design::async_out("out", 8));
+  const NodeId k = d.sink("k", Design::sync_in("in", c, 8));
+  LinkOptions opt;
+  opt.controller = fifo::ControllerKind::kFifo;
+  opt.latency_left = 2;
+  d.connect(s, "out", k, "in", opt);
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"relay-station latency requires"});
+}
+
+TEST(BuilderNegative, AsyncPortsCannotBeGearboxed) {
+  Design d;
+  const DomainId c = d.domain("clk", {1000, 0, 0.5, 0});
+  const NodeId s = d.source("s", Design::async_out("out", 16));
+  const NodeId k = d.sink("k", Design::sync_in("in", c, 16));
+  LinkOptions opt;
+  opt.link_width = 8;
+  d.connect(s, "out", k, "in", opt);
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"s.out", "cannot be gearboxed"});
+}
+
+TEST(BuilderNegative, TaggedTrafficCannotCrossAGearbox) {
+  // Tagged packets carry dest/flow in the top bits; a serializer would
+  // truncate them, so the graph is rejected up front.
+  Design d;
+  const DomainId a = d.domain("a_clk", {1000, 0, 0.5, 0});
+  const DomainId b = d.domain("b_clk", {1300, 0, 0.5, 0});
+  builder::SourceAttrs attrs;
+  attrs.tagged = true;
+  attrs.dests = {0};
+  const NodeId s = d.source("s", Design::sync_out("out", a, 32), attrs);
+  builder::SinkAttrs sk;
+  sk.tagged = true;
+  const NodeId k = d.sink("k", Design::sync_in("in", b, 32), sk);
+  LinkOptions opt;
+  opt.link_width = 8;
+  d.connect(s, "out", k, "in", opt);
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"'s'", "tagged packets", "gearbox would truncate"});
+}
+
+TEST(BuilderNegative, TaggedEndpointsRejectOnDemandFifoEdges) {
+  Design d;
+  const DomainId a = d.domain("a_clk", {1000, 0, 0.5, 0});
+  const DomainId b = d.domain("b_clk", {1300, 0, 0.5, 0});
+  builder::SourceAttrs attrs;
+  attrs.tagged = true;
+  attrs.dests = {0};
+  const NodeId s = d.source("s", Design::sync_out("out", a, 32), attrs);
+  builder::SinkAttrs sk;
+  sk.tagged = true;
+  const NodeId k = d.sink("k", Design::sync_in("in", b, 32), sk);
+  LinkOptions opt;
+  opt.controller = fifo::ControllerKind::kFifo;
+  d.connect(s, "out", k, "in", opt);
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"requires the relay-station controller"});
+}
+
+TEST(BuilderNegative, SyncAsyncEdgeRejectsRightLatency) {
+  Design d;
+  const DomainId c = d.domain("clk", {1000, 0, 0.5, 0});
+  const NodeId s = d.source("s", Design::sync_out("out", c, 8));
+  const NodeId k = d.sink("k", Design::async_in("in", 8), {0.0, 100});
+  LinkOptions opt;
+  opt.latency_right = 1;
+  d.connect(s, "out", k, "in", opt);
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"latency_right must be 0"});
+}
+
+TEST(BuilderNegative, GraphConstructionErrors) {
+  Design d;
+  // Zero-period domains.
+  expect_mentions(config_error_of([&] { d.domain("z", {0, 0, 0.5, 0}); }),
+                  {"'z'", "period 0"});
+  const DomainId c = d.domain("clk", {1000, 0, 0.5, 0});
+  // Duplicate names.
+  expect_mentions(config_error_of([&] { d.domain("clk", {500, 0, 0.5, 0}); }),
+                  {"duplicate domain name 'clk'"});
+  d.source("s", Design::sync_out("out", c, 8));
+  expect_mentions(
+      config_error_of([&] { d.source("s", Design::sync_out("out", c, 8)); }),
+      {"duplicate node name 's'"});
+  // Sync port with an undeclared domain.
+  expect_mentions(config_error_of([&] {
+                    d.external("x", {Design::sync_in("in", 7, 8)});
+                  }),
+                  {"x.in", "undeclared clock domain"});
+  // Width out of range.
+  expect_mentions(config_error_of([&] {
+                    d.external("w", {Design::sync_in("in", c, 65)});
+                  }),
+                  {"w.in", "out of range 1..64"});
+  // A source node must expose an out port.
+  expect_mentions(config_error_of([&] {
+                    d.source("bad", Design::sync_in("in", c, 8));
+                  }),
+                  {"'bad'", "needs an out port"});
+  // Router port names are validated against the mesh compass.
+  expect_mentions(config_error_of([&] {
+                    d.router("r", c, 32, {0, 0, 4}, {"x_in"});
+                  }),
+                  {"'r'", "unknown port 'x_in'"});
+  // Tagged sources must declare destinations.
+  builder::SourceAttrs tagged;
+  tagged.tagged = true;
+  const NodeId t = d.source("t", Design::sync_out("out", c, 32), tagged);
+  const NodeId k = d.sink("k", Design::sync_in("in", c, 32));
+  d.connect(t, "out", k, "in");
+  // (connect s.out too, so the dests error is the first one check() hits)
+  const NodeId k2 = d.sink("k2", Design::sync_in("in", c, 8));
+  d.connect(0, "out", k2, "in");
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"tagged source 't'", "no destinations"});
+}
+
+TEST(BuilderNegative, EdgeDirectionIsEnforced) {
+  Design d;
+  const DomainId c = d.domain("clk", {1000, 0, 0.5, 0});
+  const NodeId a = d.external("a", {Design::sync_in("in", c, 8)});
+  const NodeId b = d.external("b", {Design::sync_out("out", c, 8)});
+  d.connect(a, "in", b, "out");  // backwards on both ends
+  expect_mentions(config_error_of([&] { d.check(); }),
+                  {"a.in", "edges run out -> in"});
+}
+
+}  // namespace
+}  // namespace mts

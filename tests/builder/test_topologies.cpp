@@ -1,0 +1,195 @@
+// Generated topologies at campaign scale: the 2D-mesh LI NoC and the
+// multi-drop shared bus, swept as sim::Campaign config axes with protocol
+// monitors armed and metastability faults injected at the declared
+// synchronizer depth. Self-checking tagged traffic (per-flow sequence
+// order, XY routing, round-robin arbitration) must survive all of it with
+// zero violations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "builder/builder.hpp"
+#include "fifo/interface_sides.hpp"
+#include "sim/campaign.hpp"
+#include "sim/fault.hpp"
+#include "sync/synchronizer.hpp"
+#include "verify/hub.hpp"
+
+namespace mts {
+namespace {
+
+using builder::BusParams;
+using builder::Design;
+using builder::MeshParams;
+using builder::Primitive;
+using sim::Time;
+
+/// The same derivation topologies.cpp uses for its default base period.
+Time topo_period(unsigned capacity, unsigned width, unsigned sync_depth) {
+  fifo::FifoConfig cfg;
+  cfg.capacity = capacity;
+  cfg.width = width;
+  cfg.sync.depth = sync_depth;
+  return 2 * std::max(fifo::SyncPutSide::min_period(cfg),
+                      fifo::SyncGetSide::min_period(cfg));
+}
+
+std::size_t count_primitive(const Design& d, Primitive want) {
+  std::size_t n = 0;
+  for (const builder::Edge& e : d.edges()) {
+    const builder::PortDecl& pp = d.node(e.from).ports[e.from_port];
+    const builder::PortDecl& pc = d.node(e.to).ports[e.to_port];
+    if (builder::resolve_primitive(pp.style, pp.domain, pc.style, pc.domain,
+                                   e.opt.controller,
+                                   e.opt.latency_left + e.opt.latency_right) ==
+        want) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(BuilderTopologies, MeshDesignShapeAndValidation) {
+  MeshParams p;  // 2x2, per-column domains
+  Design d = builder::make_mesh_noc(p);
+  EXPECT_NO_THROW(d.check());
+  EXPECT_EQ(d.domains().size(), 2u);             // one per column
+  EXPECT_EQ(d.nodes().size(), 4u + 4u + 4u);     // routers + sources + sinks
+  // Every east-west link is a clock-domain crossing; north-south links are
+  // same-domain relay chains.
+  EXPECT_EQ(count_primitive(d, Primitive::kMixedClockFifo), 4u);
+  EXPECT_EQ(count_primitive(d, Primitive::kSrsChain), 4u);
+
+  MeshParams flat = p;
+  flat.per_column_domains = false;
+  Design d1 = builder::make_mesh_noc(flat);
+  EXPECT_NO_THROW(d1.check());
+  EXPECT_EQ(d1.domains().size(), 1u);
+  EXPECT_EQ(count_primitive(d1, Primitive::kMixedClockFifo), 0u);
+}
+
+TEST(BuilderTopologies, BusDesignShapeAndValidation) {
+  BusParams p;  // 3 producers, 2 consumers, one domain per endpoint
+  Design d = builder::make_shared_bus(p);
+  EXPECT_NO_THROW(d.check());
+  EXPECT_EQ(d.domains().size(), 1u + 3u + 2u);  // bus + producers + consumers
+  EXPECT_EQ(d.nodes().size(), 1u + 3u + 2u);
+  // Every attachment crosses into or out of the bus domain.
+  EXPECT_EQ(count_primitive(d, Primitive::kMixedClockFifo), 5u);
+}
+
+TEST(BuilderTopologies, SweepAxesDecodeEveryCell) {
+  ASSERT_GT(builder::mesh_sweep_size(), 0u);
+  for (std::size_t c = 0; c < builder::mesh_sweep_size(); ++c) {
+    const MeshParams p = builder::mesh_sweep_cell(c);
+    EXPECT_GE(p.cols * p.rows, 4u);
+    EXPECT_GE(p.sync_depth, 2u);
+    EXPECT_FALSE(builder::mesh_sweep_label(c).empty());
+    EXPECT_NO_THROW(builder::make_mesh_noc(p).check()) << c;
+  }
+  ASSERT_GT(builder::bus_sweep_size(), 0u);
+  for (std::size_t c = 0; c < builder::bus_sweep_size(); ++c) {
+    const BusParams p = builder::bus_sweep_cell(c);
+    EXPECT_GE(p.producers, 2u);
+    EXPECT_FALSE(builder::bus_sweep_label(c).empty());
+    EXPECT_NO_THROW(builder::make_shared_bus(p).check()) << c;
+  }
+}
+
+/// One mesh run: monitors armed, MetaFaults on every synchronizer front
+/// flop, tagged traffic routed XY across the CDCs.
+void run_mesh_cell(sim::CampaignContext& ctx) {
+  const MeshParams p = builder::mesh_sweep_cell(ctx.spec().config);
+
+  sim::Simulation& sim = ctx.sim();
+  sim::FaultPlan plan(ctx.spec().seed);
+  plan.inject_meta("Sync.ff0", sim::MetaFault{4.0, 12.0, 0.5, 50});
+  sim.arm_faults(&plan);
+  verify::Hub hub;
+  hub.arm(sim);
+
+  Design d = builder::make_mesh_noc(p);
+  // Metastability faults are only sampled in stochastic synchronizer mode.
+  d.link_defaults().sync.mode = sync::MetaMode::kStochastic;
+  auto elab = builder::elaborate(sim, d);
+
+  // Slowest column clock is detuned by (16 + 3*(cols-1))/16.
+  const Time base = topo_period(p.link_capacity, p.width, p.sync_depth);
+  const Time slowest = base * (16 + 3 * (p.cols - 1)) / 16;
+  sim.run_until(4 * slowest + 600 * slowest);
+
+  ctx.set("sent", static_cast<double>(elab->total_sent()));
+  ctx.set("received", static_cast<double>(elab->total_received()));
+  ctx.set("violations", static_cast<double>(elab->total_order_violations()));
+  ctx.set("monitor_flags", static_cast<double>(hub.total()));
+  ctx.set("meta_samples", static_cast<double>(plan.count("meta.sample")));
+  ctx.result().artifact = elab->to_json();
+  sim.arm_faults(nullptr);
+}
+
+TEST(BuilderTopologies, MeshSweepRunsCleanUnderCampaign) {
+  sim::CampaignOptions opt;
+  opt.workers = 2;
+  opt.seed = 0x4E0C;
+  sim::Campaign campaign(builder::mesh_sweep_size(), /*reps=*/1, opt);
+  campaign.run(run_mesh_cell);
+
+  ASSERT_EQ(campaign.failed(), 0u);
+  for (const sim::RunResult& r : campaign.results()) {
+    const std::string label = builder::mesh_sweep_label(r.index);
+    EXPECT_EQ(r.scalars.at("violations"), 0.0) << label;
+    EXPECT_EQ(r.scalars.at("monitor_flags"), 0.0) << label;
+    EXPECT_GT(r.scalars.at("received"), 100.0) << label;
+    // The CDC synchronizers were actually exercised by the fault plan.
+    EXPECT_GT(r.scalars.at("meta_samples"), 0.0) << label;
+    // The topology fingerprint is attached for repro bundles.
+    EXPECT_NE(r.artifact.find("\"inserted\""), std::string::npos) << label;
+    EXPECT_NE(r.artifact.find("mixed_clock_fifo"), std::string::npos) << label;
+  }
+}
+
+void run_bus_cell(sim::CampaignContext& ctx) {
+  const BusParams p = builder::bus_sweep_cell(ctx.spec().config);
+
+  sim::Simulation& sim = ctx.sim();
+  sim::FaultPlan plan(ctx.spec().seed);
+  plan.inject_meta("Sync.ff0", sim::MetaFault{4.0, 12.0, 0.5, 50});
+  sim.arm_faults(&plan);
+  verify::Hub hub;
+  hub.arm(sim);
+
+  Design d = builder::make_shared_bus(p);
+  d.link_defaults().sync.mode = sync::MetaMode::kStochastic;
+  auto elab = builder::elaborate(sim, d);
+
+  const Time base = topo_period(p.link_capacity, p.width, p.sync_depth);
+  const std::size_t domains = 1 + p.producers + p.consumers;
+  const Time slowest = base * (16 + 3 * (domains - 1)) / 16;
+  sim.run_until(4 * slowest + 600 * slowest);
+
+  ctx.set("received", static_cast<double>(elab->total_received()));
+  ctx.set("violations", static_cast<double>(elab->total_order_violations()));
+  ctx.set("monitor_flags", static_cast<double>(hub.total()));
+  ctx.result().artifact = elab->to_json();
+  sim.arm_faults(nullptr);
+}
+
+TEST(BuilderTopologies, BusSweepRunsCleanUnderCampaign) {
+  sim::CampaignOptions opt;
+  opt.workers = 2;
+  opt.seed = 0xB5;
+  sim::Campaign campaign(builder::bus_sweep_size(), /*reps=*/1, opt);
+  campaign.run(run_bus_cell);
+
+  ASSERT_EQ(campaign.failed(), 0u);
+  for (const sim::RunResult& r : campaign.results()) {
+    const std::string label = builder::bus_sweep_label(r.index);
+    EXPECT_EQ(r.scalars.at("violations"), 0.0) << label;
+    EXPECT_EQ(r.scalars.at("monitor_flags"), 0.0) << label;
+    EXPECT_GT(r.scalars.at("received"), 100.0) << label;
+  }
+}
+
+}  // namespace
+}  // namespace mts
