@@ -52,6 +52,32 @@ void BmSpec::validate() const {
   }
 }
 
+BmStep bm_step(const BmSpec& spec, BmCore& core, unsigned signal, bool rising) {
+  BmStep step;
+  for (std::size_t ti = 0; ti < spec.transitions.size(); ++ti) {
+    const BmTransition& t = spec.transitions[ti];
+    if (t.from != core.state) continue;
+    for (std::size_t ei = 0; ei < t.in_burst.size(); ++ei) {
+      const BmEdge& e = t.in_burst[ei];
+      if (e.signal == signal && e.rising == rising) {
+        core.progress[ti] |= 1u << ei;
+        step.matched = true;
+      }
+    }
+    const std::uint32_t complete = (t.in_burst.size() == 32)
+                                       ? 0xFFFF'FFFFu
+                                       : (1u << t.in_burst.size()) - 1u;
+    if (core.progress[ti] == complete) {
+      core.state = t.to;
+      for (auto& p : core.progress) p = 0;
+      step.fired = true;
+      step.transition = ti;
+      return step;
+    }
+  }
+  return step;
+}
+
 BurstModeMachine::BurstModeMachine(sim::Simulation& sim, std::string instance,
                                    const BmSpec& spec,
                                    std::vector<sim::Wire*> inputs,
@@ -62,8 +88,7 @@ BurstModeMachine::BurstModeMachine(sim::Simulation& sim, std::string instance,
       spec_(spec),
       inputs_(std::move(inputs)),
       outputs_(std::move(outputs)),
-      output_delay_(output_delay),
-      state_(initial_state) {
+      output_delay_(output_delay) {
   spec_.validate();
   if (inputs_.size() != spec_.input_names.size() ||
       outputs_.size() != spec_.output_names.size()) {
@@ -73,49 +98,29 @@ BurstModeMachine::BurstModeMachine(sim::Simulation& sim, std::string instance,
   if (initial_state >= spec_.num_states) {
     throw ConfigError("BurstModeMachine '" + instance_ + "': bad initial state");
   }
-  progress_.assign(spec_.transitions.size(), 0);
+  core_ = BmCore(spec_, initial_state);
   for (unsigned i = 0; i < inputs_.size(); ++i) {
     MTS_ASSERT(inputs_[i] != nullptr, "null input wire");
     inputs_[i]->on_change([this, i](bool, bool now) { on_input_edge(i, now); });
   }
 }
 
-void BurstModeMachine::reset_progress() {
-  for (auto& p : progress_) p = 0;
-}
-
 void BurstModeMachine::on_input_edge(unsigned signal, bool rising) {
-  bool matched = false;
-  for (std::size_t ti = 0; ti < spec_.transitions.size(); ++ti) {
-    const BmTransition& t = spec_.transitions[ti];
-    if (t.from != state_) continue;
-    for (std::size_t ei = 0; ei < t.in_burst.size(); ++ei) {
-      const BmEdge& e = t.in_burst[ei];
-      if (e.signal == signal && e.rising == rising) {
-        progress_[ti] |= 1u << ei;
-        matched = true;
-      }
+  const BmStep step = bm_step(spec_, core_, signal, rising);
+  if (step.fired) {
+    // Fire: emit the output burst the core selected.
+    ++firings_;
+    for (const BmEdge& out : spec_.transitions[step.transition].out_burst) {
+      outputs_[out.signal]->write(out.rising, output_delay_,
+                                  sim::DelayKind::kInertial);
     }
-    const std::uint32_t complete = (t.in_burst.size() == 32)
-                                       ? 0xFFFF'FFFFu
-                                       : (1u << t.in_burst.size()) - 1u;
-    if (progress_[ti] == complete) {
-      // Fire: emit output burst and change state.
-      state_ = t.to;
-      ++firings_;
-      reset_progress();
-      for (const BmEdge& out : t.out_burst) {
-        outputs_[out.signal]->write(out.rising, output_delay_,
-                                    sim::DelayKind::kInertial);
-      }
-      return;
-    }
+    return;
   }
-  if (!matched) {
+  if (!step.matched) {
     sim_.report().add(sim_.now(), sim::Severity::kError, "bm-illegal-input",
                       instance_ + ": unexpected edge on " +
                           spec_.input_names[signal] + (rising ? "+" : "-") +
-                          " in state " + std::to_string(state_));
+                          " in state " + std::to_string(core_.state));
   }
 }
 

@@ -52,6 +52,37 @@ struct BmSpec {
   void validate() const;
 };
 
+/// The machine's complete dynamic state: current state plus per-transition
+/// burst progress. BurstModeMachine holds one and the model checker
+/// (src/mc) steps copies of it directly, so both execute the identical
+/// firing rule via bm_step().
+struct BmCore {
+  unsigned state = 0;
+  /// progress[t] = bitmask of satisfied edges of transitions leaving state.
+  std::vector<std::uint32_t> progress;
+
+  BmCore() = default;
+  BmCore(const BmSpec& spec, unsigned initial_state)
+      : state(initial_state), progress(spec.transitions.size(), 0) {}
+
+  bool operator==(const BmCore& o) const {
+    return state == o.state && progress == o.progress;
+  }
+};
+
+/// Outcome of feeding one input edge into a core.
+struct BmStep {
+  bool matched = false;        ///< edge belongs to some outgoing burst
+  bool fired = false;          ///< a transition's burst completed
+  std::size_t transition = 0;  ///< index into spec.transitions when fired
+};
+
+/// Applies one input edge to `core`. On firing, the caller emits the
+/// transition's out_burst itself: the machine writes wires, the checker
+/// enqueues pending flips. !matched && !fired is the "bm-illegal-input"
+/// condition.
+BmStep bm_step(const BmSpec& spec, BmCore& core, unsigned signal, bool rising);
+
 class BurstModeMachine {
  public:
   /// `inputs`/`outputs` map 1:1 to the spec's signal lists and must outlive
@@ -64,12 +95,11 @@ class BurstModeMachine {
   BurstModeMachine(const BurstModeMachine&) = delete;
   BurstModeMachine& operator=(const BurstModeMachine&) = delete;
 
-  unsigned state() const noexcept { return state_; }
+  unsigned state() const noexcept { return core_.state; }
   std::uint64_t firings() const noexcept { return firings_; }
 
  private:
   void on_input_edge(unsigned signal, bool rising);
-  void reset_progress();
 
   sim::Simulation& sim_;
   std::string instance_;
@@ -77,9 +107,7 @@ class BurstModeMachine {
   std::vector<sim::Wire*> inputs_;
   std::vector<sim::Wire*> outputs_;
   sim::Time output_delay_;
-  unsigned state_;
-  /// progress_[t] = bitmask of satisfied edges of transitions leaving state_.
-  std::vector<std::uint32_t> progress_;
+  BmCore core_;
   std::uint64_t firings_ = 0;
 };
 

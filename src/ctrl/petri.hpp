@@ -41,6 +41,54 @@ struct PetriNet {
   void validate(std::size_t num_inputs, std::size_t num_outputs) const;
 };
 
+/// Marking as a place-indexed bit vector -- the engine's and the model
+/// checker's shared state representation.
+using PnMarking = std::vector<bool>;
+
+PnMarking pn_initial_marking(const PetriNet& net);
+
+/// True iff every pre-place of `t` is marked.
+bool pn_enabled(const PetriNet& net, const PnMarking& m, const PnTransition& t);
+
+/// Outcome of firing one transition.
+struct PnFire {
+  bool safe = true;        ///< false: a post-place was already marked
+  unsigned bad_place = 0;  ///< the doubly-marked place when !safe
+};
+
+/// Fires `t` in place (no enabledness check). On a 1-safety violation the
+/// pre-places are already consumed and the marking is only partially
+/// produced; callers must treat !safe as fatal, exactly as PetriEngine
+/// throws.
+PnFire pn_fire(const PetriNet& net, PnMarking& m, const PnTransition& t);
+
+/// Outcome of one input-wire edge.
+struct PnStep {
+  bool fired = false;          ///< an enabled matching transition fired
+  std::size_t transition = 0;  ///< its index when fired
+  bool safe = true;
+  unsigned bad_place = 0;
+};
+
+/// Applies one input-wire edge: fires the first enabled input transition
+/// matching (signal, rising) -- the rule PetriEngine applies. fired=false
+/// means the edge was illegal in this marking ("pn-illegal-input").
+PnStep pn_input_step(const PetriNet& net, PnMarking& m, unsigned signal,
+                     bool rising);
+
+/// Outcome of the eager output sweep.
+struct PnSweep {
+  std::vector<std::size_t> fired;  ///< output transitions in firing order
+  bool safe = true;
+  std::size_t bad_transition = 0;  ///< transition whose firing went unsafe
+  unsigned bad_place = 0;
+};
+
+/// Eagerly fires enabled output transitions to quiescence, recording each
+/// fired transition's index in firing order (the order the engine writes
+/// its output wires). Stops at the first 1-safety violation.
+PnSweep pn_run_outputs(const PetriNet& net, PnMarking& m);
+
 class PetriEngine {
  public:
   PetriEngine(sim::Simulation& sim, std::string instance, const PetriNet& net,
@@ -55,9 +103,8 @@ class PetriEngine {
 
  private:
   void on_input_edge(unsigned signal, bool rising);
-  bool enabled(const PnTransition& t) const;
-  void fire(const PnTransition& t);
   void run_output_transitions();
+  [[noreturn]] void throw_unsafe(const PnTransition& t, unsigned place) const;
 
   sim::Simulation& sim_;
   std::string instance_;
@@ -65,7 +112,7 @@ class PetriEngine {
   std::vector<sim::Wire*> inputs_;
   std::vector<sim::Wire*> outputs_;
   sim::Time output_delay_;
-  std::vector<bool> marking_;
+  PnMarking marking_;
   std::uint64_t firings_ = 0;
 };
 

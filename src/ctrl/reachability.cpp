@@ -73,8 +73,10 @@ ReachabilityResult analyze(const PetriNet& net, std::size_t max_markings) {
       succ.push_back(next);
       if (seen.insert(next).second) {
         if (seen.size() > max_markings) {
-          throw ConfigError("reachability: marking explosion (net is likely "
-                            "unbounded or too large)");
+          throw ConfigError("reachability: marking explosion, more than "
+                            "max_markings = " + std::to_string(max_markings) +
+                            " reachable markings (net is likely unbounded or "
+                            "too large)");
         }
         frontier.push(next);
       }

@@ -40,6 +40,23 @@ unsigned anticipation_window(unsigned sync_depth) {
   return sync_depth < 2 ? 2 : sync_depth;
 }
 
+bool detector_asserted(const std::vector<bool>& bits, unsigned window) {
+  MTS_ASSERT(window >= 1, "detector window must be >= 1");
+  if (bits.empty()) return true;
+  // Walk the ring twice so wrap-around runs are seen; a run can never need
+  // more than one extra lap.
+  unsigned run = 0;
+  for (std::size_t i = 0; i < 2 * bits.size(); ++i) {
+    if (bits[i % bits.size()]) {
+      ++run;
+      if (run >= window) return false;
+    } else {
+      run = 0;
+    }
+  }
+  return true;
+}
+
 // Detector OR trees use 4-input gates (the paper's custom detectors are
 // wide-NOR structures; 4-ary trees keep the depth growth gentle, matching
 // the mild capacity degradation of Table 1).

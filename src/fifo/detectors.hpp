@@ -46,6 +46,15 @@ sim::Wire& build_anticipating_empty(gates::Netlist& nl, std::vector<sim::Wire*> 
 /// Anticipation window required for a given synchronizer depth.
 unsigned anticipation_window(unsigned sync_depth);
 
+/// The detector predicate as a pure function over a snapshot of the state
+/// bits: asserted iff the ring `bits` contains no run of `window`
+/// consecutive set entries. window = 1 degenerates to "no bit set" (the
+/// oe / exact detectors). This is the defining condition the gate
+/// structures above implement, the runtime verify::DetectorMonitor
+/// re-derives, and the model checker (src/mc) evaluates directly on
+/// explored product states.
+bool detector_asserted(const std::vector<bool>& bits, unsigned window);
+
 /// oe ("true empty"): asserted when no cell is full.
 sim::Wire& build_true_empty(gates::Netlist& nl, std::vector<sim::Wire*> f,
                             const gates::DelayModel& dm);

@@ -1,0 +1,79 @@
+// The explicit-state search over RingModel's product graph.
+//
+// Two passes (ISSUE: replayable counterexamples AND an exhaustive proof):
+//
+//   1. Macro pass. The environment acts only at quiescence; between
+//      environment edges the pending-event queue drains deterministically.
+//      Every state stored is quiescent, every trace is a pure sequence of
+//      environment actions -- exactly what the replay harness
+//      (mc/replay.cpp) can drive into a concrete Simulation. A violation
+//      found here ships as a REPLAYABLE counterexample.
+//
+//   2. Full pass. All interleavings of commits and environment edges, BFS
+//      over packed states in a StateStore, parent/action arrays for trace
+//      extraction. Proves the invariants over every reachable micro-state;
+//      deadlock is a state with no successor, livelock is decided by
+//      reverse reachability from the sources of progress edges (edges on
+//      which a derived acknowledge falls, i.e. a transaction completes).
+//
+// BFS order, StateStore ids and trace extraction are all deterministic, so
+// two runs of the same configuration produce byte-identical JSON -- pinned
+// by the determinism test.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/property.hpp"
+#include "mc/ring_model.hpp"
+
+namespace mts::mc {
+
+struct ExploreOptions {
+  std::size_t max_states = 4'000'000;  ///< full-pass visited-state budget
+  std::size_t max_drain = 100'000;     ///< macro-pass drain step bound
+  unsigned dfs_depth = 0;  ///< >0: bounded-depth DFS fallback for the full
+                           ///< pass instead of BFS (never exhaustive)
+  bool full_interleaving = true;  ///< run the full pass after the macro pass
+  bool check_liveness = true;     ///< reverse-reachability livelock check
+};
+
+/// One step of a counterexample trace.
+struct TraceStep {
+  std::string label;  ///< "put_req+" (env) or "c2.we-" (internal commit)
+  bool env = false;
+};
+
+struct Counterexample {
+  Property property = Property::kTokenRing;
+  std::string site;
+  std::string detail;
+  std::size_t env_step = 0;  ///< 1-based count of env actions up to the bug
+  bool replayable = false;   ///< true iff found by the macro pass
+  std::vector<TraceStep> trace;
+  std::vector<ActionKind> env_actions;  ///< the trace's env actions, in order
+
+  std::string to_json() const;
+};
+
+struct CheckResult {
+  std::string name;
+  unsigned capacity = 0;
+  bool ok = false;          ///< no violation found
+  bool exhaustive = false;  ///< full pass completed within budget
+  std::size_t macro_states = 0;   ///< quiescent states (macro pass)
+  std::size_t states = 0;         ///< micro states (full pass)
+  std::size_t edges = 0;          ///< transitions explored (full pass)
+  std::size_t peak_frontier = 0;  ///< max BFS frontier size (full pass)
+  std::vector<std::string> proved;  ///< property names proved exhaustively
+  std::optional<Counterexample> cex;
+
+  std::string to_json() const;
+};
+
+/// Runs both passes over `cfg`. Stops at the first violation.
+CheckResult check_ring(const RingConfig& cfg, const ExploreOptions& opts = {});
+
+}  // namespace mts::mc

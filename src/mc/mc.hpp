@@ -1,0 +1,12 @@
+// Umbrella header for the explicit-state model checker (ARCHITECTURE.md
+// section 11): product model, search, differential net oracle, concrete
+// replay, and the seeded mutant set.
+#pragma once
+
+#include "mc/checker.hpp"      // IWYU pragma: export
+#include "mc/mutations.hpp"    // IWYU pragma: export
+#include "mc/net_model.hpp"    // IWYU pragma: export
+#include "mc/property.hpp"     // IWYU pragma: export
+#include "mc/replay.hpp"       // IWYU pragma: export
+#include "mc/ring_model.hpp"   // IWYU pragma: export
+#include "mc/state_store.hpp"  // IWYU pragma: export

@@ -1,0 +1,117 @@
+#include "mc/mutations.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/error.hpp"
+
+namespace mts::mc {
+
+namespace {
+
+Mutant base(unsigned capacity, std::string name, std::string description,
+            Property expected) {
+  Mutant m;
+  m.config = default_ring(capacity);
+  m.config.name = name;
+  m.name = std::move(name);
+  m.description = std::move(description);
+  m.expected = expected;
+  return m;
+}
+
+std::size_t dv_transition(const ctrl::PetriNet& net, const std::string& label) {
+  for (std::size_t i = 0; i < net.transitions.size(); ++i) {
+    if (net.transitions[i].label == label) return i;
+  }
+  MTS_ASSERT(false, "mutant: DV transition label not found");
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Mutant> make_mutants(unsigned capacity) {
+  std::vector<Mutant> out;
+
+  // OPT transitions (Fig. 10a): [0] we1+ (enter), [1] we1- / ptok+ (grant),
+  // [2] we+ / ptok- (release), [3] we- (reset).
+  {
+    Mutant m = base(capacity, "opt-dropped-arc",
+                    "OPT grant transition loses its ptok+ output burst: the "
+                    "token is released but never re-granted, so the put ring "
+                    "drains to zero tokens",
+                    Property::kTokenRing);
+    m.config.opt.transitions[1].out_burst.clear();
+    out.push_back(std::move(m));
+  }
+  {
+    Mutant m = base(capacity, "opt-swapped-burst",
+                    "OPT grant and release output bursts are swapped: the "
+                    "token never moves, and the machine sees its own we+ in "
+                    "the idle state on the next put to the cell",
+                    Property::kHandshakeOrder);
+    std::swap(m.config.opt.transitions[1].out_burst,
+              m.config.opt.transitions[2].out_burst);
+    out.push_back(std::move(m));
+  }
+  {
+    Mutant m = base(capacity, "opt-moved-burst",
+                    "OPT releases its token on we- instead of we+: at the "
+                    "ring wrap the successor's grant commits before the "
+                    "release, putting two tokens in flight",
+                    Property::kTokenRing);
+    m.config.opt.transitions[3].out_burst =
+        std::move(m.config.opt.transitions[2].out_burst);
+    m.config.opt.transitions[2].out_burst.clear();
+    out.push_back(std::move(m));
+  }
+  {
+    Mutant m = base(capacity, "dv-dropped-arc",
+                    "DV net loses its f_i+ transition: cells fill but never "
+                    "announce data, so gets starve, puts exhaust the ring, "
+                    "and both interfaces block",
+                    Property::kDeadlock);
+    ctrl::PetriNet& dv = m.config.dv;
+    dv.transitions.erase(
+        dv.transitions.begin() +
+        static_cast<std::ptrdiff_t>(dv_transition(dv, "f_i+")));
+    out.push_back(std::move(m));
+  }
+  {
+    Mutant m = base(capacity, "full-window-off-by-one",
+                    "full detector built with window 3 instead of 2: it "
+                    "stays asserted with two adjacent empty cells, where the "
+                    "anticipating invariant requires deassertion",
+                    Property::kFullDetector);
+    m.config.full_window = 3;
+    out.push_back(std::move(m));
+  }
+  {
+    Mutant m = base(capacity, "ne-window-off-by-one",
+                    "ne detector built with window 3 instead of 2: it stays "
+                    "asserted with two adjacent full cells, where the "
+                    "anticipating invariant requires deassertion",
+                    Property::kEmptyDetector);
+    m.config.ne_window = 3;
+    out.push_back(std::move(m));
+  }
+  {
+    Mutant m = base(capacity, "celem-dropped-put-guard",
+                    "put C-element loses its e_i plus input: we+ fires into "
+                    "a still-full cell once the ring wraps",
+                    Property::kOverflow);
+    m.config.drop_put_guard = true;
+    out.push_back(std::move(m));
+  }
+  {
+    Mutant m = base(capacity, "celem-dropped-get-guard",
+                    "get C-element loses its f_i plus input: re+ fires on "
+                    "the first get from an empty FIFO",
+                    Property::kUnderflow);
+    m.config.drop_get_guard = true;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace mts::mc

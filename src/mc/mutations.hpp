@@ -1,0 +1,31 @@
+// Seeded known-bad configurations for checker self-tests.
+//
+// Each mutant perturbs one copy of default_ring() with a realistic design
+// slip -- a dropped burst-mode arc, a swapped output burst, an off-by-one
+// detector window, a C-element missing its guard input -- together with the
+// property the checker MUST report for it. The mutation test suite runs
+// check_ring() over every mutant, asserts the expected property is found
+// within the state bound, and cross_check()s the counterexample against a
+// concrete replay: the runtime monitors must flag the matching
+// verify::Invariant at the same environment step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/property.hpp"
+#include "mc/ring_model.hpp"
+
+namespace mts::mc {
+
+struct Mutant {
+  std::string name;
+  std::string description;
+  RingConfig config;
+  Property expected;
+};
+
+/// The shipped mutant set at ring capacity `capacity`.
+std::vector<Mutant> make_mutants(unsigned capacity = 4);
+
+}  // namespace mts::mc

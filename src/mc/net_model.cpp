@@ -1,0 +1,79 @@
+#include "mc/net_model.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "mc/state_store.hpp"
+#include "sim/error.hpp"
+
+namespace mts::mc {
+
+namespace {
+
+void pack_marking(const ctrl::PnMarking& m, std::uint8_t* out,
+                  std::size_t bytes) {
+  for (std::size_t b = 0; b < bytes; ++b) out[b] = 0;
+  for (std::size_t p = 0; p < m.size(); ++p) {
+    if (m[p]) out[p / 8] |= static_cast<std::uint8_t>(1u << (p % 8));
+  }
+}
+
+ctrl::PnMarking unpack_marking(const std::uint8_t* rec, std::size_t places) {
+  ctrl::PnMarking m(places, false);
+  for (std::size_t p = 0; p < places; ++p) {
+    m[p] = (rec[p / 8] >> (p % 8)) & 1u;
+  }
+  return m;
+}
+
+}  // namespace
+
+NetCheckResult check_net(const ctrl::PetriNet& net, std::size_t max_markings) {
+  NetCheckResult r;
+  const std::size_t bytes = (net.num_places + 7) / 8;
+  StateStore store(bytes == 0 ? 1 : bytes);
+  std::vector<std::uint8_t> rec(store.record_size());
+
+  pack_marking(ctrl::pn_initial_marking(net), rec.data(), bytes);
+  store.intern(rec.data());
+
+  std::deque<std::uint32_t> frontier{0};
+  while (!frontier.empty()) {
+    const std::uint32_t id = frontier.front();
+    frontier.pop_front();
+    const ctrl::PnMarking m = unpack_marking(store.bytes(id), net.num_places);
+    bool any_enabled = false;
+    for (const ctrl::PnTransition& t : net.transitions) {
+      if (!ctrl::pn_enabled(net, m, t)) continue;
+      any_enabled = true;
+      ctrl::PnMarking next = m;
+      const ctrl::PnFire f = ctrl::pn_fire(net, next, t);
+      if (!f.safe) {
+        // Same rule as ctrl::analyze(): record, add no successor.
+        r.one_safe = false;
+        if (r.violation.empty()) {
+          r.violation = "firing '" + t.label + "' violates 1-safety";
+        }
+        continue;
+      }
+      pack_marking(next, rec.data(), bytes);
+      const auto [nid, inserted] = store.intern(rec.data());
+      if (inserted) {
+        if (store.size() > max_markings) {
+          throw ConfigError(
+              "mc::check_net: marking explosion, more than max_markings = " +
+              std::to_string(max_markings) + " reachable markings");
+        }
+        frontier.push_back(nid);
+      }
+    }
+    if (!any_enabled) {
+      r.deadlock_free = false;
+      if (r.violation.empty()) r.violation = "reachable deadlock marking";
+    }
+  }
+  r.reachable_markings = store.size();
+  return r;
+}
+
+}  // namespace mts::mc

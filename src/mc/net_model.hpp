@@ -1,0 +1,34 @@
+// Differential oracle for ctrl::analyze().
+//
+// check_net() explores the reachable marking graph of a 1-safe Petri net
+// with the mc machinery (packed markings interned in a StateStore, deque
+// frontier) -- a from-scratch implementation sharing no traversal code with
+// ctrl/reachability.cpp, which uses std::set over std::uint64_t bitsets.
+// Its firing rule intentionally matches analyze(): an enabled transition
+// whose firing would double-mark a place records a 1-safety violation and
+// contributes no successor, and enabledness (not successor existence)
+// decides deadlock-freedom. The differential test suite (tests/mc) runs
+// both over random small nets and the shipped DV controllers and requires
+// identical one-safety / deadlock verdicts and marking counts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ctrl/petri.hpp"
+
+namespace mts::mc {
+
+struct NetCheckResult {
+  bool one_safe = true;
+  bool deadlock_free = true;
+  std::size_t reachable_markings = 0;
+  std::string violation;  ///< first finding, "" when clean
+};
+
+/// Explores `net`'s marking graph up to `max_markings` interned markings;
+/// throws mts::ConfigError beyond that, mirroring ctrl::analyze().
+NetCheckResult check_net(const ctrl::PetriNet& net,
+                         std::size_t max_markings = 1 << 20);
+
+}  // namespace mts::mc

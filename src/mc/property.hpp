@@ -1,0 +1,68 @@
+// The properties the model checker proves, and their mapping onto the
+// runtime verify:: invariants.
+//
+// The checker and the runtime monitors assert the SAME protocol contract
+// (ISSUE: "proves the verify:: invariants exhaustively"); Property is the
+// checker-side enumeration. Most entries map 1:1 onto a verify::Invariant
+// -- that mapping is the replay contract: a counterexample for property P
+// must, when replayed as a concrete Simulation, make the armed verify::Hub
+// report to_invariant(P) at the same environment step. kOneSafety and
+// kQueueBound have no runtime-monitor analog (the engine THROWS on a
+// 1-safety violation; the queue bound is a model-internal resource limit),
+// so to_invariant returns nullopt for them and their counterexamples are
+// not replay-checked.
+#pragma once
+
+#include <optional>
+
+#include "verify/violation.hpp"
+
+namespace mts::mc {
+
+enum class Property {
+  kTokenRing,       ///< put/get token ring not one-hot (Section 3.1)
+  kOverflow,        ///< we+ reached a cell whose e_i is low
+  kUnderflow,       ///< re+ reached a cell whose f_i is low
+  kHandshakeOrder,  ///< 4-phase edge out of sequence / illegal controller input
+  kFullDetector,    ///< built full detector vs window re-derivation (Fig. 6a)
+  kEmptyDetector,   ///< built ne detector vs window re-derivation (Fig. 6b)
+  kOneSafety,       ///< a DV net firing marked a marked place
+  kDeadlock,        ///< reachable state with no successor
+  kLivelock,        ///< reachable state from which no completion is reachable
+  kQueueBound,      ///< model resource bound: pending-event queue overflow
+};
+
+inline const char* property_name(Property p) noexcept {
+  switch (p) {
+    case Property::kTokenRing: return "token-ring";
+    case Property::kOverflow: return "overflow";
+    case Property::kUnderflow: return "underflow";
+    case Property::kHandshakeOrder: return "handshake-order";
+    case Property::kFullDetector: return "full-detector";
+    case Property::kEmptyDetector: return "empty-detector";
+    case Property::kOneSafety: return "one-safety";
+    case Property::kDeadlock: return "deadlock";
+    case Property::kLivelock: return "livelock";
+    case Property::kQueueBound: return "queue-bound";
+  }
+  return "unknown";
+}
+
+/// The runtime invariant a replayed counterexample for `p` must trip.
+inline std::optional<verify::Invariant> to_invariant(Property p) noexcept {
+  switch (p) {
+    case Property::kTokenRing: return verify::Invariant::kTokenRing;
+    case Property::kOverflow: return verify::Invariant::kOverflow;
+    case Property::kUnderflow: return verify::Invariant::kUnderflow;
+    case Property::kHandshakeOrder: return verify::Invariant::kHandshakeOrder;
+    case Property::kFullDetector: return verify::Invariant::kFullDetector;
+    case Property::kEmptyDetector: return verify::Invariant::kEmptyDetector;
+    case Property::kDeadlock: return verify::Invariant::kDeadlock;
+    case Property::kLivelock: return verify::Invariant::kLivelock;
+    case Property::kOneSafety:
+    case Property::kQueueBound: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mts::mc

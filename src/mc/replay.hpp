@@ -1,0 +1,57 @@
+// Concrete replay of model-checker counterexamples.
+//
+// replay_ring() builds the REAL netlist the model abstracts -- asymmetric
+// gates::CElement write gates, ctrl::BurstModeMachine OPT/OGT controllers,
+// ctrl::PetriEngine DV controllers, the fifo:: anticipating detector trees,
+// OR-tree acknowledge reduction -- with a uniform controller output delay
+// (the timing assumption under which the model's pending-event queue IS the
+// scheduler's commit order), arms a verify::Hub with the runtime monitors
+// (TokenRingMonitor, DetectorMonitor, HandshakeMonitor, overflow/underflow
+// edge checks, a deadlock Watchdog), and drives the counterexample's
+// environment actions into it, letting the simulation quiesce after each.
+//
+// This is the replay contract of ARCHITECTURE.md section 11: a macro-pass
+// counterexample for property P must make the concrete run report
+// to_invariant(P) at the same environment step -- checked by cross_check(),
+// which the mutation test suite runs over every seeded-bug configuration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/checker.hpp"
+#include "mc/ring_model.hpp"
+#include "verify/violation.hpp"
+
+namespace mts::mc {
+
+/// What a concrete replay observed.
+struct ReplayOutcome {
+  bool violated = false;
+  /// First runtime invariant reported (nullopt while !violated).
+  std::optional<verify::Invariant> invariant;
+  std::string site;
+  std::string detail;
+  std::size_t env_step = 0;  ///< 1-based env action on which it surfaced
+  std::uint64_t put_handshakes = 0;
+  std::uint64_t get_handshakes = 0;
+};
+
+/// Builds the concrete ring for `cfg` and replays `env_actions`
+/// (kCommit entries are ignored: commits are the simulator's own events).
+ReplayOutcome replay_ring(const RingConfig& cfg,
+                          const std::vector<ActionKind>& env_actions);
+
+struct CrossCheckResult {
+  bool ok = false;
+  std::string message;  ///< why not, when !ok
+  ReplayOutcome outcome;
+};
+
+/// Replays `cex` against `cfg` and verifies the runtime hub reports
+/// to_invariant(cex.property) at environment step cex.env_step.
+CrossCheckResult cross_check(const RingConfig& cfg, const Counterexample& cex);
+
+}  // namespace mts::mc

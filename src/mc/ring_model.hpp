@@ -1,0 +1,180 @@
+// Product model of the paper's asynchronous token-ring FIFO, for
+// explicit-state checking.
+//
+// The model composes, per cell, the REAL engine cores rather than a
+// re-specification of them:
+//
+//   - the put-side asymmetric C-element rule of gates::CElement
+//     (we+ needs put_req & ptok_i & e_i; we- needs only put_req-),
+//   - the OPT/OGT burst-mode machines, stepped through ctrl::bm_step over
+//     ctrl::BmCore -- the exact function BurstModeMachine executes,
+//   - the DV data-validity Petri net, stepped through ctrl::pn_input_step /
+//     ctrl::pn_run_outputs over ctrl::PnMarking -- the exact functions
+//     PetriEngine executes,
+//   - the full/ne detectors, evaluated through fifo::detector_asserted --
+//     the defining predicate of the gate structures in fifo/detectors.cpp.
+//
+// and closes the composition with an abstract nondeterministic 4-phase
+// environment: put_req / get_req may rise when their side is idle and fall
+// when acknowledged, in any interleaving with internal activity (stalling
+// is the branch where the environment does nothing).
+//
+// Timing abstraction: in the concrete netlist every controller output is an
+// inertial delayed write. The model mirrors this with a FIFO queue of
+// pending wire flips -- internal commits happen in scheduling order, which
+// is exactly the concrete event order when all controller output delays are
+// equal (the replay harness, mc/replay.cpp, builds the netlist that way).
+// An inertial re-write of a wire cancels the pending flip, as in
+// sim::Signal: schedule_level() removes the stale entry and appends the new
+// target (dropping it when it matches the committed level, where the
+// concrete commit would be a silent no-op).
+//
+// Listener dispatch order matters at the ring wrap (cell 0's OPT hears
+// we_{N-1} before cell N-1's own OPT does, because cell 0 is constructed
+// first); the model builds its per-wire listener table in the same
+// construction order the replay harness uses, so interleavings -- and
+// therefore counterexamples -- transfer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ctrl/burst_mode.hpp"
+#include "ctrl/petri.hpp"
+#include "mc/property.hpp"
+
+namespace mts::mc {
+
+/// One product configuration: the ring capacity plus the controller specs
+/// and detector windows that parameterize each cell. Mutation testing
+/// works by perturbing a copy of default_ring() (see mc/mutations.cpp).
+struct RingConfig {
+  std::string name = "opt-ring";
+  unsigned capacity = 4;
+  ctrl::BmSpec opt;   ///< put-token machine (Fig. 10a)
+  ctrl::BmSpec ogt;   ///< get-token machine (same spec, reused)
+  ctrl::PetriNet dv;  ///< per-cell data-validity controller
+  unsigned full_window = 2;  ///< window the full detector is built with
+  unsigned ne_window = 2;    ///< window the ne detector is built with
+  unsigned sync_depth = 2;   ///< derives the invariant's reference window
+  bool drop_put_guard = false;  ///< mutant: we C-element without the e_i input
+  bool drop_get_guard = false;  ///< mutant: re C-element without the f_i input
+};
+
+/// The shipped OPT x DV_linear x anticipating-detector product at
+/// `capacity` places.
+RingConfig default_ring(unsigned capacity);
+
+/// Unpacked product state.
+struct RingState {
+  std::vector<bool> wires;             ///< levels, indexed per RingModel
+  std::vector<ctrl::BmCore> opt;       ///< one per cell (put ring)
+  std::vector<ctrl::BmCore> ogt;       ///< one per cell (get ring)
+  std::vector<ctrl::PnMarking> dv;     ///< one per cell
+  std::vector<std::uint8_t> queue;     ///< pending wire flips, FIFO order
+};
+
+/// One transition of the product.
+enum class ActionKind : std::uint8_t {
+  kCommit = 0,      ///< commit the pending flip at the queue head
+  kPutReqUp = 1,    ///< environment raises put_req (side idle)
+  kPutReqDown = 2,  ///< environment lowers put_req (side acknowledged)
+  kGetReqUp = 3,
+  kGetReqDown = 4,
+};
+
+const char* action_name(ActionKind a) noexcept;
+
+/// A violation found while applying one action.
+struct McViolation {
+  Property property = Property::kTokenRing;
+  std::string site;    ///< "mc.c2.opt", "mc.put-ring", ...
+  std::string detail;  ///< observed-vs-expected, human-oriented
+};
+
+/// Everything one apply() step reports.
+struct StepResult {
+  std::vector<McViolation> violations;  ///< empty on a clean step
+  bool progress_put = false;  ///< derived put ack fell: a put completed
+  bool progress_get = false;  ///< derived get ack fell: a get completed
+  std::string label;          ///< "put_req+", "c2.we-", ...
+};
+
+class RingModel {
+ public:
+  explicit RingModel(RingConfig cfg);
+
+  const RingConfig& config() const noexcept { return cfg_; }
+  unsigned capacity() const noexcept { return cfg_.capacity; }
+
+  // -- wire indexing (shared with the replay harness) ----------------------
+  static constexpr unsigned kReqPut = 0;
+  static constexpr unsigned kReqGet = 1;
+  unsigned ptok_index(unsigned cell) const { return 2 + 6 * cell + 0; }
+  unsigned we_index(unsigned cell) const { return 2 + 6 * cell + 1; }
+  unsigned e_index(unsigned cell) const { return 2 + 6 * cell + 2; }
+  unsigned f_index(unsigned cell) const { return 2 + 6 * cell + 3; }
+  unsigned gtok_index(unsigned cell) const { return 2 + 6 * cell + 4; }
+  unsigned re_index(unsigned cell) const { return 2 + 6 * cell + 5; }
+  unsigned num_wires() const { return 2 + 6 * cfg_.capacity; }
+  std::string wire_name(unsigned wire) const;
+
+  /// Quiescent reset state: token in cell 0 on both rings, all cells empty.
+  RingState initial() const;
+
+  /// Actions enabled in `s`. With `macro_only`, the environment acts only
+  /// at quiescence: a non-empty queue admits exactly kCommit, making each
+  /// environment step a deterministic drain (the replayable search mode).
+  std::vector<ActionKind> enabled_actions(const RingState& s,
+                                          bool macro_only) const;
+
+  /// Applies `a` to `s`, producing `next` and the step's findings. Checks
+  /// the edge-triggered invariants (overflow, underflow, handshake order,
+  /// illegal controller inputs, 1-safety) during the step and the
+  /// state-level invariants (token counts, detector re-derivation) on the
+  /// resulting state.
+  StepResult apply(const RingState& s, ActionKind a, RingState* next) const;
+
+  /// Derived acknowledge levels (OR over we / re), the environment's view.
+  bool put_ack(const RingState& s) const;
+  bool get_ack(const RingState& s) const;
+
+  // -- packing -------------------------------------------------------------
+  std::size_t record_size() const noexcept { return record_size_; }
+  void pack(const RingState& s, std::uint8_t* out) const;
+  RingState unpack(const std::uint8_t* rec) const;
+
+  /// Pending flips the model tolerates before declaring kQueueBound.
+  static constexpr std::size_t kMaxQueue = 24;
+
+ private:
+  struct ListenerRef {
+    enum class Kind : std::uint8_t { kPutC, kOpt, kGetC, kOgt, kDv };
+    Kind kind;
+    unsigned cell;
+    unsigned input;  ///< input index within the component (kOpt/kOgt/kDv)
+  };
+
+  void commit_level(RingState& s, unsigned wire, bool level,
+                    StepResult& r) const;
+  void schedule_level(RingState& s, unsigned wire, bool target,
+                      StepResult& r) const;
+  void eval_celement(RingState& s, unsigned cell, bool put_side,
+                     StepResult& r) const;
+  void step_machine(RingState& s, unsigned cell, bool put_side, unsigned input,
+                    bool rising, StepResult& r) const;
+  void step_dv(RingState& s, unsigned cell, unsigned input, bool rising,
+               StepResult& r) const;
+  void check_state_invariants(const RingState& s, StepResult& r) const;
+  bool effective_level(const RingState& s, unsigned wire) const;
+
+  RingConfig cfg_;
+  std::vector<std::vector<ListenerRef>> listeners_;  ///< per wire
+  bool opt_needs_progress_ = false;
+  bool ogt_needs_progress_ = false;
+  unsigned ref_window_ = 2;  ///< anticipation_window(sync_depth)
+  std::size_t record_size_ = 0;
+};
+
+}  // namespace mts::mc

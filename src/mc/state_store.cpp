@@ -1,0 +1,52 @@
+#include "mc/state_store.hpp"
+
+#include <cstring>
+
+#include "sim/error.hpp"
+
+namespace mts::mc {
+
+std::uint64_t fnv64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xCBF2'9CE4'8422'2325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x0000'0100'0000'01B3ull;
+  }
+  return h;
+}
+
+StateStore::StateStore(std::size_t record_size) : record_size_(record_size) {
+  MTS_ASSERT(record_size_ > 0, "StateStore: empty records");
+  table_.assign(1u << 16, kEmpty);
+  mask_ = table_.size() - 1;
+}
+
+std::pair<std::uint32_t, bool> StateStore::intern(const std::uint8_t* rec) {
+  const std::uint64_t h = fnv64(rec, record_size_);
+  std::size_t slot = static_cast<std::size_t>(h) & mask_;
+  while (table_[slot] != kEmpty) {
+    const std::uint32_t id = table_[slot];
+    if (std::memcmp(bytes(id), rec, record_size_) == 0) return {id, false};
+    slot = (slot + 1) & mask_;
+  }
+  const std::uint32_t id = static_cast<std::uint32_t>(count_++);
+  arena_.insert(arena_.end(), rec, rec + record_size_);
+  table_[slot] = id;
+  if (count_ * 4 >= table_.size() * 3) grow();  // keep load factor under 3/4
+  return {id, true};
+}
+
+void StateStore::grow() {
+  std::vector<std::uint32_t> bigger(table_.size() * 2, kEmpty);
+  const std::size_t mask = bigger.size() - 1;
+  for (std::uint32_t id = 0; id < count_; ++id) {
+    const std::uint64_t h = fnv64(bytes(id), record_size_);
+    std::size_t slot = static_cast<std::size_t>(h) & mask;
+    while (bigger[slot] != kEmpty) slot = (slot + 1) & mask;
+    bigger[slot] = id;
+  }
+  table_ = std::move(bigger);
+  mask_ = mask;
+}
+
+}  // namespace mts::mc

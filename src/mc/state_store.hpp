@@ -1,0 +1,52 @@
+// Visited-state set for the explicit-state checker.
+//
+// States are fixed-size byte records; the store interns them into a flat
+// arena (ids are allocation order, so every traversal that walks ids is
+// deterministic) with an open-addressed hash index on top. FNV-1a 64 over
+// the record bytes; collisions resolve by byte comparison, so two runs of
+// the same product always assign identical ids -- the determinism
+// guarantee the byte-identical-counterexample test pins down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mts::mc {
+
+/// FNV-1a 64-bit over `n` bytes.
+std::uint64_t fnv64(const std::uint8_t* data, std::size_t n);
+
+class StateStore {
+ public:
+  explicit StateStore(std::size_t record_size);
+
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  /// Interns `rec` (record_size bytes). Returns (id, inserted): inserted is
+  /// false when an identical record was already present.
+  std::pair<std::uint32_t, bool> intern(const std::uint8_t* rec);
+
+  /// Bytes of record `id`; invalidated by the next intern().
+  const std::uint8_t* bytes(std::uint32_t id) const {
+    return arena_.data() + static_cast<std::size_t>(id) * record_size_;
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  std::size_t record_size() const noexcept { return record_size_; }
+
+ private:
+  void grow();
+
+  static constexpr std::uint32_t kEmpty = 0xFFFF'FFFFu;
+
+  std::size_t record_size_;
+  std::size_t count_ = 0;
+  std::vector<std::uint8_t> arena_;
+  std::vector<std::uint32_t> table_;  ///< open addressing, kEmpty = free
+  std::size_t mask_ = 0;
+};
+
+}  // namespace mts::mc

@@ -78,6 +78,35 @@ TEST(Reachability, RejectsOversizedNets) {
   EXPECT_THROW(analyze(n), ConfigError);
 }
 
+TEST(Reachability, AcceptsSixtyFourPlaceNets) {
+  // 64 places is exactly the bitset-marking capacity: must be accepted.
+  PetriNet n;
+  n.name = "ring64";
+  n.num_places = 64;
+  n.initial_marking = {0};
+  for (unsigned p = 0; p < 64; ++p) {
+    n.transitions.push_back({"t" + std::to_string(p), false, 0, true,
+                             {p}, {(p + 1) % 64}});
+  }
+  const ReachabilityResult r = analyze(n);
+  EXPECT_TRUE(r.all_good()) << r.violation;
+  EXPECT_EQ(r.reachable_markings, 64u);
+}
+
+TEST(Reachability, MarkingExplosionErrorNamesTheBound) {
+  // The 8-marking linear ring blows a max_markings budget of 4; the
+  // ConfigError must name the configured bound so users know which knob
+  // to raise.
+  try {
+    analyze(dv_linear_net(), 4);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("max_markings = 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("marking explosion"), std::string::npos) << what;
+  }
+}
+
 TEST(Reachability, SelfLoopOnMarkedPlaceIsSafe) {
   // pre and post share a place: consume-then-produce must not be flagged.
   PetriNet n;

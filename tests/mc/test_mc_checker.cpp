@@ -1,0 +1,104 @@
+// check_ring() end-to-end: clean proofs, search-mode fallbacks, budget
+// truncation, and counterexample JSON shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "mc/checker.hpp"
+#include "mc/mutations.hpp"
+#include "mc/property.hpp"
+#include "mc/ring_model.hpp"
+
+namespace mts::mc {
+namespace {
+
+bool proves(const CheckResult& res, const std::string& prop) {
+  return std::find(res.proved.begin(), res.proved.end(), prop) !=
+         res.proved.end();
+}
+
+TEST(Checker, CleanRingCapacity4ProvesEverything) {
+  const CheckResult res = check_ring(default_ring(4), {});
+  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(res.exhaustive);
+  EXPECT_FALSE(res.cex.has_value());
+  EXPECT_EQ(res.capacity, 4u);
+  // State-space sizes are part of the determinism contract (EXPERIMENTS.md).
+  EXPECT_EQ(res.macro_states, 80u);
+  EXPECT_EQ(res.states, 2412u);
+  EXPECT_EQ(res.edges, 4396u);
+  EXPECT_EQ(res.proved.size(), 9u);
+  for (const char* p : {"token-ring", "overflow", "underflow",
+                        "handshake-order", "full-detector", "empty-detector",
+                        "one-safety", "deadlock", "livelock"}) {
+    EXPECT_TRUE(proves(res, p)) << p;
+  }
+}
+
+TEST(Checker, CleanRingCapacity2Proves) {
+  const CheckResult res = check_ring(default_ring(2), {});
+  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(res.exhaustive);
+  EXPECT_GT(res.macro_states, 0u);
+  EXPECT_GT(res.states, res.macro_states);
+}
+
+TEST(Checker, DfsFallbackIsBoundedAndNotExhaustive) {
+  ExploreOptions opts;
+  opts.dfs_depth = 40;
+  const CheckResult res = check_ring(default_ring(4), opts);
+  EXPECT_TRUE(res.ok);
+  EXPECT_FALSE(res.exhaustive);  // bounded search never claims a proof
+  EXPECT_TRUE(res.proved.empty());
+  EXPECT_GT(res.states, 0u);
+}
+
+TEST(Checker, MaxStatesBudgetTruncatesWithoutProof) {
+  ExploreOptions opts;
+  opts.max_states = 100;
+  const CheckResult res = check_ring(default_ring(4), opts);
+  EXPECT_TRUE(res.ok);
+  EXPECT_FALSE(res.exhaustive);
+  EXPECT_TRUE(res.proved.empty());
+  EXPECT_LE(res.states, 100u + 8u);  // budget plus at most one frontier batch
+}
+
+TEST(Checker, MacroOnlySearchSkipsTheFullPass) {
+  ExploreOptions opts;
+  opts.full_interleaving = false;
+  const CheckResult res = check_ring(default_ring(4), opts);
+  EXPECT_TRUE(res.ok);
+  EXPECT_FALSE(res.exhaustive);
+  EXPECT_EQ(res.states, 0u);
+  EXPECT_EQ(res.macro_states, 80u);
+}
+
+TEST(Checker, CounterexampleJsonIsStructured) {
+  // The dropped get-side C-element guard lets re+ fire into an empty cell.
+  RingConfig cfg = default_ring(4);
+  cfg.name = "mutant";
+  cfg.drop_get_guard = true;
+  const CheckResult res = check_ring(cfg, {});
+  ASSERT_FALSE(res.ok);
+  ASSERT_TRUE(res.cex.has_value());
+  EXPECT_EQ(res.cex->property, Property::kUnderflow);
+  EXPECT_TRUE(res.cex->replayable);
+  EXPECT_GT(res.cex->trace.size(), 0u);
+  const std::string json = res.cex->to_json();
+  EXPECT_NE(json.find("\"property\": \"underflow\""), std::string::npos);
+  EXPECT_NE(json.find("\"replayable\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  const std::string full = res.to_json();
+  EXPECT_NE(full.find("\"cex\""), std::string::npos);
+  EXPECT_NE(full.find("\"exhaustive\""), std::string::npos);
+}
+
+TEST(Checker, PropertyNamesMapToRuntimeInvariants) {
+  EXPECT_STREQ(property_name(Property::kTokenRing), "token-ring");
+  EXPECT_EQ(to_invariant(Property::kOverflow), verify::Invariant::kOverflow);
+  EXPECT_EQ(to_invariant(Property::kDeadlock), verify::Invariant::kDeadlock);
+}
+
+}  // namespace
+}  // namespace mts::mc

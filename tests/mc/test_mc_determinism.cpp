@@ -1,0 +1,53 @@
+// Determinism: two runs of the checker over the same configuration must
+// produce byte-identical JSON (state counts, proved list, counterexample
+// trace) -- the property that makes counterexample bundles diffable in CI.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mc/checker.hpp"
+#include "mc/mutations.hpp"
+#include "mc/ring_model.hpp"
+
+namespace mts::mc {
+namespace {
+
+TEST(Determinism, CleanRunsAreByteIdentical) {
+  const RingConfig cfg = default_ring(4);
+  const CheckResult a = check_ring(cfg, {});
+  const CheckResult b = check_ring(cfg, {});
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.macro_states, b.macro_states);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.peak_frontier, b.peak_frontier);
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(Determinism, CounterexampleJsonIsByteIdentical) {
+  // Run every mutant twice: same violation, same trace, same JSON bytes.
+  for (const Mutant& m : make_mutants()) {
+    SCOPED_TRACE(m.name);
+    const CheckResult a = check_ring(m.config, {});
+    const CheckResult b = check_ring(m.config, {});
+    ASSERT_FALSE(a.ok);
+    ASSERT_FALSE(b.ok);
+    ASSERT_TRUE(a.cex.has_value());
+    ASSERT_TRUE(b.cex.has_value());
+    EXPECT_EQ(a.cex->to_json(), b.cex->to_json());
+    EXPECT_EQ(a.to_json(), b.to_json());
+    EXPECT_EQ(a.macro_states, b.macro_states);
+  }
+}
+
+TEST(Determinism, DfsFallbackIsAlsoDeterministic) {
+  ExploreOptions opts;
+  opts.dfs_depth = 30;
+  const CheckResult a = check_ring(default_ring(4), opts);
+  const CheckResult b = check_ring(default_ring(4), opts);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+}  // namespace
+}  // namespace mts::mc

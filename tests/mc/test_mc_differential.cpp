@@ -1,0 +1,145 @@
+// Differential oracle: mc::check_net's independent marking-graph search
+// must agree with ctrl::analyze() on one-safety, deadlock-freedom and the
+// reachable-marking count -- on the shipped controller nets, on hand-built
+// corner cases, and on a fixed-seed population of random small 1-safe nets.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ctrl/petri.hpp"
+#include "ctrl/reachability.hpp"
+#include "ctrl/specs.hpp"
+#include "mc/net_model.hpp"
+
+namespace mts::mc {
+namespace {
+
+using ctrl::PetriNet;
+using ctrl::PnTransition;
+
+void expect_agreement(const PetriNet& net) {
+  const ctrl::ReachabilityResult ref = ctrl::analyze(net);
+  const NetCheckResult got = check_net(net);
+  EXPECT_EQ(got.one_safe, ref.one_safe) << net.name;
+  EXPECT_EQ(got.deadlock_free, ref.deadlock_free) << net.name;
+  EXPECT_EQ(got.reachable_markings, ref.reachable_markings) << net.name;
+}
+
+TEST(NetDifferential, ShippedControllerNetsAgree) {
+  expect_agreement(ctrl::dv_linear_net());
+  expect_agreement(ctrl::dv_as_net());
+}
+
+TEST(NetDifferential, ShippedNetCountsArePinned) {
+  const NetCheckResult linear = check_net(ctrl::dv_linear_net());
+  EXPECT_TRUE(linear.one_safe);
+  EXPECT_TRUE(linear.deadlock_free);
+  EXPECT_EQ(linear.reachable_markings, 8u);
+  const NetCheckResult as = check_net(ctrl::dv_as_net());
+  EXPECT_TRUE(as.one_safe);
+  EXPECT_TRUE(as.deadlock_free);
+  EXPECT_EQ(as.reachable_markings, 14u);
+}
+
+TEST(NetDifferential, KnownDeadlockAgrees) {
+  // One transition drains place 0 into a sink place with no outgoing arc.
+  PetriNet net;
+  net.name = "sink";
+  net.num_places = 2;
+  net.initial_marking = {0};
+  PnTransition t;
+  t.label = "t0";
+  t.pre = {0};
+  t.post = {1};
+  net.transitions.push_back(t);
+  const NetCheckResult got = check_net(net);
+  EXPECT_FALSE(got.deadlock_free);
+  EXPECT_TRUE(got.one_safe);
+  EXPECT_EQ(got.reachable_markings, 2u);
+  expect_agreement(net);
+}
+
+TEST(NetDifferential, KnownUnsafeNetAgrees) {
+  // Both t1 and t2 produce into place 2; firing the second while place 2 is
+  // still marked violates 1-safety.
+  PetriNet net;
+  net.name = "unsafe";
+  net.num_places = 3;
+  net.initial_marking = {0, 1};
+  PnTransition t1;
+  t1.label = "t1";
+  t1.pre = {0};
+  t1.post = {2};
+  PnTransition t2;
+  t2.label = "t2";
+  t2.pre = {1};
+  t2.post = {2};
+  net.transitions = {t1, t2};
+  const NetCheckResult got = check_net(net);
+  EXPECT_FALSE(got.one_safe);
+  EXPECT_FALSE(got.violation.empty());
+  expect_agreement(net);
+}
+
+/// Random net: 3..8 places, 2..6 transitions with 1-2 pre/post places each,
+/// random nonempty initial marking. Deliberately unconstrained -- many draws
+/// are unsafe or deadlocking, which is the point: the two implementations
+/// must agree on the verdicts, not just on well-behaved inputs.
+PetriNet random_net(std::mt19937& rng, unsigned index) {
+  std::uniform_int_distribution<unsigned> places_d(3, 8);
+  const unsigned places = places_d(rng);
+  std::uniform_int_distribution<unsigned> trans_d(2, 6);
+  const unsigned ntrans = trans_d(rng);
+  std::uniform_int_distribution<unsigned> place_d(0, places - 1);
+  std::uniform_int_distribution<unsigned> coin(0, 1);
+
+  PetriNet net;
+  net.name = "rand" + std::to_string(index);
+  net.num_places = places;
+  for (unsigned p = 0; p < places; ++p) {
+    if (coin(rng) != 0) net.initial_marking.push_back(p);
+  }
+  if (net.initial_marking.empty()) net.initial_marking.push_back(place_d(rng));
+  for (unsigned t = 0; t < ntrans; ++t) {
+    PnTransition tr;
+    tr.label = "t" + std::to_string(t);
+    tr.pre.push_back(place_d(rng));
+    if (coin(rng) != 0) {
+      const unsigned extra = place_d(rng);
+      if (extra != tr.pre[0]) tr.pre.push_back(extra);
+    }
+    tr.post.push_back(place_d(rng));
+    if (coin(rng) != 0) {
+      const unsigned extra = place_d(rng);
+      if (extra != tr.post[0]) tr.post.push_back(extra);
+    }
+    net.transitions.push_back(tr);
+  }
+  return net;
+}
+
+TEST(NetDifferential, RandomNetPopulationAgrees) {
+  std::mt19937 rng(0xD5C0'2001u);  // fixed seed: the population is pinned
+  unsigned unsafe = 0;
+  unsigned deadlocking = 0;
+  for (unsigned i = 0; i < 120; ++i) {
+    const PetriNet net = random_net(rng, i);
+    const ctrl::ReachabilityResult ref = ctrl::analyze(net);
+    const NetCheckResult got = check_net(net);
+    ASSERT_EQ(got.one_safe, ref.one_safe) << net.name;
+    ASSERT_EQ(got.deadlock_free, ref.deadlock_free) << net.name;
+    ASSERT_EQ(got.reachable_markings, ref.reachable_markings) << net.name;
+    unsafe += got.one_safe ? 0u : 1u;
+    deadlocking += got.deadlock_free ? 0u : 1u;
+  }
+  // The population must actually exercise both verdicts.
+  EXPECT_GT(unsafe, 0u);
+  EXPECT_GT(deadlocking, 0u);
+  EXPECT_LT(unsafe, 120u);
+}
+
+}  // namespace
+}  // namespace mts::mc

@@ -1,0 +1,152 @@
+// RingModel product semantics: reset state, token movement, blocking, and
+// handshake-count cross-validation against the concrete replay harness.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "mc/replay.hpp"
+#include "mc/ring_model.hpp"
+
+namespace mts::mc {
+namespace {
+
+/// Applies one env action and drains to quiescence, asserting every step is
+/// violation-free. Returns (puts, gets) completed during the drain.
+std::pair<unsigned, unsigned> macro_step(const RingModel& model, RingState& s,
+                                         ActionKind a) {
+  unsigned puts = 0;
+  unsigned gets = 0;
+  RingState next;
+  StepResult r = model.apply(s, a, &next);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.front().detail;
+  s = std::move(next);
+  puts += r.progress_put ? 1u : 0u;
+  gets += r.progress_get ? 1u : 0u;
+  while (!s.queue.empty()) {
+    StepResult rc = model.apply(s, ActionKind::kCommit, &next);
+    EXPECT_TRUE(rc.violations.empty()) << rc.violations.front().detail;
+    s = std::move(next);
+    puts += rc.progress_put ? 1u : 0u;
+    gets += rc.progress_get ? 1u : 0u;
+  }
+  return {puts, gets};
+}
+
+TEST(RingModel, ResetStateIsTheQuiescentPaperReset) {
+  const RingModel model(default_ring(4));
+  const RingState s = model.initial();
+  EXPECT_TRUE(s.queue.empty());
+  EXPECT_TRUE(s.wires[model.ptok_index(0)]);
+  EXPECT_TRUE(s.wires[model.gtok_index(0)]);
+  for (unsigned k = 0; k < 4; ++k) {
+    EXPECT_TRUE(s.wires[model.e_index(k)]) << k;
+    EXPECT_FALSE(s.wires[model.f_index(k)]) << k;
+    EXPECT_FALSE(s.wires[model.we_index(k)]) << k;
+    EXPECT_FALSE(s.wires[model.re_index(k)]) << k;
+    if (k != 0) {
+      EXPECT_FALSE(s.wires[model.ptok_index(k)]) << k;
+      EXPECT_FALSE(s.wires[model.gtok_index(k)]) << k;
+    }
+  }
+  const auto actions = model.enabled_actions(s, true);
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(actions[0], ActionKind::kPutReqUp);
+  EXPECT_EQ(actions[1], ActionKind::kGetReqUp);
+}
+
+TEST(RingModel, PutHandshakeFillsCellAndMovesToken) {
+  const RingModel model(default_ring(4));
+  RingState s = model.initial();
+  macro_step(model, s, ActionKind::kPutReqUp);
+  EXPECT_TRUE(model.put_ack(s));
+  EXPECT_TRUE(s.wires[model.we_index(0)]);
+  auto [puts, gets] = macro_step(model, s, ActionKind::kPutReqDown);
+  EXPECT_EQ(puts, 1u);
+  EXPECT_EQ(gets, 0u);
+  EXPECT_FALSE(model.put_ack(s));
+  // Cell 0 now holds the item; the put token granted cell 1.
+  EXPECT_FALSE(s.wires[model.e_index(0)]);
+  EXPECT_TRUE(s.wires[model.f_index(0)]);
+  EXPECT_FALSE(s.wires[model.ptok_index(0)]);
+  EXPECT_TRUE(s.wires[model.ptok_index(1)]);
+}
+
+TEST(RingModel, GetHandshakeEmptiesCellAgain) {
+  const RingModel model(default_ring(4));
+  RingState s = model.initial();
+  macro_step(model, s, ActionKind::kPutReqUp);
+  macro_step(model, s, ActionKind::kPutReqDown);
+  macro_step(model, s, ActionKind::kGetReqUp);
+  EXPECT_TRUE(model.get_ack(s));
+  auto [puts, gets] = macro_step(model, s, ActionKind::kGetReqDown);
+  EXPECT_EQ(puts, 0u);
+  EXPECT_EQ(gets, 1u);
+  EXPECT_TRUE(s.wires[model.e_index(0)]);
+  EXPECT_FALSE(s.wires[model.f_index(0)]);
+  EXPECT_TRUE(s.wires[model.gtok_index(1)]);
+}
+
+TEST(RingModel, FullRingBlocksPutsUntilAGet) {
+  const unsigned n = 4;
+  const RingModel model(default_ring(n));
+  RingState s = model.initial();
+  for (unsigned i = 0; i < n; ++i) {
+    macro_step(model, s, ActionKind::kPutReqUp);
+    EXPECT_TRUE(model.put_ack(s)) << i;
+    macro_step(model, s, ActionKind::kPutReqDown);
+  }
+  // Fifth put: the token's cell is still full, so we+ cannot fire -- the
+  // request parks with no acknowledge and only get actions stay enabled.
+  macro_step(model, s, ActionKind::kPutReqUp);
+  EXPECT_FALSE(model.put_ack(s));
+  const auto actions = model.enabled_actions(s, true);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0], ActionKind::kGetReqUp);
+  // One get drains a cell; the parked put then completes on its own.
+  macro_step(model, s, ActionKind::kGetReqUp);
+  macro_step(model, s, ActionKind::kGetReqDown);
+  EXPECT_TRUE(model.put_ack(s));
+}
+
+TEST(RingModel, HandshakeCountsMatchConcreteReplay) {
+  // The cross-validation at the heart of the replay contract: an env script
+  // driven through the abstract model (macro drains) and through the real
+  // netlist (replay_ring) completes the same transactions, cleanly.
+  const std::vector<ActionKind> script = {
+      ActionKind::kPutReqUp, ActionKind::kPutReqDown,  // put #1
+      ActionKind::kPutReqUp, ActionKind::kPutReqDown,  // put #2
+      ActionKind::kGetReqUp, ActionKind::kGetReqDown,  // get #1
+      ActionKind::kPutReqUp, ActionKind::kPutReqDown,  // put #3
+      ActionKind::kGetReqUp, ActionKind::kGetReqDown,  // get #2
+      ActionKind::kGetReqUp, ActionKind::kGetReqDown,  // get #3
+  };
+  const RingConfig cfg = default_ring(4);
+  const RingModel model(cfg);
+  RingState s = model.initial();
+  unsigned model_puts = 0;
+  unsigned model_gets = 0;
+  for (ActionKind a : script) {
+    auto [p, g] = macro_step(model, s, a);
+    model_puts += p;
+    model_gets += g;
+  }
+  EXPECT_EQ(model_puts, 3u);
+  EXPECT_EQ(model_gets, 3u);
+
+  const ReplayOutcome out = replay_ring(cfg, script);
+  EXPECT_FALSE(out.violated) << out.detail;
+  EXPECT_EQ(out.put_handshakes, model_puts);
+  EXPECT_EQ(out.get_handshakes, model_gets);
+}
+
+TEST(RingModel, WireNamesAreStable) {
+  const RingModel model(default_ring(4));
+  EXPECT_EQ(model.wire_name(RingModel::kReqPut), "put_req");
+  EXPECT_EQ(model.wire_name(RingModel::kReqGet), "get_req");
+  EXPECT_EQ(model.wire_name(model.ptok_index(0)), "c0.ptok");
+  EXPECT_EQ(model.wire_name(model.re_index(3)), "c3.re");
+}
+
+}  // namespace
+}  // namespace mts::mc

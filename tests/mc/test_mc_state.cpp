@@ -1,0 +1,102 @@
+// StateStore interning and RingState packing round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "mc/ring_model.hpp"
+#include "mc/state_store.hpp"
+
+namespace mts::mc {
+namespace {
+
+TEST(StateStore, InternsAndDeduplicates) {
+  StateStore store(4);
+  const std::uint8_t a[4] = {1, 2, 3, 4};
+  const std::uint8_t b[4] = {1, 2, 3, 5};
+  auto [ida, newa] = store.intern(a);
+  EXPECT_TRUE(newa);
+  EXPECT_EQ(ida, 0u);
+  auto [idb, newb] = store.intern(b);
+  EXPECT_TRUE(newb);
+  EXPECT_EQ(idb, 1u);
+  auto [ida2, newa2] = store.intern(a);
+  EXPECT_FALSE(newa2);
+  EXPECT_EQ(ida2, 0u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(0, std::memcmp(store.bytes(0), a, 4));
+  EXPECT_EQ(0, std::memcmp(store.bytes(1), b, 4));
+}
+
+TEST(StateStore, SurvivesTableGrowth) {
+  // Push past the initial 1<<16 table's 3/4 load factor so grow() rehashes,
+  // then verify every id still resolves to its own record.
+  StateStore store(8);
+  std::uint8_t rec[8] = {0};
+  const std::uint32_t n = 80'000;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::memcpy(rec, &i, sizeof i);
+    auto [id, inserted] = store.intern(rec);
+    ASSERT_TRUE(inserted);
+    ASSERT_EQ(id, i);
+  }
+  EXPECT_EQ(store.size(), n);
+  for (std::uint32_t i = 0; i < n; i += 977) {
+    std::memcpy(rec, &i, sizeof i);
+    auto [id, inserted] = store.intern(rec);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(id, i);
+  }
+}
+
+TEST(StateStore, FnvIsStable) {
+  // Pin the FNV-1a constants: ids (and therefore counterexample JSON)
+  // depend on this function never changing.
+  const std::uint8_t data[3] = {'m', 't', 's'};
+  EXPECT_EQ(fnv64(data, 0), 0xCBF2'9CE4'8422'2325ull);
+  EXPECT_NE(fnv64(data, 3), fnv64(data, 2));
+}
+
+TEST(RingStatePacking, RoundTripsInitialState) {
+  const RingModel model(default_ring(4));
+  const RingState s = model.initial();
+  std::vector<std::uint8_t> rec(model.record_size());
+  model.pack(s, rec.data());
+  const RingState back = model.unpack(rec.data());
+  EXPECT_EQ(back.wires, s.wires);
+  EXPECT_EQ(back.queue, s.queue);
+  for (unsigned k = 0; k < 4; ++k) {
+    EXPECT_TRUE(back.opt[k] == s.opt[k]);
+    EXPECT_TRUE(back.ogt[k] == s.ogt[k]);
+    EXPECT_EQ(back.dv[k], s.dv[k]);
+  }
+}
+
+TEST(RingStatePacking, RoundTripsExploredStates) {
+  // Walk a few macro steps and round-trip every intermediate micro state.
+  const RingModel model(default_ring(4));
+  RingState s = model.initial();
+  std::vector<std::uint8_t> rec(model.record_size());
+  const ActionKind script[] = {ActionKind::kPutReqUp, ActionKind::kPutReqDown,
+                               ActionKind::kGetReqUp, ActionKind::kGetReqDown,
+                               ActionKind::kPutReqUp};
+  for (ActionKind a : script) {
+    RingState next;
+    ASSERT_TRUE(model.apply(s, a, &next).violations.empty());
+    s = std::move(next);
+    while (!s.queue.empty()) {
+      model.pack(s, rec.data());
+      const RingState back = model.unpack(rec.data());
+      ASSERT_EQ(back.wires, s.wires);
+      ASSERT_EQ(back.queue, s.queue);
+      RingState drained;
+      ASSERT_TRUE(
+          model.apply(s, ActionKind::kCommit, &drained).violations.empty());
+      s = std::move(drained);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mts::mc
