@@ -36,6 +36,35 @@ std::string campaign_doc(unsigned workers, std::size_t configs,
   return campaign.to_json(/*include_host_stats=*/false);
 }
 
+/// Campaign-health artifacts for a worker count: the same FIFO soak with
+/// the engine telemetry sampler and a latency SLO armed. Returns
+/// {health_json, merged timeline JSONL} -- both must be byte-identical
+/// across worker counts (run-index-ordered folds).
+struct HealthDoc {
+  std::string health;
+  std::string timeline;
+};
+
+HealthDoc campaign_health(unsigned workers, std::size_t configs,
+                          std::size_t reps, unsigned cycles) {
+  sim::CampaignOptions opt;
+  opt.workers = workers;
+  opt.seed = 99;
+  opt.telemetry_interval = 50 * sim::kNanosecond;
+  opt.telemetry_max_points = 512;
+  opt.telemetry_window = 256;
+  opt.slo.metric = "latency_ps";
+  opt.slo.percentile = 0.99;
+  opt.slo.budget = 1e9;  // generous: record worst, don't fail runs
+  sim::Campaign campaign(configs, reps, opt);
+  campaign.run([cycles](sim::CampaignContext& ctx) {
+    benchwork::fifo_soak_body(ctx, cycles);
+  });
+  if (workers == 1) campaign.write_health_json("campaign_health.json");
+  return HealthDoc{campaign.health_json(),
+                   campaign.merged_timeline().to_jsonl()};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,6 +97,16 @@ int main(int argc, char** argv) {
   std::printf("\n4-worker vs 1-worker campaign JSON (host stats excluded): "
               "%s\n", deterministic ? "IDENTICAL" : "MISMATCH");
 
+  // Streaming-telemetry determinism: per-run samplers + SLO verdicts armed,
+  // health document and index-folded timeline byte-compared across worker
+  // counts. Also leaves campaign_health.json behind (CI uploads it).
+  const HealthDoc health1 = campaign_health(1, configs, reps, cycles);
+  const HealthDoc health4 = campaign_health(4, configs, reps, cycles);
+  const bool health_deterministic = health1.health == health4.health &&
+                                    health1.timeline == health4.timeline;
+  std::printf("4-worker vs 1-worker campaign_health.json + merged timeline: "
+              "%s\n", health_deterministic ? "IDENTICAL" : "MISMATCH");
+
   FILE* f = std::fopen("BENCH_campaign.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr,
@@ -89,10 +128,12 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "},\n");
   std::fprintf(f, "  \"speedup_4w_vs_1w\": %.2f,\n", rps[2] / rps[0]);
-  std::fprintf(f, "  \"deterministic_4w_vs_1w\": %s\n",
+  std::fprintf(f, "  \"deterministic_4w_vs_1w\": %s,\n",
                deterministic ? "true" : "false");
+  std::fprintf(f, "  \"telemetry_health_deterministic_4w_vs_1w\": %s\n",
+               health_deterministic ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
-  std::printf("wrote BENCH_campaign.json\n");
-  return deterministic ? 0 : 1;
+  std::printf("wrote BENCH_campaign.json and campaign_health.json\n");
+  return deterministic && health_deterministic ? 0 : 1;
 }

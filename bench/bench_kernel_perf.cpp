@@ -21,6 +21,8 @@
 #include "bfm/bfm.hpp"
 #include "fifo/fifo.hpp"
 #include "gates/gates.hpp"
+#include "metrics/registry.hpp"
+#include "sim/observe.hpp"
 #include "sim/profiler.hpp"
 #include "sync/clock.hpp"
 #include "verify/hub.hpp"
@@ -357,6 +359,150 @@ HotPathMeasurement measure_fifo_monitored(std::uint64_t cycles, bool armed) {
   return m;
 }
 
+/// The mixed-clock FIFO soak with the telemetry sampler disarmed or armed.
+/// Mirrors measure_fifo_monitored: components probe obs.telemetry once at
+/// construction, so the disarmed run must cost the same as before the
+/// sampler existed (CI gates it at the shared 5% tolerance). The armed run
+/// samples every FIFO/relay source plus the registry each interval -- that
+/// cost is informational and bounded by a looser ceiling.
+HotPathMeasurement measure_fifo_telemetry(std::uint64_t cycles, bool armed) {
+  fifo::FifoConfig cfg;
+  cfg.capacity = 4;
+  cfg.width = 8;
+  sim::Simulation sim(1);
+  metrics::Registry registry;
+  sim::TelemetryConfig tcfg;
+  const Time pp = 2 * fifo::SyncPutSide::min_period(cfg);
+  tcfg.interval = 4 * pp;  // a sample every four put cycles: aggressive
+  sim::Telemetry telemetry(tcfg);
+  sim::Observability obs;  // armed pointer lives in sim: must span the run
+  if (armed) {
+    obs.metrics = &registry;
+    obs.telemetry = &telemetry;
+    obs.arm(sim);
+  }
+  const Time gp = 2 * fifo::SyncGetSide::min_period(cfg);
+  sync::Clock cp(sim, "cp", {pp, 4 * pp, 0.5, 0});
+  sync::Clock cg(sim, "cg", {gp, 4 * pp + gp / 3, 0.5, 0});
+  fifo::MixedClockFifo dut(sim, "dut", cfg, cp.out(), cg.out());
+  bfm::SyncPutDriver put(sim, "put", cp.out(), dut.req_put(), dut.data_put(),
+                         dut.full(), cfg.dm, {1.0, 1}, 0xFF);
+  bfm::SyncGetDriver get(sim, "get", cg.out(), dut.req_get(), cfg.dm,
+                         {1.0, 1});
+  sim.run_until(4 * pp + 64 * pp);  // warmup: arenas + series buffers
+
+  const std::uint64_t allocs_before = g_alloc_count.load();
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(4 * pp + (64 + cycles) * pp);
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t allocs = g_alloc_count.load() - allocs_before;
+
+  HotPathMeasurement m;
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  m.events_per_sec = static_cast<double>(cycles) / secs;  // put cycles/sec
+  m.allocs_per_million_events =
+      static_cast<double>(allocs) * 1e6 / static_cast<double>(cycles);
+  return m;
+}
+
+/// Raw sampler throughput: how many telemetry samples per host second a
+/// store with `sources` probes plus a registry of histograms can absorb.
+/// Isolates the sampler from the FIFO model so BENCH_telemetry.json records
+/// the cost of one take_sample() independent of workload.
+double measure_sampler_rate(std::size_t sources, std::uint64_t samples) {
+  sim::Simulation sim;
+  metrics::Registry registry;
+  sim::TelemetryConfig tcfg;
+  tcfg.interval = 1;
+  tcfg.max_points = 512;
+  sim::Telemetry telemetry(tcfg);
+  double x = 0.0;
+  for (std::size_t i = 0; i < sources; ++i) {
+    telemetry.add_source("src" + std::to_string(i), "bench", "value",
+                         [&x] { return x; });
+  }
+  registry.set_default_window(1024);
+  metrics::Histogram& h =
+      registry.histogram("bench", "latency_ps", {10.0, 100.0, 1000.0});
+  for (int i = 0; i < 256; ++i) h.observe(static_cast<double>(i));
+  telemetry.set_registry(&registry);
+  sim::Observability obs;
+  obs.telemetry = &telemetry;
+  obs.arm(sim);
+  for (std::uint64_t i = 0; i < 64; ++i) telemetry.sample_now();  // warmup
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    x += 1.0;
+    telemetry.sample_now();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(samples) / secs;
+}
+
+template <typename MeasureFn>
+HotPathMeasurement best_of(int reps, MeasureFn measure);
+
+/// BENCH_telemetry.json: the sampler's own cost trajectory. The disarmed
+/// FIFO number is gated by scripts/check_kernel_perf.py against the armed
+/// monitors-era disarmed baseline -- telemetry must be free when off.
+void write_telemetry_json(bool smoke) {
+  const std::uint64_t fifo_cycles = smoke ? 400 : 4'000;
+  const HotPathMeasurement off =
+      best_of(3, [&] { return measure_fifo_telemetry(fifo_cycles, false); });
+  const HotPathMeasurement on =
+      best_of(3, [&] { return measure_fifo_telemetry(fifo_cycles, true); });
+
+  const std::uint64_t sampler_samples = smoke ? 20'000 : 200'000;
+  double rate_small = measure_sampler_rate(8, sampler_samples);
+  double rate_large = measure_sampler_rate(64, sampler_samples);
+  for (int i = 1; i < 3; ++i) {
+    rate_small = std::max(rate_small, measure_sampler_rate(8, sampler_samples));
+    rate_large =
+        std::max(rate_large, measure_sampler_rate(64, sampler_samples));
+  }
+
+  FILE* f = std::fopen("BENCH_telemetry.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr,
+                 "bench_kernel_perf: cannot write BENCH_telemetry.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"note\": \"time-series sampler cost; disarmed must "
+                  "match the plain FIFO soak (gated), armed samples every "
+                  "source each 4 put cycles (ceiling only)\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"fifo_soak\": {\n");
+  std::fprintf(f, "    \"cycles\": %llu,\n",
+               static_cast<unsigned long long>(fifo_cycles));
+  std::fprintf(f, "    \"cycles_per_sec_disarmed\": %.4g,\n",
+               off.events_per_sec);
+  std::fprintf(f, "    \"cycles_per_sec_armed\": %.4g,\n", on.events_per_sec);
+  std::fprintf(f, "    \"armed_overhead_pct\": %.1f,\n",
+               (off.events_per_sec / on.events_per_sec - 1.0) * 100.0);
+  std::fprintf(f, "    \"allocs_per_million_cycles_disarmed\": %.4g\n",
+               off.allocs_per_million_events);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"sampler\": {\n");
+  std::fprintf(f, "    \"samples\": %llu,\n",
+               static_cast<unsigned long long>(sampler_samples));
+  std::fprintf(f, "    \"samples_per_sec_8_sources\": %.4g,\n", rate_small);
+  std::fprintf(f, "    \"samples_per_sec_64_sources\": %.4g,\n", rate_large);
+  std::fprintf(f, "    \"registry_histograms\": 1,\n");
+  std::fprintf(f, "    \"histogram_window\": 1024\n");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("BENCH_telemetry.json: FIFO soak disarmed %.3g cycles/s, armed "
+              "%.3g (+%.1f%%); sampler %.3g samples/s @8 sources, %.3g @64\n",
+              off.events_per_sec, on.events_per_sec,
+              (off.events_per_sec / on.events_per_sec - 1.0) * 100.0,
+              rate_small, rate_large);
+}
+
 // Seed-kernel numbers, measured on the reference host at the growth seed
 // (std::function callbacks, single priority_queue, shared_ptr transactions):
 // google-benchmark BM_SchedulerEventChain and a direct allocation probe.
@@ -526,5 +672,6 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
   }
   write_kernel_json(smoke);
+  write_telemetry_json(smoke);
   return 0;
 }

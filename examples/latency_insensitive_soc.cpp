@@ -47,10 +47,14 @@ int main() {
   sim::TraceSession trace;
   metrics::Registry registry;
   sim::KernelProfiler profiler;
+  sim::TelemetryConfig tcfg;
+  tcfg.interval = 2 * sim::kNanosecond;  // a few samples per bus cycle batch
+  sim::Telemetry telemetry(tcfg);
   sim::Observability obs;
   obs.trace = &trace;
   obs.metrics = &registry;
   obs.profiler = &profiler;
+  obs.telemetry = &telemetry;
   obs.arm(sim);
   registry.bind(sim.report());
 
@@ -136,17 +140,48 @@ int main() {
   std::ofstream("soc_report.json") << sim.report().to_json();
   std::ofstream("soc_design.json") << elab->to_json();
   std::ofstream("soc_design.dot") << elab->to_dot();
-  std::printf("  wrote soc_trace.json (%llu events), soc_report.json, "
-              "soc_design.json and soc_design.dot\n",
-              static_cast<unsigned long long>(trace.events_recorded()));
+  telemetry.write_jsonl("soc_timeline.jsonl");
+  std::printf("  wrote soc_trace.json (%llu events + %llu counter points), "
+              "soc_report.json, soc_design.json, soc_design.dot and "
+              "soc_timeline.jsonl (%llu samples, %llu series)\n",
+              static_cast<unsigned long long>(trace.events_recorded()),
+              static_cast<unsigned long long>(telemetry.store().total_points()),
+              static_cast<unsigned long long>(telemetry.samples()),
+              static_cast<unsigned long long>(
+                  telemetry.store().series_count()));
 
   // One id per packet end to end: ids are minted only at the ASRS, so a
   // re-mint anywhere downstream would inflate the count well past `sent`.
   const bool traced_ok =
       trace.transactions() > 500 &&
       trace.transactions() <= producer.completed() + fuse_opt.capacity;
+
+  // Counter tracks for all four telemetry source kinds must have landed in
+  // the same trace.json as the transaction spans: FIFO/relay occupancy,
+  // relay stall duty, scheduler event rate, synchronizer escapes.
+  std::size_t kinds = 0;
+  for (const char* needle :
+       {".occupancy", ".stall_duty", "kernel.events_per_us", ".escape_rate"}) {
+    bool found = false;
+    for (const std::string& name : telemetry.store().names()) {
+      if (name.find(needle) != std::string::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (found) ++kinds;
+  }
+  const std::string trace_json = trace.to_json();
+  const bool telemetry_ok = kinds >= 4 && telemetry.samples() > 100 &&
+                            trace_json.find("\"ph\": \"C\"") !=
+                                std::string::npos;
+  std::printf("  telemetry          : %llu samples, %zu/4 source kinds, "
+              "counter tracks %s\n",
+              static_cast<unsigned long long>(telemetry.samples()), kinds,
+              telemetry_ok ? "merged" : "MISSING");
+
   const bool ok = sb.errors() == 0 && elab->sink_received(display) > 500 &&
-                  sb.in_flight() < 32 && traced_ok;
+                  sb.in_flight() < 32 && traced_ok && telemetry_ok;
   std::printf("  %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 baseline at the repository root.
 
 Usage: check_kernel_perf.py <recorded.json> <fresh.json> [tolerance]
+       [<recorded_telemetry.json> <fresh_telemetry.json>]
 
 Fails (exit 1) when any of these regress beyond `tolerance` (default 15%):
 
@@ -27,6 +28,19 @@ Fails (exit 1) when any of these regress beyond `tolerance` (default 15%):
     for the verify subsystem). Gated only when both sides measured the
     same fifo_cycles workload (smoke vs full are not comparable). The
     armed number is always informational.
+
+When the telemetry JSON pair (BENCH_telemetry.json) is given, two more
+gates apply:
+
+  * fifo_soak.cycles_per_sec_disarmed -- the FIFO soak with the telemetry
+    sampler DISARMED, same fixed 5% budget and same-workload rule as the
+    monitors gate: components probe obs.telemetry once at construction, so
+    a run without a Telemetry armed may not pay for the sampler.
+  * fifo_soak.armed_overhead_pct -- the ARMED sampler's slowdown (a sample
+    every 4 put cycles, every source + the registry) must stay under
+    max(200%, recorded * 2), gated only when both sides measured the same
+    fifo_cycles workload (overhead grows with soak length). Sampler
+    samples/sec rates are reported informationally.
 """
 import json
 import sys
@@ -127,6 +141,64 @@ def main() -> int:
             )
         else:
             print(f"profiler overhead: fresh {got:.1f}% (no recorded value)")
+
+    if len(sys.argv) > 5:
+        with open(sys.argv[4]) as f:
+            tel_rec = json.load(f).get("fifo_soak", {})
+        with open(sys.argv[5]) as f:
+            tel_all = json.load(f)
+        tel_new = tel_all.get("fifo_soak", {})
+        key = "cycles_per_sec_disarmed"
+        if key in tel_rec and key in tel_new:
+            if tel_rec.get("cycles") == tel_new.get("cycles"):
+                # Same fixed 5% budget as the monitors gate: zero-cost
+                # contract, not a best-effort trend.
+                floor = tel_rec[key] * 0.95
+                ok = tel_new[key] >= floor
+                failed = failed or not ok
+                print(
+                    f"telemetry_disarmed_fifo_cycles_per_sec: recorded "
+                    f"{tel_rec[key]:.3e}, fresh {tel_new[key]:.3e} "
+                    f"({tel_new[key] / tel_rec[key] * 100.0:.1f}% of recorded,"
+                    f" floor {floor:.3e}, fixed 5% budget) "
+                    f"-> {'OK' if ok else 'REGRESSION'}"
+                )
+            else:
+                print(
+                    f"telemetry_disarmed_fifo_cycles_per_sec: recorded "
+                    f"{tel_rec[key]:.3e}, fresh {tel_new[key]:.3e} "
+                    "(informational: workload shapes differ, "
+                    "e.g. smoke vs full)"
+                )
+        if "armed_overhead_pct" in tel_new:
+            got = tel_new["armed_overhead_pct"]
+            ref = tel_rec.get("armed_overhead_pct")
+            if ref is None or tel_rec.get("cycles") != tel_new.get("cycles"):
+                # Overhead grows with soak length (more samples, deeper
+                # series): cross-shape comparisons are meaningless, same as
+                # the disarmed gate above.
+                print(
+                    f"telemetry_armed_overhead: fresh {got:.1f}% "
+                    "(informational: workload shapes differ or no recorded "
+                    "value)"
+                )
+            else:
+                # Overhead ratios wobble more than throughputs on loaded CI
+                # hosts (the armed run is ~4x longer, so it absorbs more
+                # transient noise): give the ceiling 2x headroom. The hard
+                # guarantee is the DISARMED floor above.
+                ceiling = max(200.0, ref * 2.0)
+                ok = got <= ceiling
+                failed = failed or not ok
+                print(
+                    f"telemetry_armed_overhead: recorded {ref:.1f}%, fresh "
+                    f"{got:.1f}% (ceiling {ceiling:.1f}%) "
+                    f"-> {'OK' if ok else 'REGRESSION'}"
+                )
+        sampler = tel_all.get("sampler", {})
+        for k in ("samples_per_sec_8_sources", "samples_per_sec_64_sources"):
+            if k in sampler:
+                print(f"  telemetry_{k}: {sampler[k]:.3e} (informational)")
 
     return 1 if failed else 0
 

@@ -71,17 +71,36 @@ campaign_benches="bench_table1_latency bench_sync_depth bench_matrix_extension"
 ) 2>&1 | tee out/latency_histograms.txt
 
 # End-to-end observability artifacts: the mixed-timing SoC example's
-# Perfetto trace (open soc_trace.json at https://ui.perfetto.dev) and its
-# full report (metrics + hottest-callbacks kernel profile).
+# Perfetto trace (open soc_trace.json at https://ui.perfetto.dev) with the
+# telemetry counter tracks merged in, its full report (metrics +
+# hottest-callbacks kernel profile), and the sampled timeline JSONL.
 (
   cd out
   "$repo"/build/examples/example_latency_insensitive_soc
 ) 2>&1 | tee out/soc_example.txt
 
+# Backpressure-timeline figure (EXPERIMENTS.md): the deterministic
+# stop-storm on a relay chain. storm_trace.json carries the stall-duty and
+# occupancy counter tracks next to the transaction spans;
+# storm_timeline.jsonl is the raw series for the mts_timeline CLI.
+(
+  cd out
+  echo "===================================================================="
+  echo "== backpressure storm timeline (relay chain under stop bursts)"
+  echo "===================================================================="
+  "$repo"/build/examples/example_backpressure_storm
+  echo
+  "$repo"/build/tools/mts_timeline storm_timeline.jsonl --series stall_duty
+) 2>&1 | tee out/backpressure_storm.txt
+
 # Kernel perf gate: dormant-path and 1-worker-campaign throughput plus the
-# armed-profiler overhead ceiling, vs the recorded baseline.
-python3 scripts/check_kernel_perf.py BENCH_kernel.json out/BENCH_kernel.json
+# armed-profiler overhead ceiling, vs the recorded baseline; the telemetry
+# pair adds the disarmed-sampler 5% gate and the armed-sampler ceiling.
+python3 scripts/check_kernel_perf.py BENCH_kernel.json out/BENCH_kernel.json \
+  0.15 BENCH_telemetry.json out/BENCH_telemetry.json
 
 echo "done: see out/test_output.txt, out/bench_output.txt, out/*.vcd,"
 echo "      out/latency_histograms.json, out/BENCH_campaign.json,"
-echo "      out/soc_trace.json, out/soc_report.json"
+echo "      out/soc_trace.json, out/soc_report.json, out/soc_timeline.jsonl,"
+echo "      out/storm_trace.json, out/storm_timeline.jsonl,"
+echo "      out/campaign_health.json, out/BENCH_telemetry.json"

@@ -69,6 +69,23 @@ class Gauge {
 /// implicit +inf bucket catches the tail); percentile() interpolates inside
 /// the selected bucket and clamps to the exact observed max, so p99 of a
 /// distribution entirely inside one bucket is still <= max().
+///
+/// Percentile edge contract (cumulative AND windowed):
+///   * empty (no samples / empty window)  -> 0.0, always
+///   * a single sample                    -> that sample, for every p
+///   * p <= 0 -> observed min, p >= 1 -> observed max
+/// These are definitions, not interpolation accidents, and are pinned by
+/// tests/metrics/test_registry.cpp.
+///
+/// Sliding window: set_window(n) additionally retains the last n raw
+/// observations in a ring. window_percentile(p) is the *exact* nearest-rank
+/// (ceil(p*n)) percentile of that window -- no bucket interpolation -- so
+/// tail percentiles over recent traffic (windowed p99.9) are exact sample
+/// values. With fewer than ceil(1/(1-p)) samples the nearest-rank tail is
+/// the window max (e.g. p99.9 of a 100-sample window is its max); this is
+/// the defined behavior, not an error. Window state is run-local recency:
+/// merge() combines cumulative buckets only and never transfers or mixes
+/// windows.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds)
@@ -103,6 +120,11 @@ class Histogram {
     sum_ += x;
     if (x < min_) min_ = x;
     if (x > max_) max_ = x;
+    if (!window_.empty()) {
+      window_[window_next_] = x;
+      window_next_ = (window_next_ + 1) % window_.size();
+      if (window_count_ < window_.size()) ++window_count_;
+    }
   }
 
   std::uint64_t count() const noexcept { return count_; }
@@ -114,9 +136,13 @@ class Histogram {
   double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
 
   /// p in [0, 1]; linear interpolation across the selected bucket, clamped
-  /// to [observed min, observed max]. 0 when empty.
+  /// to [observed min, observed max]. Edge contract (see class comment):
+  /// 0 when empty, the sample itself when count()==1, min at p<=0 and max
+  /// at p>=1.
   double percentile(double p) const noexcept {
     if (count_ == 0) return 0.0;
+    if (count_ == 1 || p >= 1.0) return max_;
+    if (p <= 0.0) return min_;
     const double rank = p * static_cast<double>(count_);
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
@@ -133,6 +159,45 @@ class Histogram {
       }
     }
     return max_;
+  }
+
+  // -- sliding window (windowed tail percentiles; see class comment) -------
+
+  /// Retains the last `n` raw observations (0 disables and frees the ring).
+  /// Existing window contents are dropped on resize.
+  void set_window(std::size_t n) {
+    window_.assign(n, 0.0);
+    if (n == 0) window_.shrink_to_fit();
+    window_count_ = 0;
+    window_next_ = 0;
+  }
+  std::size_t window_capacity() const noexcept { return window_.size(); }
+  /// Observations currently in the window (<= capacity).
+  std::size_t window_count() const noexcept { return window_count_; }
+  /// Drops window contents, keeps the capacity (per-run reuse hook).
+  void clear_window() noexcept {
+    window_count_ = 0;
+    window_next_ = 0;
+  }
+
+  /// Exact nearest-rank percentile of the sliding window: the
+  /// ceil(p * window_count())-th smallest retained sample. Edge contract:
+  /// empty window -> 0.0; single sample -> that sample for every p; p <= 0
+  /// -> window min; p >= 1 -> window max. p99.9 with fewer than 1000
+  /// samples is the window max by construction.
+  double window_percentile(double p) const {
+    if (window_count_ == 0) return 0.0;
+    std::vector<double> sorted(window_.begin(),
+                               window_.begin() +
+                                   static_cast<std::ptrdiff_t>(window_count_));
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0.0) return sorted.front();
+    if (p >= 1.0) return sorted.back();
+    const auto n = static_cast<double>(window_count_);
+    std::size_t rank = static_cast<std::size_t>(std::ceil(p * n));
+    if (rank == 0) rank = 1;
+    if (rank > window_count_) rank = window_count_;
+    return sorted[rank - 1];
   }
 
   /// Campaign reduction: bucket-wise sum plus combined count/sum/min/max.
@@ -170,6 +235,9 @@ class Histogram {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<double> window_;          ///< ring of recent raw samples
+  std::size_t window_next_ = 0;         ///< ring write cursor
+  std::size_t window_count_ = 0;        ///< valid samples in the ring
 };
 
 class Registry {
@@ -193,9 +261,17 @@ class Registry {
     auto it = m.find(name);
     if (it == m.end()) {
       it = m.emplace(name, Histogram(std::move(upper_bounds))).first;
+      if (default_window_ != 0) it->second.set_window(default_window_);
     }
     return it->second;
   }
+
+  /// Sliding-window capacity applied to histograms created *after* this
+  /// call (sim::Telemetry arms it before components construct, so every
+  /// component histogram gets a window without per-callsite changes).
+  /// 0 (the default) creates histograms without a window.
+  void set_default_window(std::size_t n) noexcept { default_window_ = n; }
+  std::size_t default_window() const noexcept { return default_window_; }
 
   /// Campaign reduction: accumulates every instance/metric of `other` into
   /// this registry (creating absent ones). Counters and histogram buckets
@@ -220,6 +296,12 @@ class Registry {
     }
   }
 
+  /// Drops every instance and metric; keeps the default window. Handles
+  /// returned earlier are invalidated -- only use between runs, before
+  /// components re-resolve their metrics (the campaign engine's per-run
+  /// isolation hook).
+  void clear() { instances_.clear(); }
+
   /// Lookup without creation; nullptr when absent.
   const Counter* find_counter(const std::string& instance,
                               const std::string& name) const {
@@ -232,6 +314,18 @@ class Registry {
   const Histogram* find_histogram(const std::string& instance,
                                   const std::string& name) const {
     return find(instance, &Instance::histograms, name);
+  }
+
+  /// Deterministic per-tick snapshot walk (sim::Telemetry): every metric in
+  /// (instance name, metric name) map order. CFn(instance, name, counter),
+  /// GFn(instance, name, gauge), HFn(instance, name, histogram).
+  template <typename CFn, typename GFn, typename HFn>
+  void visit(CFn&& on_counter, GFn&& on_gauge, HFn&& on_histogram) const {
+    for (const auto& [iname, inst] : instances_) {
+      for (const auto& [n, c] : inst.counters) on_counter(iname, n, c);
+      for (const auto& [n, g] : inst.gauges) on_gauge(iname, n, g);
+      for (const auto& [n, h] : inst.histograms) on_histogram(iname, n, h);
+    }
   }
 
   std::size_t instance_count() const noexcept { return instances_.size(); }
@@ -383,6 +477,7 @@ class Registry {
   }
 
   std::map<std::string, Instance> instances_;
+  std::size_t default_window_ = 0;  ///< window for histograms created later
 };
 
 }  // namespace mts::metrics

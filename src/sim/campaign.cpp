@@ -2,16 +2,20 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <typeinfo>
 
 #include "sim/error.hpp"
+#include "sim/observe.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/watchdog.hpp"
 #include "verify/hub.hpp"
 
@@ -61,12 +65,34 @@ struct Campaign::Worker {
   Simulation sim;
   metrics::Registry registry;
   verify::Hub hub;
+  // Engine telemetry / SLO shard state (telemetry_interval or slo armed):
+  // components the body builds resolve their metrics in run_registry --
+  // cleared before every attempt, merged into `registry` afterwards -- so
+  // per-run timelines and SLO verdicts never see another run's samples and
+  // stay independent of run placement.
+  metrics::Registry run_registry;
+  std::unique_ptr<Telemetry> tel;  ///< telemetry_interval > 0 only
+  Observability obs;               ///< the engine-armed bundle
 };
 
 struct Campaign::Cursor {
   std::atomic<std::size_t> next{0};
   /// Per-config finally-failed counts (quarantine_after > 0 only).
   std::unique_ptr<std::atomic<std::uint32_t>[]> config_failures;
+};
+
+/// Shared streaming-health tallies (progress sink). Guarded by one mutex:
+/// updates happen once per completed run, far off any hot path.
+struct Campaign::Live {
+  std::mutex mu;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t quarantined = 0;
+  std::uint64_t slo_breaches = 0;
+  double worst = 0.0;
+  std::size_t worst_run = 0;
+  std::string worst_instance;
+  std::chrono::steady_clock::time_point t0;
 };
 
 Campaign::Campaign(std::size_t configs, std::size_t reps, CampaignOptions opt)
@@ -114,6 +140,10 @@ void Campaign::worker_loop(Worker& w, unsigned worker_index,
 
     const unsigned max_attempts = opt_.max_attempts == 0 ? 1
                                                          : opt_.max_attempts;
+    // Engine observability: telemetry or an SLO gate switches the run onto
+    // the isolated per-run registry (see Worker).
+    const bool engine_obs =
+        opt_.telemetry_interval > 0 || opt_.slo.budget > 0.0;
     bool ok = false;
     bool identical = true;  // every failure same type + message so far
     std::string first_error;
@@ -136,13 +166,31 @@ void Campaign::worker_loop(Worker& w, unsigned worker_index,
         w.hub.arm(w.sim);
         hub = &w.hub;
       }
+      Telemetry* tel = nullptr;
+      if (engine_obs) {
+        // Fresh per-run registry + (telemetry_interval > 0) a reset
+        // sampler, armed as an Observability bundle BEFORE the body builds
+        // components -- they probe it at construction and wire their
+        // metrics and telemetry sources without body changes. reset()
+        // also drops the previous run's source closures, so no stale
+        // component pointer survives into this attempt.
+        w.run_registry.clear();
+        w.obs = Observability{};
+        w.obs.metrics = &w.run_registry;
+        if (w.tel != nullptr) {
+          w.tel->reset();
+          w.obs.telemetry = w.tel.get();
+          tel = w.tel.get();
+        }
+        w.obs.arm(w.sim);
+      }
       // Per-attempt deadline: a hung attempt dies with DeadlineError on a
       // scheduler tick instead of hanging its pool thread forever.
       Watchdog wd(WatchdogConfig{opt_.run_deadline_sec, 0, 4096});
       if (opt_.run_deadline_sec > 0.0) wd.arm(w.sim);
 
       CampaignContext ctx(w.sim, w.registry, spec, worker_index, r, attempt,
-                          hub);
+                          hub, tel);
       std::string err;
       std::string type;
       bool attempt_ok = false;
@@ -172,6 +220,65 @@ void Campaign::worker_loop(Worker& w, unsigned worker_index,
       }
       r.error = err;  // last failure is the one reported
       r.error_type = type;
+    }
+
+    // Post-run telemetry / SLO handling, on the FINAL attempt's isolated
+    // registry. Sampling stopped at queue drain, so no source closure runs
+    // after the body's components were destroyed; only the sampled store
+    // and the registry (both engine-owned) are read here.
+    if (engine_obs && executed > 0) {
+      const SloGate& slo = opt_.slo;
+      if (!slo.metric.empty()) {
+        w.run_registry.visit(
+            [](const std::string&, const std::string&,
+               const metrics::Counter&) {},
+            [](const std::string&, const std::string&,
+               const metrics::Gauge&) {},
+            [&](const std::string& inst, const std::string& name,
+                const metrics::Histogram& h) {
+              if (name != slo.metric || h.count() == 0) return;
+              const double v =
+                  h.window_capacity() > 0 && h.window_count() > 0
+                      ? h.window_percentile(slo.percentile)
+                      : h.percentile(slo.percentile);
+              if (v > r.slo_worst) {
+                r.slo_worst = v;
+                r.slo_worst_instance = inst;
+              }
+              if (slo.budget > 0.0 && v > slo.budget) ++r.slo_breaches;
+            });
+        if (r.slo_breaches > 0 && slo.fail_run && ok) {
+          ok = false;
+          std::ostringstream msg;
+          msg << "SLO breach: " << r.slo_worst_instance << "." << slo.metric
+              << " p" << slo.percentile * 100.0 << " = " << r.slo_worst
+              << " > budget " << slo.budget;
+          r.error = msg.str();
+          r.error_type = "SloBreach";
+        }
+      }
+      // The isolated registry is deliberately NOT folded into the worker
+      // accumulator: runs of different configs legitimately create
+      // layout-divergent histograms under the same instance name (e.g.
+      // capacity-sized occupancy buckets), which Registry::merge rejects --
+      // and any "first layout wins" fallback would depend on run placement.
+      // Per-run metrics are the per-run artifacts: timelines, SLO verdicts
+      // and RunResult fields. Body-written metrics (ctx.metrics()) reduce
+      // exactly as before.
+      if (w.tel != nullptr) {
+        r.telemetry_samples = w.tel->samples();
+        if (r.telemetry_samples > 0) {
+          if (!opt_.timeline_dir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(opt_.timeline_dir, ec);
+            const std::string path = opt_.timeline_dir + "/run-" +
+                                     std::to_string(spec.index) + ".jsonl";
+            if (w.tel->write_jsonl(path)) r.timeline_path = path;
+          }
+          if (opt_.capture_timelines) r.timeline_jsonl = w.tel->to_jsonl();
+          run_timelines_[i] = w.tel->store();  // index-ordered fold staging
+        }
+      }
     }
 
     r.ok = ok;
@@ -207,7 +314,49 @@ void Campaign::worker_loop(Worker& w, unsigned worker_index,
       r.report_json = w.sim.report().to_json();
     }
     run_reports_[i] = w.sim.report();
+
+    if (live_ != nullptr) note_run_done(r);
   }
+}
+
+void Campaign::note_run_done(const RunResult& r) {
+  Live& lv = *live_;
+  std::lock_guard<std::mutex> lock(lv.mu);
+  ++lv.done;
+  if (!r.ok) {
+    ++lv.failed;
+    if (r.classification == "quarantined") ++lv.quarantined;
+  }
+  lv.slo_breaches += r.slo_breaches;
+  if (r.slo_worst > lv.worst) {
+    lv.worst = r.slo_worst;
+    lv.worst_run = r.index;
+    lv.worst_instance = r.slo_worst_instance;
+  }
+  if (!opt_.progress) return;
+  const bool last = lv.done == runs();
+  if (!last && (opt_.health_every == 0 || lv.done % opt_.health_every != 0)) {
+    return;
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - lv.t0)
+                          .count();
+  std::ostringstream line;
+  line << "[campaign] " << lv.done << "/" << runs() << " runs, " << lv.failed
+       << " failed, " << lv.quarantined << " quarantined";
+  if (secs > 0.0) {
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.2f",
+                  static_cast<double>(lv.done) / secs);
+    line << ", " << rate << " runs/s";
+  }
+  if (opt_.slo.budget > 0.0) line << ", " << lv.slo_breaches << " SLO breaches";
+  if (!lv.worst_instance.empty()) {
+    line << ", worst " << opt_.slo.metric << " p" << opt_.slo.percentile * 100.0
+         << " = " << lv.worst << " (" << lv.worst_instance << ", run "
+         << lv.worst_run << ")";
+  }
+  opt_.progress(line.str());
 }
 
 void Campaign::write_repro(const RunSpec& spec, RunResult& r) const {
@@ -251,6 +400,7 @@ void Campaign::run(const Body& body) {
   const std::size_t n = runs();
   results_.assign(n, RunResult{});
   run_reports_.assign(n, Report{});
+  run_timelines_.assign(n, metrics::TimeSeriesStore{});
   if (n == 0) return;
 
   Cursor cursor;
@@ -266,8 +416,21 @@ void Campaign::run(const Body& body) {
   // Workers live in a deque: Simulation is non-movable and each shard's
   // address must stay stable for the threads holding references into it.
   std::deque<Worker> shards(workers_);
+  if (opt_.telemetry_interval > 0) {
+    TelemetryConfig tc;
+    tc.interval = opt_.telemetry_interval;
+    tc.max_points = opt_.telemetry_max_points;
+    tc.histogram_window = opt_.telemetry_window;
+    // pool_high_water reflects worker arena warmth -- a placement detail
+    // -- so campaign timelines never include host series.
+    tc.include_host_series = false;
+    for (Worker& w : shards) w.tel = std::make_unique<Telemetry>(tc);
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
+  Live live;
+  live.t0 = t0;
+  live_ = opt_.progress ? &live : nullptr;
   if (workers_ == 1) {
     worker_loop(shards[0], 0, body);
   } else {
@@ -290,6 +453,7 @@ void Campaign::run(const Body& body) {
     }
   }
   cursor_ = nullptr;
+  live_ = nullptr;
 
   // Reduce the shards. Registries fold in worker-index order: every
   // registry merge is commutative and associative, so the result is
@@ -300,6 +464,13 @@ void Campaign::run(const Body& body) {
   for (const Worker& w : shards) merged_.merge(w.registry);
   for (Report& rr : run_reports_) merged_report_.merge(rr);
   run_reports_.clear();  // per-run JSON (when captured) is in results_
+  // Timelines fold in RUN-index order (run 0's points first): append order
+  // is caller-visible in the exports, so -- like the Report fold -- the
+  // merged store must not depend on which worker executed which run.
+  for (metrics::TimeSeriesStore& ts : run_timelines_) {
+    merged_timeline_.merge(ts);
+  }
+  run_timelines_.clear();
 
   // Failure manifest: one merged-report entry per failed run, folded in
   // run-index order so the merged artifact stays worker-count independent.
@@ -315,6 +486,25 @@ void Campaign::run(const Body& body) {
     msg += ": " + r.error;
     merged_report_.add(0, Severity::kError, "campaign-failure", msg);
   }
+
+  // SLO manifest: one merged-report entry per breaching run, folded in
+  // run-index order (same worker-count-independence contract as above).
+  if (opt_.slo.budget > 0.0) {
+    for (const RunResult& r : results_) {
+      if (r.slo_breaches == 0) continue;
+      std::ostringstream msg;
+      msg << "run " << r.index << " (config "
+          << (reps_ == 0 ? 0 : r.index / reps_) << ", rep "
+          << (reps_ == 0 ? 0 : r.index % reps_) << "): "
+          << r.slo_worst_instance << "." << opt_.slo.metric << " p"
+          << opt_.slo.percentile * 100.0 << " = " << r.slo_worst
+          << " > budget " << opt_.slo.budget << " (" << r.slo_breaches
+          << " instance(s) over)";
+      merged_report_.add(
+          0, opt_.slo.fail_run ? Severity::kError : Severity::kWarning,
+          "campaign-slo", msg.str());
+    }
+  }
 }
 
 std::size_t Campaign::failed() const noexcept {
@@ -323,6 +513,76 @@ std::size_t Campaign::failed() const noexcept {
     if (!r.ok) ++n;
   }
   return n;
+}
+
+std::string Campaign::health_json(bool include_host_stats) const {
+  std::size_t ok = 0, failed_runs = 0, quarantined_runs = 0;
+  std::uint64_t breaches = 0, samples = 0;
+  double worst = 0.0;
+  std::size_t worst_run = 0;
+  std::string worst_instance;
+  for (const RunResult& r : results_) {
+    if (r.ok) {
+      ++ok;
+    } else {
+      ++failed_runs;
+      if (r.classification == "quarantined") ++quarantined_runs;
+    }
+    breaches += r.slo_breaches;
+    samples += r.telemetry_samples;
+    if (r.slo_worst > worst) {
+      worst = r.slo_worst;
+      worst_run = r.index;
+      worst_instance = r.slo_worst_instance;
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"campaign\": {\"configs\": " << configs_ << ", \"reps\": " << reps_
+     << ", \"runs\": " << runs() << ", \"seed\": " << opt_.seed << "},\n";
+  if (include_host_stats) {
+    os << "  \"host\": {\"workers\": " << workers_
+       << ", \"wall_seconds\": " << wall_seconds_
+       << ", \"runs_per_sec\": " << runs_per_sec() << "},\n";
+  }
+  os << "  \"health\": {\"ok\": " << ok << ", \"failed\": " << failed_runs
+     << ", \"quarantined_runs\": " << quarantined_runs
+     << ", \"slo_breaches\": " << breaches
+     << ", \"telemetry_samples\": " << samples;
+  if (!worst_instance.empty()) {
+    os << ", \"worst\": {\"run\": " << worst_run << ", \"instance\": \""
+       << json_escape(worst_instance) << "\", \"metric\": \""
+       << json_escape(opt_.slo.metric)
+       << "\", \"percentile\": " << opt_.slo.percentile
+       << ", \"value\": " << worst << "}";
+  }
+  os << "}";
+  if (opt_.slo.budget > 0.0) {
+    os << ",\n  \"slo\": {\"metric\": \"" << json_escape(opt_.slo.metric)
+       << "\", \"percentile\": " << opt_.slo.percentile
+       << ", \"budget\": " << opt_.slo.budget << ", \"fail_run\": "
+       << (opt_.slo.fail_run ? "true" : "false") << "}";
+  }
+  if (!quarantined_.empty()) {
+    os << ",\n  \"quarantined_configs\": [";
+    bool first = true;
+    for (std::size_t q : quarantined_) {
+      os << (first ? "" : ", ") << q;
+      first = false;
+    }
+    os << "]";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+bool Campaign::write_health_json(const std::string& path,
+                                 bool include_host_stats) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << health_json(include_host_stats);
+  return static_cast<bool>(out);
 }
 
 std::string Campaign::to_json(bool include_host_stats) const {
@@ -359,6 +619,17 @@ std::string Campaign::to_json(bool include_host_stats) const {
       os << ", \"repro\": \"" << json_escape(r.repro_path) << "\"";
     }
     if (r.violations > 0) os << ", \"violations\": " << r.violations;
+    if (r.telemetry_samples > 0) {
+      os << ", \"telemetry_samples\": " << r.telemetry_samples;
+    }
+    if (!r.timeline_path.empty()) {
+      os << ", \"timeline\": \"" << json_escape(r.timeline_path) << "\"";
+    }
+    if (r.slo_worst > 0.0) {
+      os << ", \"slo_worst\": " << r.slo_worst << ", \"slo_worst_instance\": \""
+         << json_escape(r.slo_worst_instance) << "\"";
+    }
+    if (r.slo_breaches > 0) os << ", \"slo_breaches\": " << r.slo_breaches;
     if (!r.scalars.empty()) {
       os << ", \"scalars\": {";
       bool sfirst = true;

@@ -77,6 +77,7 @@
 #include <vector>
 
 #include "metrics/registry.hpp"  // header-only by design; no link edge
+#include "metrics/timeseries.hpp"
 #include "sim/report.hpp"
 #include "sim/simulation.hpp"
 
@@ -85,6 +86,26 @@ class Hub;
 }  // namespace mts::verify
 
 namespace mts::sim {
+
+class Telemetry;
+
+/// A windowed-percentile service-level objective evaluated by the engine
+/// after every run, against that run's ISOLATED registry (enabling
+/// telemetry or an SLO switches the engine to a fresh per-run registry --
+/// cumulative worker state would make the verdicts depend on run
+/// placement; the isolated registry stays out of the campaign reduction,
+/// whose artifact keeps only body-written ctx.metrics()). Every histogram
+/// named `metric`, in any instance, is checked: its sliding-window
+/// percentile (cumulative-bucket percentile when no window is armed) must
+/// not exceed `budget`. Breaches are recorded per run (RunResult), folded
+/// into the merged Report in run-index order, and -- with fail_run -- fail
+/// the run like a thrown body exception.
+struct SloGate {
+  std::string metric = "latency_ps";  ///< histogram name to gate
+  double percentile = 0.99;           ///< in (0, 1]
+  double budget = 0.0;                ///< max allowed value; <= 0 disables
+  bool fail_run = false;              ///< breach fails the run (vs flag)
+};
 
 /// Deterministic per-run seed: a splitmix64-style mix of the campaign seed
 /// and the run index. Depends on nothing else (not the worker count, not
@@ -123,6 +144,43 @@ struct CampaignOptions {
   /// components the body constructs attach protocol monitors, and the
   /// run's violations land in its report, RunResult and repro bundle.
   bool collect_violations = false;
+
+  // -- streaming run telemetry (sim/telemetry.hpp) ------------------------
+
+  /// Sim-time sampling interval for an engine-armed per-run Telemetry.
+  /// 0 disables the sampler. When set, the engine arms an Observability
+  /// bundle (per-run registry + sampler) on the worker simulation before
+  /// every attempt, so components the body constructs pick both up without
+  /// body changes; bodies that arm their own bundle simply override it.
+  Time telemetry_interval = 0;
+  /// Per-series point cap of the per-run sampler (decimation beyond it).
+  std::size_t telemetry_max_points = 2048;
+  /// Histogram sliding-window capacity while the sampler is armed.
+  std::size_t telemetry_window = 512;
+  /// When non-empty, each sampled run writes its timeline to
+  /// <timeline_dir>/run-<index>.jsonl (directory is created). Content is a
+  /// pure function of (campaign seed, run index) -- worker-count
+  /// independent.
+  std::string timeline_dir;
+  /// Store each sampled run's timeline JSONL in RunResult::timeline_jsonl
+  /// (memory-heavy for big campaigns; prefer timeline_dir).
+  bool capture_timelines = false;
+
+  /// Windowed-percentile SLO gate evaluated after every run (see SloGate).
+  SloGate slo;
+
+  // -- streaming campaign health ------------------------------------------
+
+  /// Called with one formatted campaign-health line every `health_every`
+  /// completed runs (runs done/failed/quarantined, aggregate runs/sec,
+  /// worst slo.metric percentile so far). Invoked under the engine's
+  /// health lock, possibly from pool threads; keep it cheap. The line
+  /// includes wall-clock rates, so it is a live progress stream, NOT a
+  /// deterministic artifact -- that is health_json().
+  std::function<void(const std::string&)> progress;
+  /// Emit cadence for `progress`, in completed runs; 0 emits only the
+  /// final summary line (when `progress` is set).
+  std::size_t health_every = 0;
 };
 
 /// One cell of the run matrix, in row-major order over (config, rep).
@@ -153,6 +211,14 @@ struct RunResult {
   std::string repro_path;      ///< repro bundle file when one was written
   std::uint64_t violations = 0;  ///< hub total (collect_violations only)
   std::string violations_json;   ///< hub JSON when violations > 0
+
+  // -- telemetry / SLO fields (engine telemetry or SLO armed only) --------
+  std::string timeline_path;   ///< per-run timeline file (timeline_dir)
+  std::string timeline_jsonl;  ///< capture_timelines only
+  std::uint64_t telemetry_samples = 0;  ///< sampler ticks this run
+  double slo_worst = 0.0;      ///< worst observed slo.metric percentile
+  std::string slo_worst_instance;  ///< instance holding slo_worst
+  std::uint64_t slo_breaches = 0;  ///< instances over budget this run
 };
 
 /// The body's window onto its shard: the worker's (reset, reseeded)
@@ -162,14 +228,16 @@ class CampaignContext {
  public:
   CampaignContext(Simulation& sim, metrics::Registry& metrics,
                   const RunSpec& spec, unsigned worker, RunResult& result,
-                  unsigned attempt = 1, verify::Hub* monitors = nullptr)
+                  unsigned attempt = 1, verify::Hub* monitors = nullptr,
+                  Telemetry* telemetry = nullptr)
       : sim_(sim),
         metrics_(metrics),
         spec_(spec),
         worker_(worker),
         result_(result),
         attempt_(attempt),
-        monitors_(monitors) {}
+        monitors_(monitors),
+        telemetry_(telemetry) {}
 
   CampaignContext(const CampaignContext&) = delete;
   CampaignContext& operator=(const CampaignContext&) = delete;
@@ -205,6 +273,11 @@ class CampaignContext {
   /// collection is off. Bodies may tighten policies on it per run.
   verify::Hub* monitors() const noexcept { return monitors_; }
 
+  /// The engine-armed per-run telemetry sampler (telemetry_interval > 0),
+  /// already started on sim() for this attempt; nullptr when engine
+  /// telemetry is off. Bodies may add_source() their own probes.
+  Telemetry* telemetry() const noexcept { return telemetry_; }
+
  private:
   Simulation& sim_;
   metrics::Registry& metrics_;
@@ -213,6 +286,7 @@ class CampaignContext {
   RunResult& result_;
   unsigned attempt_ = 1;
   verify::Hub* monitors_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
 };
 
 class Campaign {
@@ -271,6 +345,29 @@ class Campaign {
     return false;
   }
 
+  /// Index-ordered fold of every sampled run's timeline (engine telemetry
+  /// only): run 0's points first, then run 1's, series-by-series -- the
+  /// same run-index-order contract as the Report fold, so the merged store
+  /// (and its exports) are worker-count independent. Per-run sim times
+  /// overlap (every run starts at t=0); consumers group by run via the
+  /// per-run artifacts when they need separation.
+  const metrics::TimeSeriesStore& merged_timeline() const noexcept {
+    return merged_timeline_;
+  }
+
+  /// Deterministic campaign-health document: run totals (ok / failed /
+  /// quarantined), SLO breach totals, the worst observed slo.metric
+  /// percentile and its run, and the quarantined-config list -- all
+  /// derived from results() in run-index order, so the document is
+  /// byte-identical across worker counts. include_host_stats=true appends
+  /// the volatile host section (workers, wall seconds, runs/sec).
+  std::string health_json(bool include_host_stats = false) const;
+
+  /// Writes health_json() to `path`; returns false (no throw) on I/O
+  /// failure.
+  bool write_health_json(const std::string& path,
+                         bool include_host_stats = false) const;
+
   double wall_seconds() const noexcept { return wall_seconds_; }
   double runs_per_sec() const noexcept {
     return wall_seconds_ > 0.0
@@ -295,6 +392,9 @@ class Campaign {
   struct Worker;
 
   void worker_loop(Worker& w, unsigned worker_index, const Body& body);
+  /// Streaming-health bookkeeping after one run completes: updates the
+  /// shared tallies and emits a progress line on the configured cadence.
+  void note_run_done(const RunResult& r);
   /// Writes <repro_dir>/run-<index>.json for a finally-failed run and
   /// records its path in `r`. I/O failures are swallowed (repro bundles
   /// are best-effort; the in-memory RunResult is authoritative).
@@ -308,8 +408,12 @@ class Campaign {
 
   std::vector<RunResult> results_;
   std::vector<Report> run_reports_;  // merge staging; cleared after run()
+  // Per-run timeline staging (engine telemetry only), folded in run-index
+  // order into merged_timeline_ after the pool joins.
+  std::vector<metrics::TimeSeriesStore> run_timelines_;
   metrics::Registry merged_;
   Report merged_report_;
+  metrics::TimeSeriesStore merged_timeline_;
   std::vector<std::size_t> quarantined_;
   double wall_seconds_ = 0.0;
 
@@ -317,6 +421,9 @@ class Campaign {
   // Defined in campaign.cpp to keep <atomic>/<thread> out of the header.
   struct Cursor;
   Cursor* cursor_ = nullptr;
+  // Streaming-health accounting (progress sink); campaign.cpp-local type.
+  struct Live;
+  Live* live_ = nullptr;
 };
 
 }  // namespace mts::sim

@@ -1,8 +1,9 @@
 // Observability configuration and the per-component observer shim.
 //
-// An Observability bundle names the three optional sinks -- transaction
+// An Observability bundle names the four optional sinks -- transaction
 // tracing (sim/trace_session.hpp), the metrics registry
-// (metrics/registry.hpp) and the kernel profiler (sim/profiler.hpp) -- and
+// (metrics/registry.hpp), the kernel profiler (sim/profiler.hpp) and the
+// time-series telemetry sampler (sim/telemetry.hpp) -- and
 // arms them on a Simulation *before components are constructed*. Components
 // check Simulation::observability() once, in their constructors: with
 // nothing armed they register no extra listeners and keep no observer
@@ -31,6 +32,7 @@
 #include "metrics/registry.hpp"
 #include "sim/profiler.hpp"
 #include "sim/simulation.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace_session.hpp"
 
 namespace mts::sim {
@@ -39,13 +41,25 @@ struct Observability {
   TraceSession* trace = nullptr;
   metrics::Registry* metrics = nullptr;
   KernelProfiler* profiler = nullptr;
+  Telemetry* telemetry = nullptr;  ///< in-run sampler (sim/telemetry.hpp)
 
   /// Arms this bundle on `sim` (and the profiler on its scheduler). Must
   /// run before the components to observe are constructed; the bundle and
-  /// its sinks must outlive the simulation or be disarmed first.
+  /// its sinks must outlive the simulation or be disarmed first. With a
+  /// telemetry sampler present this also arms the registry's histogram
+  /// sliding windows, merges counter tracks into the trace export, and
+  /// schedules the periodic probe.
   void arm(Simulation& sim) {
     sim.set_observability(this);
     sim.sched().set_profiler(profiler);
+    if (telemetry != nullptr) {
+      if (metrics != nullptr) {
+        metrics->set_default_window(telemetry->config().histogram_window);
+        telemetry->set_registry(metrics);
+      }
+      if (trace != nullptr) telemetry->attach_trace(trace);
+      telemetry->start(sim);
+    }
   }
 
   /// Returns `sim` to the dormant fast path.
@@ -83,6 +97,30 @@ class TransitObserver {
       occupancy_ = &obs.metrics->histogram(
           instance, "occupancy", metrics::Histogram::linear_bounds(capacity));
     }
+    if (obs.telemetry != nullptr) {
+      // Instantaneous per-instance telemetry sources (sim/telemetry.hpp),
+      // sampled by the periodic probe. The put-side timing domain names the
+      // rollup domain. stall_duty is the fraction of active cycles (stalls
+      // + gets) spent stalled over the last sampling interval, in [0, 1].
+      sample_state_ = true;
+      Telemetry& tel = *obs.telemetry;
+      tel.add_source(instance, put_track, "occupancy",
+                     [this] { return static_cast<double>(cur_occupancy_); });
+      tel.add_source(instance, put_track, "in_flight", [this] {
+        return static_cast<double>(src_puts_ - src_gets_);
+      });
+      tel.add_source(
+          instance, put_track, "stall_duty",
+          [this, prev_stalls = std::uint64_t{0},
+           prev_gets = std::uint64_t{0}]() mutable {
+            const std::uint64_t ds = src_stalls_ - prev_stalls;
+            const std::uint64_t dg = src_gets_ - prev_gets;
+            prev_stalls = src_stalls_;
+            prev_gets = src_gets_;
+            return static_cast<double>(ds) /
+                   static_cast<double>(std::max<std::uint64_t>(1, ds + dg));
+          });
+    }
   }
 
   /// An item was latched (`occupancy`: items resident just after commit).
@@ -102,6 +140,10 @@ class TransitObserver {
     if (puts_ != nullptr) {
       puts_->inc();
       occupancy_->observe(static_cast<double>(occupancy));
+    }
+    if (sample_state_) {
+      ++src_puts_;
+      cur_occupancy_ = occupancy;
     }
     return txn;
   }
@@ -128,6 +170,10 @@ class TransitObserver {
       occupancy_->observe(static_cast<double>(occupancy));
       if (have_put) latency_ps_->observe(static_cast<double>(t - put_time));
     }
+    if (sample_state_) {
+      ++src_gets_;
+      cur_occupancy_ = occupancy;
+    }
     return txn;
   }
 
@@ -141,6 +187,7 @@ class TransitObserver {
   void stalled_by_stop_in() {
     if (trace_ != nullptr) trace_->stalled_by_stop_in(stream_, sim_.now());
     if (stalls_ != nullptr) stalls_->inc();
+    if (sample_state_) ++src_stalls_;
   }
 
  private:
@@ -154,6 +201,13 @@ class TransitObserver {
   metrics::Histogram* latency_ps_ = nullptr;
   metrics::Histogram* occupancy_ = nullptr;
   std::deque<Time> put_times_;  ///< metrics-only mode (no trace session)
+  // Telemetry source state (maintained only with a sampler armed; the
+  // registered closures read these between events).
+  bool sample_state_ = false;
+  unsigned cur_occupancy_ = 0;
+  std::uint64_t src_puts_ = 0;
+  std::uint64_t src_gets_ = 0;
+  std::uint64_t src_stalls_ = 0;
 };
 
 }  // namespace mts::sim

@@ -130,6 +130,12 @@ class Scheduler {
   void set_watchdog(Watchdog* w) noexcept { watchdog_ = w; }
   Watchdog* watchdog() const noexcept { return watchdog_; }
 
+  /// Events executed since construction/reset() -- the cheap single-counter
+  /// read the telemetry sampler uses (stats() flushes the profiler).
+  std::uint64_t events_executed() const noexcept {
+    return stats_.events_executed;
+  }
+
   /// Snapshot of the kernel health counters (plus the hottest-site table
   /// when a profiler is armed; pending profiler samples are flushed first).
   KernelStats stats() const {

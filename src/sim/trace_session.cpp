@@ -155,6 +155,7 @@ std::string TraceSession::to_json() const {
         break;
     }
   }
+  if (extra_events_) os << extra_events_();
   os << "\n]}\n";
   return os.str();
 }

@@ -34,6 +34,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -104,6 +105,15 @@ class TraceSession {
   /// continues past the cap so latency numbers stay exact.
   void set_max_events(std::size_t n) noexcept { max_events_ = n; }
 
+  /// Extra raw trace-event objects appended inside the traceEvents array by
+  /// to_json() -- how sim::Telemetry merges its counter tracks into the
+  /// same trace file as the transaction spans. The provider returns a
+  /// (possibly empty) sequence of ",\n  {...}" fragments; it must stay
+  /// valid until the last export or be cleared with nullptr.
+  void set_extra_events_provider(std::function<std::string()> fn) {
+    extra_events_ = std::move(fn);
+  }
+
   /// Chrome trace-event JSON ({"displayTimeUnit":"ns","traceEvents":[...]}),
   /// loadable in Perfetto / chrome://tracing.
   std::string to_json() const;
@@ -153,6 +163,7 @@ class TraceSession {
   std::vector<Stream> streams_;
   std::unordered_map<std::string, StreamId> stream_index_;
   std::vector<EventRec> events_;
+  std::function<std::string()> extra_events_;  ///< counter-track provider
   TxnId next_txn_ = 1;
   std::uint64_t dropped_ = 0;
   std::size_t max_events_ = 4'000'000;

@@ -24,6 +24,24 @@ Synchronizer::Synchronizer(sim::Simulation& sim, const std::string& name,
     in_window_ctr_ = &o->metrics->counter(name, "sync_in_window");
     escape_ctr_ = &o->metrics->counter(name, "sync_escapes");
   }
+  if (sim::Observability* o = sim.observability();
+      o != nullptr && o->telemetry != nullptr) {
+    // Per-interval synchronization-hazard telemetry: escapes past the final
+    // stage and in-window samples at the front stage since the previous
+    // sampling tick.
+    o->telemetry->add_source(name, "sync", "escape_rate",
+                             [this, prev = std::uint64_t{0}]() mutable {
+                               const std::uint64_t d = failures_ - prev;
+                               prev = failures_;
+                               return static_cast<double>(d);
+                             });
+    o->telemetry->add_source(name, "sync", "in_window_rate",
+                             [this, prev = std::uint64_t{0}]() mutable {
+                               const std::uint64_t d = front_events_ - prev;
+                               prev = front_events_;
+                               return static_cast<double>(d);
+                             });
+  }
   mon_ = sim.monitors();
   if (config_.depth == 0) {
     // Ablation passthrough: a buffer only; the raw asynchronous level feeds

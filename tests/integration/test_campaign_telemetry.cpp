@@ -1,0 +1,256 @@
+// Campaign streaming-telemetry suite: engine-armed per-run samplers,
+// timeline artifacts, SLO gates and the campaign-health document -- all
+// proven worker-count independent the same way test_campaign.cpp proves
+// the core engine: byte-comparing the 1-worker artifacts against 4-worker.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/registry.hpp"
+#include "sim/campaign.hpp"
+#include "sim/observe.hpp"
+#include "sim/telemetry.hpp"
+
+namespace mts {
+namespace {
+
+using sim::Time;
+
+/// Deterministic run body: a tick chain whose length depends on the run
+/// index, an occupancy-style telemetry source, and a latency histogram in
+/// the engine's per-run registry (the SLO target). Everything derives from
+/// ctx.spec(), never from the worker, so artifacts must be
+/// placement-independent.
+void telemetry_body(sim::CampaignContext& ctx) {
+  sim::Simulation& sim = ctx.sim();
+  const std::size_t index = ctx.spec().index;
+
+  if (ctx.telemetry() != nullptr) {
+    ctx.telemetry()->add_source("dut", "bus", "occupancy", [index] {
+      return static_cast<double>(index + 1);
+    });
+  }
+  metrics::Registry* reg = sim.observability() != nullptr
+                               ? sim.observability()->metrics
+                               : nullptr;
+  if (reg != nullptr) {
+    metrics::Histogram& h = reg->histogram("dut", "latency_ps", {1e9});
+    // Run i's p100 is 100 * (i + 1): run 0 stays under a 150 ps budget,
+    // every later run breaches it.
+    for (int s = 1; s <= 20; ++s) {
+      h.observe(static_cast<double>(s) * 5.0 * static_cast<double>(index + 1));
+    }
+  }
+
+  // Keep the queue busy for 50 ns so the 1 ns sampler gets ~50 ticks.
+  struct Chain {
+    sim::Simulation* sim;
+    std::uint64_t* left;
+    void operator()() const {
+      if (*left > 0) {
+        --*left;
+        sim->sched().after(sim::kNanosecond, *this);
+      }
+    }
+  };
+  std::uint64_t left = 50;
+  sim.sched().after(sim::kNanosecond, Chain{&sim, &left});
+  sim.run();
+  ctx.set("ticks", 50.0 - static_cast<double>(left));
+}
+
+sim::CampaignOptions telemetry_options(unsigned workers) {
+  sim::CampaignOptions opt;
+  opt.workers = workers;
+  opt.seed = 42;
+  opt.telemetry_interval = sim::kNanosecond;
+  opt.telemetry_max_points = 256;
+  opt.telemetry_window = 64;
+  opt.capture_timelines = true;
+  opt.slo.metric = "latency_ps";
+  opt.slo.percentile = 0.99;
+  opt.slo.budget = 150.0;
+  return opt;
+}
+
+TEST(CampaignTelemetry, PerRunSamplersProduceTimelinesAndSloVerdicts) {
+  sim::Campaign c(2, 2, telemetry_options(1));
+  c.run(telemetry_body);
+  ASSERT_EQ(c.results().size(), 4u);
+  for (const sim::RunResult& r : c.results()) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.telemetry_samples, 10u) << "run " << r.index;
+    EXPECT_FALSE(r.timeline_jsonl.empty());
+    // The per-run timeline carries the body's source and its rollup.
+    EXPECT_NE(r.timeline_jsonl.find("dut.occupancy"), std::string::npos);
+    EXPECT_NE(r.timeline_jsonl.find("domain.bus.occupancy"),
+              std::string::npos);
+    // ... and the windowed percentile series of the SLO histogram.
+    EXPECT_NE(r.timeline_jsonl.find("dut.latency_ps.p99"), std::string::npos);
+    // Host-dependent kernel series must stay out of run artifacts.
+    EXPECT_EQ(r.timeline_jsonl.find("pool_high_water"), std::string::npos);
+  }
+  // Run i observes max latency 100 * (i + 1) vs budget 150: run 0 passes,
+  // runs 1..3 breach (fail_run is off, so ok stays true).
+  EXPECT_EQ(c.results()[0].slo_breaches, 0u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(c.results()[i].slo_breaches, 1u) << "run " << i;
+    EXPECT_EQ(c.results()[i].slo_worst_instance, "dut");
+    EXPECT_GT(c.results()[i].slo_worst, 150.0);
+  }
+  // Breaches land in the merged report under the campaign-slo category.
+  EXPECT_EQ(c.merged_report().count("campaign-slo"), 3u);
+  EXPECT_FALSE(c.merged_timeline().empty());
+}
+
+TEST(CampaignTelemetry, SloFailRunFailsBreachingRunsLikeExceptions) {
+  sim::CampaignOptions opt = telemetry_options(1);
+  opt.slo.fail_run = true;
+  sim::Campaign c(2, 2, opt);
+  c.run(telemetry_body);
+  EXPECT_TRUE(c.results()[0].ok);
+  EXPECT_EQ(c.failed(), 3u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_FALSE(c.results()[i].ok);
+    EXPECT_EQ(c.results()[i].error_type, "SloBreach");
+    EXPECT_NE(c.results()[i].error.find("latency_ps"), std::string::npos);
+  }
+}
+
+TEST(CampaignTelemetry, TimelinesAndHealthAreWorkerCountIndependent) {
+  sim::Campaign c1(2, 3, telemetry_options(1));
+  c1.run(telemetry_body);
+  sim::Campaign c4(2, 3, telemetry_options(4));
+  c4.run(telemetry_body);
+
+  ASSERT_EQ(c1.results().size(), c4.results().size());
+  for (std::size_t i = 0; i < c1.results().size(); ++i) {
+    EXPECT_EQ(c1.results()[i].timeline_jsonl, c4.results()[i].timeline_jsonl)
+        << "run " << i;
+    EXPECT_EQ(c1.results()[i].telemetry_samples,
+              c4.results()[i].telemetry_samples);
+    EXPECT_EQ(c1.results()[i].slo_worst, c4.results()[i].slo_worst);
+  }
+  // The run-index-ordered folds: merged timeline and health doc, byte for
+  // byte. (Host stats stay out of health_json by default.)
+  EXPECT_EQ(c1.merged_timeline().to_jsonl(), c4.merged_timeline().to_jsonl());
+  EXPECT_EQ(c1.health_json(), c4.health_json());
+  EXPECT_EQ(c1.to_json(false), c4.to_json(false));
+}
+
+TEST(CampaignTelemetry, TimelineDirWritesOneFilePerSampledRun) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "mts_campaign_timeline_test";
+  fs::remove_all(dir);
+  sim::CampaignOptions opt = telemetry_options(2);
+  opt.timeline_dir = dir.string();
+  sim::Campaign c(2, 2, opt);
+  c.run(telemetry_body);
+  for (const sim::RunResult& r : c.results()) {
+    ASSERT_FALSE(r.timeline_path.empty());
+    std::ifstream in(r.timeline_path);
+    ASSERT_TRUE(in.good()) << r.timeline_path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_EQ(os.str(), r.timeline_jsonl);  // file mirrors the capture
+  }
+  // Health doc writes and parses as the same bytes health_json() returns.
+  const std::string health_path = (dir / "campaign_health.json").string();
+  ASSERT_TRUE(c.write_health_json(health_path));
+  std::ifstream in(health_path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  EXPECT_EQ(os.str(), c.health_json());
+  fs::remove_all(dir);
+}
+
+TEST(CampaignTelemetry, HealthJsonSummarizesVerdictsDeterministically) {
+  sim::Campaign c(2, 2, telemetry_options(1));
+  c.run(telemetry_body);
+  const std::string h = c.health_json();
+  EXPECT_NE(h.find("\"runs\": 4"), std::string::npos);
+  EXPECT_NE(h.find("\"ok\": 4"), std::string::npos);
+  EXPECT_NE(h.find("\"slo_breaches\": 3"), std::string::npos);
+  EXPECT_NE(h.find("\"worst\""), std::string::npos);
+  EXPECT_NE(h.find("\"latency_ps\""), std::string::npos);
+  // No volatile host numbers unless asked for.
+  EXPECT_EQ(h.find("wall_seconds"), std::string::npos);
+  EXPECT_NE(c.health_json(true).find("wall_seconds"), std::string::npos);
+}
+
+TEST(CampaignTelemetry, ProgressSinkStreamsHealthLines) {
+  sim::CampaignOptions opt = telemetry_options(2);
+  std::vector<std::string> lines;
+  std::mutex mu;
+  opt.progress = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  opt.health_every = 1;  // one line per completed run + the final line
+  sim::Campaign c(2, 2, opt);
+  c.run(telemetry_body);
+  ASSERT_GE(lines.size(), 4u);
+  // The last line always reports the full campaign.
+  EXPECT_NE(lines.back().find("4/4 runs"), std::string::npos);
+  EXPECT_NE(lines.back().find("runs/s"), std::string::npos);
+  EXPECT_NE(lines.back().find("SLO"), std::string::npos);
+}
+
+TEST(CampaignTelemetry, SloOnlyModeIsolatesRegistryWithoutSampler) {
+  // budget > 0 with telemetry_interval == 0: per-run registry + SLO
+  // verdicts, no sampler, no timelines.
+  sim::CampaignOptions opt;
+  opt.workers = 1;
+  opt.seed = 42;
+  opt.slo.metric = "latency_ps";
+  opt.slo.percentile = 0.99;
+  opt.slo.budget = 150.0;
+  sim::Campaign c(2, 2, opt);
+  c.run(telemetry_body);
+  EXPECT_EQ(c.results()[0].slo_breaches, 0u);
+  EXPECT_EQ(c.results()[1].slo_breaches, 1u);
+  for (const sim::RunResult& r : c.results()) {
+    EXPECT_EQ(r.telemetry_samples, 0u);
+    EXPECT_TRUE(r.timeline_jsonl.empty());
+  }
+  EXPECT_TRUE(c.merged_timeline().empty());
+}
+
+// --- Report::merge edge cases (the campaign reduction primitive) ----------
+
+TEST(ReportMerge, EmptyIntoEmptyAndPopulatedEdges) {
+  sim::Report a;
+  sim::Report b;
+  a.merge(b);
+  EXPECT_EQ(a.failure_count(), 0u);
+  a.add(0, sim::Severity::kError, "cat", "boom");
+  a.merge(b);  // populated <- empty: unchanged
+  EXPECT_EQ(a.count("cat"), 1u);
+  EXPECT_EQ(a.failure_count(), 1u);
+  b.merge(a);  // empty <- populated: becomes a copy
+  EXPECT_EQ(b.count("cat"), 1u);
+  EXPECT_EQ(b.failure_count(), 1u);
+}
+
+TEST(ReportMerge, DisjointCategoriesUnion) {
+  sim::Report a;
+  a.add(0, sim::Severity::kInfo, "alpha", "one");
+  sim::Report b;
+  b.add(1, sim::Severity::kWarning, "beta", "two");
+  a.merge(b);
+  EXPECT_EQ(a.count("alpha"), 1u);
+  EXPECT_EQ(a.count("beta"), 1u);
+  EXPECT_EQ(a.failure_count(), 0u);  // info + warning: no failures
+}
+
+}  // namespace
+}  // namespace mts

@@ -145,6 +145,76 @@ TEST(Registry, ReportIntoEmitsOneLinePerHistogram) {
   EXPECT_EQ(report.failure_count(), 0u);  // kInfo lines are not failures
 }
 
+// --- percentile edge contract (documented on Histogram) -------------------
+
+TEST(Histogram, PercentileEdgesEmptySingleAndClampedP) {
+  Histogram h({10.0, 100.0});
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 0.0);   // empty: documented 0.0
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), 0.0);
+  h.observe(42.0);
+  // Single sample: every percentile is that sample.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.999), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+  h.observe(7.0);
+  // p<=0 pins to the observed min, p>=1 to the observed max.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-1.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), 42.0);
+}
+
+TEST(Histogram, WindowPercentileEdges) {
+  Histogram h({10.0, 100.0});
+  h.set_window(16);
+  EXPECT_EQ(h.window_capacity(), 16u);
+  EXPECT_EQ(h.window_count(), 0u);
+  EXPECT_DOUBLE_EQ(h.window_percentile(0.99), 0.0);  // empty window
+  h.observe(42.0);
+  EXPECT_EQ(h.window_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.window_percentile(0.50), 42.0);  // single sample
+  EXPECT_DOUBLE_EQ(h.window_percentile(0.999), 42.0);
+  h.observe(7.0);
+  EXPECT_DOUBLE_EQ(h.window_percentile(0.0), 7.0);    // p<=0 -> window min
+  EXPECT_DOUBLE_EQ(h.window_percentile(1.0), 42.0);   // p>=1 -> window max
+}
+
+TEST(Histogram, WindowP999WithFewerThanThousandSamplesIsWindowMax) {
+  // Nearest-rank: with n < 1000, ceil(0.999 * n) == n, so p99.9 of a small
+  // window is exactly its max -- the documented regression case.
+  Histogram h({1e6});
+  h.set_window(1024);
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.window_percentile(0.999), 100.0);
+  EXPECT_DOUBLE_EQ(h.window_percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.window_percentile(0.50), 50.0);
+}
+
+TEST(Histogram, WindowEvictsOldestAndIsExactOverRecentSamples) {
+  Histogram h({1e6});
+  h.set_window(8);
+  for (int i = 0; i < 100; ++i) h.observe(1000.0);  // old regime
+  for (int i = 1; i <= 8; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.window_count(), 8u);
+  // Only the 8 most recent samples remain: 1..8.
+  EXPECT_DOUBLE_EQ(h.window_percentile(0.50), 4.0);
+  EXPECT_DOUBLE_EQ(h.window_percentile(1.0), 8.0);
+  // The cumulative view still spans all 108 observations.
+  EXPECT_EQ(h.count(), 108u);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+}
+
+TEST(Registry, DefaultWindowAppliesToHistogramsCreatedAfterward) {
+  Registry r;
+  Histogram& before = r.histogram("a", "lat", {10.0});
+  r.set_default_window(32);
+  Histogram& after = r.histogram("b", "lat", {10.0});
+  EXPECT_EQ(before.window_capacity(), 0u);
+  EXPECT_EQ(after.window_capacity(), 32u);
+  EXPECT_EQ(r.default_window(), 32u);
+}
+
 TEST(RegistryMerge, CountersAddGaugesMaxAcrossShards) {
   Registry a;
   a.counter("dut", "puts").inc(3);
@@ -201,6 +271,59 @@ TEST(RegistryMerge, CommutativeAndIndependentOfShardOrder) {
   auto ba = build(5, 9.0);
   ba->merge(*build(1, 2.0));
   EXPECT_EQ(ab->to_json(), ba->to_json());
+}
+
+TEST(RegistryMerge, EmptyIntoEmptyAndEmptyIntoPopulated) {
+  Registry a;
+  Registry b;
+  a.merge(b);  // empty <- empty: no-op
+  EXPECT_EQ(a.instance_count(), 0u);
+  a.counter("dut", "puts").inc(3);
+  a.merge(b);  // populated <- empty: unchanged
+  EXPECT_EQ(a.counter("dut", "puts").value(), 3u);
+  EXPECT_EQ(a.instance_count(), 1u);
+  b.merge(a);  // empty <- populated: becomes a copy
+  EXPECT_EQ(b.counter("dut", "puts").value(), 3u);
+}
+
+TEST(RegistryMerge, DisjointInstanceSetsUnion) {
+  Registry a;
+  a.counter("left", "puts").inc(1);
+  Registry b;
+  b.counter("right", "gets").inc(2);
+  b.histogram("right", "lat", {10.0}).observe(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.instance_count(), 2u);
+  EXPECT_EQ(a.counter("left", "puts").value(), 1u);
+  EXPECT_EQ(a.counter("right", "gets").value(), 2u);
+  ASSERT_NE(a.find_histogram("right", "lat"), nullptr);
+  EXPECT_EQ(a.find_histogram("right", "lat")->count(), 1u);
+}
+
+TEST(RegistryMerge, WindowsDoNotMergeAcrossShards) {
+  // Sliding windows are per-shard recency state; merge() combines only the
+  // cumulative buckets. The destination keeps its own window contents.
+  Registry a;
+  a.set_default_window(8);
+  a.histogram("dut", "lat", {1e6}).observe(10.0);
+  Registry b;
+  b.set_default_window(8);
+  b.histogram("dut", "lat", {1e6}).observe(999.0);
+  a.merge(b);
+  const Histogram* h = a.find_histogram("dut", "lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);                          // cumulative merged
+  EXPECT_EQ(h->window_count(), 1u);                   // window untouched
+  EXPECT_DOUBLE_EQ(h->window_percentile(1.0), 10.0);  // a's sample only
+}
+
+TEST(Registry, ClearDropsEveryInstance) {
+  Registry r;
+  r.counter("dut", "puts").inc(3);
+  r.histogram("dut", "lat", {10.0}).observe(1.0);
+  r.clear();
+  EXPECT_EQ(r.instance_count(), 0u);
+  EXPECT_EQ(r.find_counter("dut", "puts"), nullptr);
 }
 
 }  // namespace
