@@ -8,14 +8,30 @@
 // recorded next to every number so a 1-core CI box reporting ~1.0x reads
 // as what it is.
 //
+// A second section measures the campaignd MULTI-PROCESS path (coordinator +
+// fork/exec'd worker processes, see src/campaignd/): runs/sec at 1/2/4
+// worker processes, byte-identity of the merged artifact against the
+// in-process oracle, and the checkpoint-resume overhead (a resume of a
+// complete checkpoint re-executes nothing; its cost is load + refold).
+// The worker binary path is baked in at configure time and can be
+// overridden with MTS_CAMPAIGND_BIN; without a usable binary the section
+// is skipped and recorded as such.
+//
 // Usage: bench_campaign_scaling [--smoke]
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "campaign_workload.hpp"
+#include "campaignd/coordinator.hpp"
+#include "campaignd/json.hpp"
 
 namespace {
 
@@ -65,6 +81,98 @@ HealthDoc campaign_health(unsigned workers, std::size_t configs,
                    campaign.merged_timeline().to_jsonl()};
 }
 
+// -- campaignd multi-process section ----------------------------------------
+
+std::string campaignd_worker_bin() {
+  if (const char* env = std::getenv("MTS_CAMPAIGND_BIN")) return env;
+#ifdef MTS_CAMPAIGND_BIN_DEFAULT
+  return MTS_CAMPAIGND_BIN_DEFAULT;
+#else
+  return std::string();
+#endif
+}
+
+campaignd::JobSpec campaignd_job(std::size_t configs, std::size_t reps,
+                                 unsigned cycles) {
+  campaignd::JobSpec job;
+  job.workload = "fifo_soak";
+  job.params = campaignd::json::Value::object();
+  job.params.set("cycles", campaignd::json::Value::number_u64(cycles));
+  job.configs = configs;
+  job.reps = reps;
+  job.opt.seed = 99;
+  return job;
+}
+
+campaignd::CoordinatorOptions campaignd_opts(unsigned workers) {
+  campaignd::CoordinatorOptions opt;
+  opt.workers = workers;
+  opt.worker_cmd = {campaignd_worker_bin(), "worker", "--port", "{port}"};
+  return opt;
+}
+
+double timed_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct CampaigndResults {
+  bool available = false;
+  std::vector<double> rps;        ///< per worker count below
+  bool identical = false;         ///< 4-process artifact == in-process oracle
+  double full_run_sec = 0.0;      ///< checkpointed distributed run
+  double resume_sec = 0.0;        ///< resume of the complete checkpoint
+};
+
+CampaigndResults measure_campaignd(std::size_t configs, std::size_t reps,
+                                   unsigned cycles,
+                                   const unsigned* worker_counts,
+                                   std::size_t n_counts) {
+  CampaigndResults out;
+  const std::string bin = campaignd_worker_bin();
+  if (bin.empty() || ::access(bin.c_str(), X_OK) != 0) return out;
+  out.available = true;
+
+  const campaignd::JobSpec job = campaignd_job(configs, reps, cycles);
+  for (std::size_t i = 0; i < n_counts; ++i) {
+    campaignd::Coordinator::Outcome o;
+    campaignd::Coordinator coord(job, campaignd_opts(worker_counts[i]));
+    const double sec = timed_seconds([&] { coord.run(o); });
+    out.rps.push_back(static_cast<double>(configs * reps) / sec);
+    if (i + 1 == n_counts) {
+      campaignd::Coordinator::Outcome local;
+      campaignd::run_local(job, local);
+      out.identical = o.to_json(false) == local.to_json(false) &&
+                      o.health_json(false) == local.health_json(false);
+    }
+  }
+
+  // Resume overhead: a full checkpointed run, then a resume of its complete
+  // checkpoint -- which replays nothing, so the delta is pure load+refold.
+  const std::string ckpt = "BENCH_campaignd_ckpt.json";
+  std::remove(ckpt.c_str());
+  {
+    campaignd::CoordinatorOptions opt = campaignd_opts(2);
+    opt.checkpoint_path = ckpt;
+    opt.checkpoint_every = 1;
+    campaignd::Coordinator::Outcome o;
+    campaignd::Coordinator coord(job, opt);
+    out.full_run_sec = timed_seconds([&] { coord.run(o); });
+  }
+  {
+    campaignd::CoordinatorOptions opt = campaignd_opts(2);
+    opt.checkpoint_path = ckpt;
+    opt.resume = true;
+    campaignd::Coordinator::Outcome o;
+    campaignd::Coordinator coord(job, opt);
+    out.resume_sec = timed_seconds([&] { coord.run(o); });
+  }
+  std::remove(ckpt.c_str());
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,6 +215,28 @@ int main(int argc, char** argv) {
   std::printf("4-worker vs 1-worker campaign_health.json + merged timeline: "
               "%s\n", health_deterministic ? "IDENTICAL" : "MISMATCH");
 
+  // Multi-process campaignd: crash-isolated worker PROCESSES instead of
+  // threads (fork/exec + TCP + checkpoint fold; see src/campaignd/).
+  const unsigned proc_counts[] = {1, 2, 4};
+  const CampaigndResults procs = measure_campaignd(
+      configs, reps, cycles, proc_counts, std::size(proc_counts));
+  if (procs.available) {
+    std::printf("\ncampaignd multi-process (fork/exec workers):\n");
+    std::printf("  %8s %14s %10s\n", "procs", "runs/sec", "speedup");
+    for (std::size_t i = 0; i < procs.rps.size(); ++i) {
+      std::printf("  %8u %14.1f %9.2fx\n", proc_counts[i], procs.rps[i],
+                  procs.rps[i] / procs.rps[0]);
+    }
+    std::printf("4-process vs in-process campaign+health JSON: %s\n",
+                procs.identical ? "IDENTICAL" : "MISMATCH");
+    std::printf("checkpointed run %.3fs; resume of complete checkpoint "
+                "%.3fs (replays nothing)\n",
+                procs.full_run_sec, procs.resume_sec);
+  } else {
+    std::printf("\ncampaignd multi-process: worker binary unavailable, "
+                "section skipped\n");
+  }
+
   FILE* f = std::fopen("BENCH_campaign.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr,
@@ -130,10 +260,30 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"speedup_4w_vs_1w\": %.2f,\n", rps[2] / rps[0]);
   std::fprintf(f, "  \"deterministic_4w_vs_1w\": %s,\n",
                deterministic ? "true" : "false");
-  std::fprintf(f, "  \"telemetry_health_deterministic_4w_vs_1w\": %s\n",
+  std::fprintf(f, "  \"telemetry_health_deterministic_4w_vs_1w\": %s,\n",
                health_deterministic ? "true" : "false");
+  std::fprintf(f, "  \"campaignd\": {\n");
+  std::fprintf(f, "    \"available\": %s",
+               procs.available ? "true" : "false");
+  if (procs.available) {
+    std::fprintf(f, ",\n    \"runs_per_sec\": {");
+    for (std::size_t i = 0; i < procs.rps.size(); ++i) {
+      std::fprintf(f, "%s\"%u\": %.1f", i == 0 ? "" : ", ", proc_counts[i],
+                   procs.rps[i]);
+    }
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "    \"identical_to_in_process\": %s,\n",
+                 procs.identical ? "true" : "false");
+    std::fprintf(f, "    \"checkpointed_run_sec\": %.3f,\n",
+                 procs.full_run_sec);
+    std::fprintf(f, "    \"resume_refold_sec\": %.3f\n", procs.resume_sec);
+  } else {
+    std::fprintf(f, "\n");
+  }
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_campaign.json and campaign_health.json\n");
-  return deterministic && health_deterministic ? 0 : 1;
+  const bool campaignd_ok = !procs.available || procs.identical;
+  return deterministic && health_deterministic && campaignd_ok ? 0 : 1;
 }

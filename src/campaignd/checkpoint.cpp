@@ -1,0 +1,117 @@
+#include "campaignd/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace mts::campaignd {
+
+std::size_t record_run_index(const json::Value& record) {
+  try {
+    return record.at("result").at("index").as_size();
+  } catch (const json::ProtocolError& e) {
+    throw CheckpointError(std::string("malformed run record: ") + e.what());
+  }
+}
+
+void write_checkpoint(const std::string& path, const Checkpoint& cp) {
+  json::Value doc = json::Value::object();
+  doc.set("magic", json::Value(kCheckpointMagic));
+  doc.set("version", json::Value::number_i64(kCheckpointVersion));
+  json::Value job = json::Value::object();
+  job.set("configs", json::Value::number_size(cp.configs));
+  job.set("reps", json::Value::number_size(cp.reps));
+  job.set("digest", json::Value(cp.digest));
+  doc.set("job", std::move(job));
+  doc.set("complete", json::Value(cp.complete));
+  json::Value runs = json::Value::array();
+  for (const json::Value& r : cp.runs) runs.push(r);
+  doc.set("runs", std::move(runs));
+  const std::string text = doc.dump();
+
+  const std::string tmp = path + ".tmp";
+  // O_TRUNC: a previous crashed writer may have left a stale tmp behind.
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw CheckpointError("open " + tmp + ": " + std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw CheckpointError("write " + tmp + ": " + std::strerror(err));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must never become durable before the
+  // bytes it points at.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw CheckpointError("fsync " + tmp + ": " + std::strerror(err));
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw CheckpointError("rename " + tmp + " -> " + path + ": " +
+                          std::strerror(errno));
+  }
+}
+
+Checkpoint load_checkpoint(const std::string& path,
+                           const std::string& expect_digest) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  json::Value doc;
+  try {
+    doc = json::parse(buf.str());
+  } catch (const json::ProtocolError& e) {
+    throw CheckpointError(path + ": " + e.what());
+  }
+  try {
+    if (doc.at("magic").as_string() != kCheckpointMagic) {
+      throw CheckpointError(path + ": not a campaignd checkpoint");
+    }
+    if (doc.at("version").as_i64() != kCheckpointVersion) {
+      throw CheckpointError(path + ": unsupported checkpoint version " +
+                            doc.at("version").number_text());
+    }
+    Checkpoint cp;
+    const json::Value& job = doc.at("job");
+    cp.configs = job.at("configs").as_size();
+    cp.reps = job.at("reps").as_size();
+    cp.digest = job.at("digest").as_string();
+    cp.complete = doc.get_bool("complete", false);
+    if (!expect_digest.empty() && cp.digest != expect_digest) {
+      throw CheckpointError(
+          path + ": job digest mismatch (checkpoint " + cp.digest +
+          ", job " + expect_digest +
+          ") -- refusing to resume a different campaign");
+    }
+    const std::size_t total = cp.configs * cp.reps;
+    for (const json::Value& r : doc.at("runs").as_array()) {
+      const std::size_t idx = record_run_index(r);
+      if (idx >= total) {
+        throw CheckpointError(path + ": run index " + std::to_string(idx) +
+                              " outside the " + std::to_string(total) +
+                              "-run matrix");
+      }
+      cp.runs.push_back(r);
+    }
+    return cp;
+  } catch (const json::ProtocolError& e) {
+    throw CheckpointError(path + ": " + e.what());
+  }
+}
+
+}  // namespace mts::campaignd

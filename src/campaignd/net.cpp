@@ -1,0 +1,135 @@
+#include "campaignd/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <fcntl.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace mts::campaignd {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+/// Coordinator sockets must not leak into fork/exec'd workers: a worker
+/// holding a copy of another worker's connection would keep it half-open
+/// past that worker's death and mask the EOF the coordinator relies on.
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc == -1 && errno == EINTR);
+    fd_ = -1;
+  }
+}
+
+Listener listen_local(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail_errno("socket");
+  set_cloexec(fd.get());
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) == -1) {
+    fail_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) == -1) fail_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) ==
+      -1) {
+    fail_errno("getsockname");
+  }
+  Listener out;
+  out.fd = std::move(fd);
+  out.port = ntohs(bound.sin_port);
+  return out;
+}
+
+Fd accept_conn(const Fd& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_cloexec(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Fd(fd);
+    }
+    if (errno == EINTR) continue;
+    fail_errno("accept");
+  }
+}
+
+Fd connect_local(std::uint16_t port, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) fail_errno("socket");
+    set_cloexec(fd.get());
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    int rc;
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr);
+    } while (rc == -1 && errno == EINTR);
+    if (rc == 0) {
+      const int one = 1;
+      ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return fd;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      fail_errno("connect 127.0.0.1:" + std::to_string(port));
+    }
+    // The listener may not be up yet (spawn race); back off briefly.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void send_all(const Fd& fd, const std::string& buf) {
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    const ssize_t n = ::send(fd.get(), buf.data() + sent, buf.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    fail_errno("send");
+  }
+}
+
+std::size_t recv_some(const Fd& fd, char* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), buf, cap, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    fail_errno("recv");
+  }
+}
+
+}  // namespace mts::campaignd

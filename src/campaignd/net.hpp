@@ -1,0 +1,85 @@
+// Thin POSIX TCP wrappers for campaignd: loopback listeners on ephemeral
+// ports, blocking connects with a deadline, and whole-buffer send/recv.
+//
+// Everything campaignd needs from the network fits in a handful of calls;
+// wrapping them keeps the coordinator/worker logic free of errno plumbing
+// and gives RAII ownership of descriptors (a coordinator juggling a fleet
+// of sockets must never leak one across a retry path). All functions throw
+// NetError on failure; EINTR is retried internally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mts::campaignd {
+
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& msg)
+      : std::runtime_error("net: " + msg) {}
+};
+
+/// RAII file descriptor (sockets here, but any fd works). Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// Closes the descriptor (idempotent).
+  void reset() noexcept;
+  /// Releases ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 (the default) picks an
+/// ephemeral port; port() reports the bound one.
+struct Listener {
+  Fd fd;
+  std::uint16_t port = 0;
+};
+
+/// Binds + listens on 127.0.0.1:`port` (0: ephemeral).
+Listener listen_local(std::uint16_t port = 0, int backlog = 16);
+
+/// Blocking accept; throws on error (callers poll() first, so a blocking
+/// accept here never actually blocks).
+Fd accept_conn(const Fd& listener);
+
+/// Connects to 127.0.0.1:`port`, retrying for up to `timeout_ms` while the
+/// listener is not yet up (worker processes race the coordinator's accept
+/// loop at spawn).
+Fd connect_local(std::uint16_t port, int timeout_ms = 5000);
+
+/// Sends the whole buffer (retrying partial writes); throws NetError on a
+/// closed peer. SIGPIPE is suppressed (MSG_NOSIGNAL) -- a dying worker must
+/// surface as an error code, not kill the coordinator.
+void send_all(const Fd& fd, const std::string& buf);
+
+/// Reads up to `cap` bytes; returns 0 at orderly EOF. Throws on error.
+std::size_t recv_some(const Fd& fd, char* buf, std::size_t cap);
+
+}  // namespace mts::campaignd

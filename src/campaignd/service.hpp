@@ -1,0 +1,66 @@
+// The campaignd job service: submit / status / fetch over the same framed
+// TCP/JSON protocol the workers speak.
+//
+// A Service owns a job queue and a runner thread that executes queued jobs
+// sequentially, each through its own Coordinator (multi-process fleet,
+// checkpointing, the works). Clients open a connection, send ONE request
+// frame and read ONE response frame:
+//
+//   {"type":"submit", "job": {...}, "coordinator": {...}}
+//       -> {"ok":true, "job_id":N}
+//   {"type":"status"}
+//       -> {"ok":true, "jobs":[{"id","state","done","total"},...]}
+//   {"type":"fetch", "id":N}
+//       -> {"ok":true, "state":"done", "campaign":{...}, "health":{...}}
+//
+// Malformed requests get {"ok":false,"error":...} -- the service never
+// dies on client input. States: queued -> running -> done | failed |
+// interrupted (a SIGTERM'd service checkpoints the running job through the
+// coordinator's graceful-shutdown path, so a later submit of the same job
+// with resume=true picks up where it stopped).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "campaignd/coordinator.hpp"
+#include "campaignd/json.hpp"
+
+namespace mts::campaignd {
+
+// -- job / options wire forms (shared by service and CLI) -------------------
+
+json::Value job_to_json(const JobSpec& job);
+JobSpec job_from_json(const json::Value& v);
+/// `on_event` does not transit; `worker_cmd` does (local trust domain).
+json::Value coordinator_options_to_json(const CoordinatorOptions& opt);
+CoordinatorOptions coordinator_options_from_json(const json::Value& v);
+
+struct ServiceOptions {
+  std::uint16_t port = 0;  ///< 0: ephemeral (Service::port() reports it)
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opt);
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  std::uint16_t port() const noexcept;
+
+  /// Accept loop. Serves until stop() (checked every poll tick); with
+  /// `max_connections` > 0, returns after that many connections (tests).
+  void serve(std::size_t max_connections = 0);
+
+  /// Stops the accept loop and interrupts the running job's coordinator
+  /// (graceful: final checkpoint). Callable from any thread or from a
+  /// signal-flag poller.
+  void stop();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace mts::campaignd

@@ -1,0 +1,67 @@
+#include "campaignd/wire.hpp"
+
+#include <algorithm>
+
+namespace mts::campaignd {
+
+std::string encode_frame(const std::string& payload) {
+  if (payload.empty()) throw FramingError("refusing to encode empty frame");
+  if (payload.size() > kMaxFramePayload) {
+    throw FramingError("payload " + std::to_string(payload.size()) +
+                       " bytes exceeds frame cap " +
+                       std::to_string(kMaxFramePayload));
+  }
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out += static_cast<char>((n >> 24) & 0xFF);
+  out += static_cast<char>((n >> 16) & 0xFF);
+  out += static_cast<char>((n >> 8) & 0xFF);
+  out += static_cast<char>(n & 0xFF);
+  out += payload;
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t len,
+                        std::vector<std::string>& out) {
+  if (failed_) throw FramingError("stream already failed");
+  std::size_t pos = 0;
+  while (pos < len) {
+    if (!in_payload_) {
+      while (header_fill_ < 4 && pos < len) {
+        header_[header_fill_++] = static_cast<unsigned char>(data[pos++]);
+      }
+      if (header_fill_ < 4) return;  // header still incomplete
+      expect_ = (static_cast<std::uint32_t>(header_[0]) << 24) |
+                (static_cast<std::uint32_t>(header_[1]) << 16) |
+                (static_cast<std::uint32_t>(header_[2]) << 8) |
+                static_cast<std::uint32_t>(header_[3]);
+      if (expect_ == 0) {
+        failed_ = true;
+        throw FramingError("zero-length frame");
+      }
+      if (expect_ > max_payload_) {
+        failed_ = true;
+        throw FramingError("frame of " + std::to_string(expect_) +
+                           " bytes exceeds cap " +
+                           std::to_string(max_payload_));
+      }
+      in_payload_ = true;
+      partial_.clear();
+      partial_.reserve(expect_);
+    }
+    const std::size_t want = expect_ - partial_.size();
+    const std::size_t take = std::min(want, len - pos);
+    partial_.append(data + pos, take);
+    pos += take;
+    if (partial_.size() == expect_) {
+      out.push_back(std::move(partial_));
+      partial_.clear();
+      in_payload_ = false;
+      expect_ = 0;
+      header_fill_ = 0;  // keep pending_bytes() counting the whole frame
+    }
+  }
+}
+
+}  // namespace mts::campaignd

@@ -1,0 +1,78 @@
+// Length-prefixed message framing for the campaignd TCP protocol.
+//
+// Every message is one frame: a 4-byte big-endian payload length followed
+// by that many payload bytes (a JSON document, but the framing layer is
+// byte-agnostic). The decoder is a pure incremental state machine with no
+// I/O, so the fuzz suite can drive it with truncated / oversized / garbage
+// prefixes byte-by-byte under ASan/UBSan and assert structured rejection
+// (FramingError) rather than UB.
+//
+// Hard limits: a zero-length frame is invalid (no campaignd message is
+// empty -- an empty payload means a peer bug or a desynchronized stream),
+// and payloads beyond kMaxFramePayload (16 MiB) are rejected WITHOUT
+// buffering -- the length prefix alone condemns the stream, so a hostile
+// or corrupt 4-byte header cannot make the coordinator allocate gigabytes.
+// After any error the decoder latches failed() and discards further input:
+// framing errors are not recoverable within one stream (the byte position
+// of the next frame is unknowable); the connection must be dropped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mts::campaignd {
+
+/// Structured framing rejection: oversized, empty or truncated frames.
+class FramingError : public std::runtime_error {
+ public:
+  explicit FramingError(const std::string& msg)
+      : std::runtime_error("framing: " + msg) {}
+};
+
+/// Largest accepted frame payload. Generous for run snapshots (a worker's
+/// biggest message is one run's report + registry + timeline, well under a
+/// megabyte in practice) while bounding what a corrupt prefix can demand.
+inline constexpr std::uint32_t kMaxFramePayload = 16u * 1024u * 1024u;
+
+/// Encodes one frame: 4-byte big-endian length + payload. Throws
+/// FramingError on empty or oversized payloads (the encoder enforces the
+/// same limits the decoder does -- a conforming sender never emits a frame
+/// its peer must reject).
+std::string encode_frame(const std::string& payload);
+
+/// Incremental frame decoder. feed() consumes an arbitrary byte chunk and
+/// appends every completed payload to `out`. Malformed input throws
+/// FramingError and latches failed(); subsequent feeds throw immediately.
+class FrameDecoder {
+ public:
+  /// `max_payload` caps accepted frame sizes (tests shrink it to exercise
+  /// the oversize path without 16 MiB inputs).
+  explicit FrameDecoder(std::uint32_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Consumes `len` bytes at `data`; completed payloads append to `out`.
+  void feed(const char* data, std::size_t len, std::vector<std::string>& out);
+
+  /// Bytes of an incomplete frame (header or payload) currently buffered.
+  /// Non-zero at end-of-stream means the peer died mid-message.
+  std::size_t pending_bytes() const noexcept {
+    return header_fill_ + partial_.size();
+  }
+
+  /// True once any feed() threw: the stream is desynchronized for good.
+  bool failed() const noexcept { return failed_; }
+
+ private:
+  std::uint32_t max_payload_;
+  unsigned char header_[4] = {0, 0, 0, 0};
+  std::size_t header_fill_ = 0;  ///< header bytes received (< 4: in header)
+  std::uint32_t expect_ = 0;     ///< payload length from a complete header
+  std::string partial_;          ///< payload bytes received so far
+  bool in_payload_ = false;
+  bool failed_ = false;
+};
+
+}  // namespace mts::campaignd

@@ -228,6 +228,31 @@ class Histogram {
     return counts_;
   }
 
+  /// Checkpoint/wire seam (src/campaignd): replaces this histogram's
+  /// cumulative state with an exact snapshot previously captured through
+  /// bucket_counts()/count()/sum()/min()/max(), so a restored histogram
+  /// merges byte-identically to the original. `counts` must match this
+  /// histogram's bucket layout (bounds().size() + 1 entries). The sliding
+  /// window is run-local recency and is not part of a snapshot.
+  void restore(const std::vector<std::uint64_t>& counts, std::uint64_t count,
+               double sum, double min, double max) {
+    if (counts.size() != counts_.size()) {
+      throw ConfigError("Histogram::restore: snapshot has " +
+                        std::to_string(counts.size()) + " buckets, layout has " +
+                        std::to_string(counts_.size()));
+    }
+    counts_ = counts;
+    count_ = count;
+    sum_ = sum;
+    if (count == 0) {
+      min_ = std::numeric_limits<double>::infinity();
+      max_ = -std::numeric_limits<double>::infinity();
+    } else {
+      min_ = min;
+      max_ = max;
+    }
+  }
+
  private:
   std::vector<double> bounds_;          ///< upper bounds, ascending
   std::vector<std::uint64_t> counts_;   ///< bounds_.size() + 1 (+inf tail)

@@ -78,6 +78,17 @@ class TimeSeries {
     phase_ += other.phase_;
   }
 
+  /// Checkpoint/wire seam (src/campaignd): replaces the retained points and
+  /// appended count with an exact snapshot previously captured through
+  /// points()/appended(). merge() reads only those two, so a restored
+  /// series folds byte-identically to the original; the stride resets to 1
+  /// (snapshots are fold inputs, not live sampling targets).
+  void restore(std::vector<TimePoint> pts, std::size_t appended) {
+    pts_ = std::move(pts);
+    phase_ = appended;
+    stride_ = 1;
+  }
+
  private:
   /// Drops every other retained point (keeps indices 0, 2, 4, ...) and
   /// doubles the stride. phase_ keeps its parity so future appends stay

@@ -56,24 +56,211 @@ std::uint64_t campaign_run_seed(std::uint64_t campaign_seed,
   return z == 0 ? 0x9e3779b97f4a7c15ULL : z;
 }
 
-/// Worker-lifetime shard: the Simulation whose arenas stay warm across
-/// every run this worker executes, plus its metric/report accumulators and
-/// (collect_violations only) the hub its runs' monitors report into. The
-/// hub outlives every component the body constructs -- the required
-/// lifetime contract -- and is cleared + re-armed before each attempt.
-struct Campaign::Worker {
-  Simulation sim;
-  metrics::Registry registry;
-  verify::Hub hub;
-  // Engine telemetry / SLO shard state (telemetry_interval or slo armed):
-  // components the body builds resolve their metrics in run_registry --
-  // cleared before every attempt, merged into `registry` afterwards -- so
-  // per-run timelines and SLO verdicts never see another run's samples and
-  // stay independent of run placement.
-  metrics::Registry run_registry;
-  std::unique_ptr<Telemetry> tel;  ///< telemetry_interval > 0 only
-  Observability obs;               ///< the engine-armed bundle
-};
+RunShard::RunShard(const CampaignOptions& opt)
+    : hub(std::make_unique<verify::Hub>()),
+      obs(std::make_unique<Observability>()) {
+  if (opt.telemetry_interval > 0) {
+    TelemetryConfig tc;
+    tc.interval = opt.telemetry_interval;
+    tc.max_points = opt.telemetry_max_points;
+    tc.histogram_window = opt.telemetry_window;
+    // pool_high_water reflects worker arena warmth -- a placement detail
+    // -- so campaign timelines never include host series.
+    tc.include_host_series = false;
+    tel = std::make_unique<Telemetry>(tc);
+  }
+}
+
+RunShard::RunShard() : RunShard(CampaignOptions{}) {}
+
+RunShard::~RunShard() = default;
+
+void execute_run(RunShard& shard, const CampaignOptions& opt,
+                 const RunSpec& spec, unsigned worker_index,
+                 const Campaign::Body& body, RunResult& r,
+                 Report* report_out, metrics::TimeSeriesStore* timeline_out) {
+  r.index = spec.index;
+  r.seed = spec.seed;
+
+  const unsigned max_attempts = opt.max_attempts == 0 ? 1 : opt.max_attempts;
+  // Engine observability: telemetry or an SLO gate switches the run onto
+  // the isolated per-run registry (see RunShard).
+  const bool engine_obs = opt.telemetry_interval > 0 || opt.slo.budget > 0.0;
+  bool ok = false;
+  bool identical = true;  // every failure same type + message so far
+  std::string first_error;
+  std::string first_type;
+  unsigned executed = 0;
+
+  for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+    executed = attempt;
+    // Retries re-run the SAME seed from scratch: clear what the previous
+    // attempt's body recorded so the slot holds one attempt's output.
+    r.scalars.clear();
+    r.artifact.clear();
+    r.error.clear();
+    r.error_type.clear();
+
+    shard.sim.reset(spec.seed);
+    verify::Hub* hub = nullptr;
+    if (opt.collect_violations) {
+      shard.hub->clear();
+      shard.hub->arm(shard.sim);
+      hub = shard.hub.get();
+    }
+    Telemetry* tel = nullptr;
+    if (engine_obs) {
+      // Fresh per-run registry + (telemetry_interval > 0) a reset
+      // sampler, armed as an Observability bundle BEFORE the body builds
+      // components -- they probe it at construction and wire their
+      // metrics and telemetry sources without body changes. reset()
+      // also drops the previous run's source closures, so no stale
+      // component pointer survives into this attempt.
+      shard.run_registry.clear();
+      *shard.obs = Observability{};
+      shard.obs->metrics = &shard.run_registry;
+      if (shard.tel != nullptr) {
+        shard.tel->reset();
+        shard.obs->telemetry = shard.tel.get();
+        tel = shard.tel.get();
+      }
+      shard.obs->arm(shard.sim);
+    }
+    // Per-attempt deadline: a hung attempt dies with DeadlineError on a
+    // scheduler tick instead of hanging its pool thread forever.
+    Watchdog wd(WatchdogConfig{opt.run_deadline_sec, 0, 4096});
+    if (opt.run_deadline_sec > 0.0) wd.arm(shard.sim);
+
+    CampaignContext ctx(shard.sim, shard.registry, spec, worker_index, r,
+                        attempt, hub, tel);
+    std::string err;
+    std::string type;
+    bool attempt_ok = false;
+    try {
+      body(ctx);
+      attempt_ok = true;
+    } catch (const std::exception& e) {
+      err = e.what();
+      type = demangled(typeid(e).name());
+    } catch (...) {
+      err = "unknown exception";
+      type = "unknown";
+    }
+    // The local watchdog dies with this scope: never leave the scheduler
+    // holding a pointer to it.
+    if (opt.run_deadline_sec > 0.0) Watchdog::disarm(shard.sim);
+
+    if (attempt_ok) {
+      ok = true;
+      break;
+    }
+    if (attempt == 1) {
+      first_error = err;
+      first_type = type;
+    } else if (err != first_error || type != first_type) {
+      identical = false;
+    }
+    r.error = err;  // last failure is the one reported
+    r.error_type = type;
+  }
+
+  // Post-run telemetry / SLO handling, on the FINAL attempt's isolated
+  // registry. Sampling stopped at queue drain, so no source closure runs
+  // after the body's components were destroyed; only the sampled store
+  // and the registry (both engine-owned) are read here.
+  if (engine_obs && executed > 0) {
+    const SloGate& slo = opt.slo;
+    if (!slo.metric.empty()) {
+      shard.run_registry.visit(
+          [](const std::string&, const std::string&,
+             const metrics::Counter&) {},
+          [](const std::string&, const std::string&,
+             const metrics::Gauge&) {},
+          [&](const std::string& inst, const std::string& name,
+              const metrics::Histogram& h) {
+            if (name != slo.metric || h.count() == 0) return;
+            const double v =
+                h.window_capacity() > 0 && h.window_count() > 0
+                    ? h.window_percentile(slo.percentile)
+                    : h.percentile(slo.percentile);
+            if (v > r.slo_worst) {
+              r.slo_worst = v;
+              r.slo_worst_instance = inst;
+            }
+            if (slo.budget > 0.0 && v > slo.budget) ++r.slo_breaches;
+          });
+      if (r.slo_breaches > 0 && slo.fail_run && ok) {
+        ok = false;
+        std::ostringstream msg;
+        msg << "SLO breach: " << r.slo_worst_instance << "." << slo.metric
+            << " p" << slo.percentile * 100.0 << " = " << r.slo_worst
+            << " > budget " << slo.budget;
+        r.error = msg.str();
+        r.error_type = "SloBreach";
+      }
+    }
+    // The isolated registry is deliberately NOT folded into the worker
+    // accumulator: runs of different configs legitimately create
+    // layout-divergent histograms under the same instance name (e.g.
+    // capacity-sized occupancy buckets), which Registry::merge rejects --
+    // and any "first layout wins" fallback would depend on run placement.
+    // Per-run metrics are the per-run artifacts: timelines, SLO verdicts
+    // and RunResult fields. Body-written metrics (ctx.metrics()) reduce
+    // exactly as before.
+    if (shard.tel != nullptr) {
+      r.telemetry_samples = shard.tel->samples();
+      if (r.telemetry_samples > 0) {
+        if (!opt.timeline_dir.empty()) {
+          std::error_code ec;
+          std::filesystem::create_directories(opt.timeline_dir, ec);
+          const std::string path = opt.timeline_dir + "/run-" +
+                                   std::to_string(spec.index) + ".jsonl";
+          if (shard.tel->write_jsonl(path)) r.timeline_path = path;
+        }
+        if (opt.capture_timelines) r.timeline_jsonl = shard.tel->to_jsonl();
+        if (timeline_out != nullptr) *timeline_out = shard.tel->store();
+      }
+    }
+  }
+
+  r.ok = ok;
+  r.attempts = executed;
+  if (ok) {
+    if (executed > 1) r.classification = "flaky";  // self-healed
+  } else if (max_attempts > 1) {
+    r.classification = identical ? "deterministic" : "flaky";
+  }
+
+  if (opt.collect_violations) {
+    r.violations = shard.hub->total();
+    if (r.violations > 0) r.violations_json = shard.hub->to_json();
+  }
+
+  // Snapshot the run's report with the pool high-water zeroed: arena
+  // capacity is a property of the worker (it grows monotonically over
+  // the runs the worker happened to execute), so leaving it in would
+  // make the per-run snapshots -- and everything reduced from them --
+  // depend on run placement.
+  KernelStats ks = shard.sim.sched().stats();
+  ks.pool_high_water = 0;
+  shard.sim.report().set_kernel(ks);
+  if (opt.capture_run_reports) {
+    r.report_json = shard.sim.report().to_json();
+  }
+  if (report_out != nullptr) *report_out = shard.sim.report();
+}
+
+Campaign::Campaign(std::size_t configs, std::size_t reps, CampaignOptions opt)
+    : configs_(configs), reps_(reps), opt_(opt) {
+  unsigned w = opt_.workers;
+  if (w == 0) w = std::thread::hardware_concurrency();
+  if (w == 0) w = 1;
+  const std::size_t n = runs();
+  if (n > 0 && n < static_cast<std::size_t>(w)) {
+    w = static_cast<unsigned>(n);
+  }
+  workers_ = w == 0 ? 1 : w;
+}
 
 struct Campaign::Cursor {
   std::atomic<std::size_t> next{0};
@@ -95,19 +282,7 @@ struct Campaign::Live {
   std::chrono::steady_clock::time_point t0;
 };
 
-Campaign::Campaign(std::size_t configs, std::size_t reps, CampaignOptions opt)
-    : configs_(configs), reps_(reps), opt_(opt) {
-  unsigned w = opt_.workers;
-  if (w == 0) w = std::thread::hardware_concurrency();
-  if (w == 0) w = 1;
-  const std::size_t n = runs();
-  if (n > 0 && n < static_cast<std::size_t>(w)) {
-    w = static_cast<unsigned>(n);
-  }
-  workers_ = w == 0 ? 1 : w;
-}
-
-void Campaign::worker_loop(Worker& w, unsigned worker_index,
+void Campaign::worker_loop(RunShard& w, unsigned worker_index,
                            const Body& body) {
   for (;;) {
     const std::size_t i =
@@ -138,182 +313,19 @@ void Campaign::worker_loop(Worker& w, unsigned worker_index,
       continue;
     }
 
-    const unsigned max_attempts = opt_.max_attempts == 0 ? 1
-                                                         : opt_.max_attempts;
-    // Engine observability: telemetry or an SLO gate switches the run onto
-    // the isolated per-run registry (see Worker).
-    const bool engine_obs =
-        opt_.telemetry_interval > 0 || opt_.slo.budget > 0.0;
-    bool ok = false;
-    bool identical = true;  // every failure same type + message so far
-    std::string first_error;
-    std::string first_type;
-    unsigned executed = 0;
+    execute_run(w, opt_, spec, worker_index, body, r, &run_reports_[i],
+                &run_timelines_[i]);
 
-    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
-      executed = attempt;
-      // Retries re-run the SAME seed from scratch: clear what the previous
-      // attempt's body recorded so the slot holds one attempt's output.
-      r.scalars.clear();
-      r.artifact.clear();
-      r.error.clear();
-      r.error_type.clear();
-
-      w.sim.reset(spec.seed);
-      verify::Hub* hub = nullptr;
-      if (opt_.collect_violations) {
-        w.hub.clear();
-        w.hub.arm(w.sim);
-        hub = &w.hub;
-      }
-      Telemetry* tel = nullptr;
-      if (engine_obs) {
-        // Fresh per-run registry + (telemetry_interval > 0) a reset
-        // sampler, armed as an Observability bundle BEFORE the body builds
-        // components -- they probe it at construction and wire their
-        // metrics and telemetry sources without body changes. reset()
-        // also drops the previous run's source closures, so no stale
-        // component pointer survives into this attempt.
-        w.run_registry.clear();
-        w.obs = Observability{};
-        w.obs.metrics = &w.run_registry;
-        if (w.tel != nullptr) {
-          w.tel->reset();
-          w.obs.telemetry = w.tel.get();
-          tel = w.tel.get();
-        }
-        w.obs.arm(w.sim);
-      }
-      // Per-attempt deadline: a hung attempt dies with DeadlineError on a
-      // scheduler tick instead of hanging its pool thread forever.
-      Watchdog wd(WatchdogConfig{opt_.run_deadline_sec, 0, 4096});
-      if (opt_.run_deadline_sec > 0.0) wd.arm(w.sim);
-
-      CampaignContext ctx(w.sim, w.registry, spec, worker_index, r, attempt,
-                          hub, tel);
-      std::string err;
-      std::string type;
-      bool attempt_ok = false;
-      try {
-        body(ctx);
-        attempt_ok = true;
-      } catch (const std::exception& e) {
-        err = e.what();
-        type = demangled(typeid(e).name());
-      } catch (...) {
-        err = "unknown exception";
-        type = "unknown";
-      }
-      // The local watchdog dies with this scope: never leave the scheduler
-      // holding a pointer to it.
-      if (opt_.run_deadline_sec > 0.0) Watchdog::disarm(w.sim);
-
-      if (attempt_ok) {
-        ok = true;
-        break;
-      }
-      if (attempt == 1) {
-        first_error = err;
-        first_type = type;
-      } else if (err != first_error || type != first_type) {
-        identical = false;
-      }
-      r.error = err;  // last failure is the one reported
-      r.error_type = type;
-    }
-
-    // Post-run telemetry / SLO handling, on the FINAL attempt's isolated
-    // registry. Sampling stopped at queue drain, so no source closure runs
-    // after the body's components were destroyed; only the sampled store
-    // and the registry (both engine-owned) are read here.
-    if (engine_obs && executed > 0) {
-      const SloGate& slo = opt_.slo;
-      if (!slo.metric.empty()) {
-        w.run_registry.visit(
-            [](const std::string&, const std::string&,
-               const metrics::Counter&) {},
-            [](const std::string&, const std::string&,
-               const metrics::Gauge&) {},
-            [&](const std::string& inst, const std::string& name,
-                const metrics::Histogram& h) {
-              if (name != slo.metric || h.count() == 0) return;
-              const double v =
-                  h.window_capacity() > 0 && h.window_count() > 0
-                      ? h.window_percentile(slo.percentile)
-                      : h.percentile(slo.percentile);
-              if (v > r.slo_worst) {
-                r.slo_worst = v;
-                r.slo_worst_instance = inst;
-              }
-              if (slo.budget > 0.0 && v > slo.budget) ++r.slo_breaches;
-            });
-        if (r.slo_breaches > 0 && slo.fail_run && ok) {
-          ok = false;
-          std::ostringstream msg;
-          msg << "SLO breach: " << r.slo_worst_instance << "." << slo.metric
-              << " p" << slo.percentile * 100.0 << " = " << r.slo_worst
-              << " > budget " << slo.budget;
-          r.error = msg.str();
-          r.error_type = "SloBreach";
-        }
-      }
-      // The isolated registry is deliberately NOT folded into the worker
-      // accumulator: runs of different configs legitimately create
-      // layout-divergent histograms under the same instance name (e.g.
-      // capacity-sized occupancy buckets), which Registry::merge rejects --
-      // and any "first layout wins" fallback would depend on run placement.
-      // Per-run metrics are the per-run artifacts: timelines, SLO verdicts
-      // and RunResult fields. Body-written metrics (ctx.metrics()) reduce
-      // exactly as before.
-      if (w.tel != nullptr) {
-        r.telemetry_samples = w.tel->samples();
-        if (r.telemetry_samples > 0) {
-          if (!opt_.timeline_dir.empty()) {
-            std::error_code ec;
-            std::filesystem::create_directories(opt_.timeline_dir, ec);
-            const std::string path = opt_.timeline_dir + "/run-" +
-                                     std::to_string(spec.index) + ".jsonl";
-            if (w.tel->write_jsonl(path)) r.timeline_path = path;
-          }
-          if (opt_.capture_timelines) r.timeline_jsonl = w.tel->to_jsonl();
-          run_timelines_[i] = w.tel->store();  // index-ordered fold staging
-        }
-      }
-    }
-
-    r.ok = ok;
-    r.attempts = executed;
-    if (ok) {
-      if (executed > 1) r.classification = "flaky";  // self-healed
-    } else if (max_attempts > 1) {
-      r.classification = identical ? "deterministic" : "flaky";
-    }
-
-    if (opt_.collect_violations) {
-      r.violations = w.hub.total();
-      if (r.violations > 0) r.violations_json = w.hub.to_json();
-    }
-
-    if (!ok) {
+    if (!r.ok) {
       if (opt_.quarantine_after > 0) {
         cursor_->config_failures[spec.config].fetch_add(
             1, std::memory_order_relaxed);
       }
-      if (!opt_.repro_dir.empty()) write_repro(spec, r);
+      if (!opt_.repro_dir.empty()) {
+        write_repro_bundle(opt_.repro_dir, opt_.seed, configs_, reps_, spec,
+                           r);
+      }
     }
-
-    // Snapshot the run's report with the pool high-water zeroed: arena
-    // capacity is a property of the worker (it grows monotonically over
-    // the runs the worker happened to execute), so leaving it in would
-    // make the per-run snapshots -- and everything reduced from them --
-    // depend on run placement.
-    KernelStats ks = w.sim.sched().stats();
-    ks.pool_high_water = 0;
-    w.sim.report().set_kernel(ks);
-    if (opt_.capture_run_reports) {
-      r.report_json = w.sim.report().to_json();
-    }
-    run_reports_[i] = w.sim.report();
 
     if (live_ != nullptr) note_run_done(r);
   }
@@ -359,18 +371,20 @@ void Campaign::note_run_done(const RunResult& r) {
   opt_.progress(line.str());
 }
 
-void Campaign::write_repro(const RunSpec& spec, RunResult& r) const {
+bool write_repro_bundle(const std::string& dir, std::uint64_t campaign_seed,
+                        std::size_t configs, std::size_t reps,
+                        const RunSpec& spec, RunResult& r) {
   std::error_code ec;
-  std::filesystem::create_directories(opt_.repro_dir, ec);
-  const std::string path =
-      opt_.repro_dir + "/run-" + std::to_string(spec.index) + ".json";
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/run-" + std::to_string(spec.index) + ".json";
   std::ofstream out(path);
-  if (!out) return;  // unwritable repro_dir must not fail the campaign
+  if (!out) return false;  // unwritable repro_dir must not fail the campaign
   out << "{\n"
       << "  \"run\": {\"index\": " << spec.index
       << ", \"config\": " << spec.config << ", \"rep\": " << spec.rep
       << ", \"seed\": " << spec.seed
-      << ", \"campaign_seed\": " << opt_.seed << "},\n"
+      << ", \"campaign_seed\": " << campaign_seed
+      << ", \"configs\": " << configs << ", \"reps\": " << reps << "},\n"
       << "  \"failure\": {\"type\": \"" << json_escape(r.error_type)
       << "\", \"what\": \"" << json_escape(r.error)
       << "\", \"classification\": \"" << json_escape(r.classification)
@@ -390,7 +404,9 @@ void Campaign::write_repro(const RunSpec& spec, RunResult& r) const {
     out << ",\n  \"violations\": " << r.violations_json;
   }
   out << "\n}\n";
-  if (out) r.repro_path = path;
+  if (!out) return false;
+  r.repro_path = path;
+  return true;
 }
 
 void Campaign::run(const Body& body) {
@@ -415,17 +431,8 @@ void Campaign::run(const Body& body) {
 
   // Workers live in a deque: Simulation is non-movable and each shard's
   // address must stay stable for the threads holding references into it.
-  std::deque<Worker> shards(workers_);
-  if (opt_.telemetry_interval > 0) {
-    TelemetryConfig tc;
-    tc.interval = opt_.telemetry_interval;
-    tc.max_points = opt_.telemetry_max_points;
-    tc.histogram_window = opt_.telemetry_window;
-    // pool_high_water reflects worker arena warmth -- a placement detail
-    // -- so campaign timelines never include host series.
-    tc.include_host_series = false;
-    for (Worker& w : shards) w.tel = std::make_unique<Telemetry>(tc);
-  }
+  std::deque<RunShard> shards;
+  for (unsigned wi = 0; wi < workers_; ++wi) shards.emplace_back(opt_);
 
   const auto t0 = std::chrono::steady_clock::now();
   Live live;
@@ -461,7 +468,7 @@ void Campaign::run(const Body& body) {
   // fold from the per-run snapshots in RUN-index order instead -- entry
   // append order and the entry cap would otherwise depend on which worker
   // happened to claim which runs.
-  for (const Worker& w : shards) merged_.merge(w.registry);
+  for (const RunShard& w : shards) merged_.merge(w.registry);
   for (Report& rr : run_reports_) merged_report_.merge(rr);
   run_reports_.clear();  // per-run JSON (when captured) is in results_
   // Timelines fold in RUN-index order (run 0's points first): append order
@@ -472,37 +479,44 @@ void Campaign::run(const Body& body) {
   }
   run_timelines_.clear();
 
+  // Failure + SLO manifests, folded in run-index order so the merged
+  // artifact stays worker-count independent.
+  append_campaign_manifests(results_, reps_, opt_.slo, merged_report_);
+}
+
+void append_campaign_manifests(const std::vector<RunResult>& results,
+                               std::size_t reps, const SloGate& slo,
+                               Report& report) {
   // Failure manifest: one merged-report entry per failed run, folded in
   // run-index order so the merged artifact stays worker-count independent.
-  for (const RunResult& r : results_) {
+  for (const RunResult& r : results) {
     if (r.ok) continue;
     std::string msg = "run " + std::to_string(r.index) + " (config " +
-                      std::to_string(reps_ == 0 ? 0 : r.index / reps_) +
+                      std::to_string(reps == 0 ? 0 : r.index / reps) +
                       ", rep " +
-                      std::to_string(reps_ == 0 ? 0 : r.index % reps_) +
+                      std::to_string(reps == 0 ? 0 : r.index % reps) +
                       ", seed " + std::to_string(r.seed) + ")";
     if (!r.classification.empty()) msg += " [" + r.classification + "]";
     if (!r.error_type.empty()) msg += " " + r.error_type;
     msg += ": " + r.error;
-    merged_report_.add(0, Severity::kError, "campaign-failure", msg);
+    report.add(0, Severity::kError, "campaign-failure", msg);
   }
 
   // SLO manifest: one merged-report entry per breaching run, folded in
   // run-index order (same worker-count-independence contract as above).
-  if (opt_.slo.budget > 0.0) {
-    for (const RunResult& r : results_) {
+  if (slo.budget > 0.0) {
+    for (const RunResult& r : results) {
       if (r.slo_breaches == 0) continue;
       std::ostringstream msg;
       msg << "run " << r.index << " (config "
-          << (reps_ == 0 ? 0 : r.index / reps_) << ", rep "
-          << (reps_ == 0 ? 0 : r.index % reps_) << "): "
-          << r.slo_worst_instance << "." << opt_.slo.metric << " p"
-          << opt_.slo.percentile * 100.0 << " = " << r.slo_worst
-          << " > budget " << opt_.slo.budget << " (" << r.slo_breaches
+          << (reps == 0 ? 0 : r.index / reps) << ", rep "
+          << (reps == 0 ? 0 : r.index % reps) << "): "
+          << r.slo_worst_instance << "." << slo.metric << " p"
+          << slo.percentile * 100.0 << " = " << r.slo_worst
+          << " > budget " << slo.budget << " (" << r.slo_breaches
           << " instance(s) over)";
-      merged_report_.add(
-          0, opt_.slo.fail_run ? Severity::kError : Severity::kWarning,
-          "campaign-slo", msg.str());
+      report.add(0, slo.fail_run ? Severity::kError : Severity::kWarning,
+                 "campaign-slo", msg.str());
     }
   }
 }
@@ -515,13 +529,19 @@ std::size_t Campaign::failed() const noexcept {
   return n;
 }
 
-std::string Campaign::health_json(bool include_host_stats) const {
+std::string campaign_health_json(const CampaignArtifacts& a,
+                                 bool include_host_stats) {
+  static const std::vector<RunResult> kNoResults;
+  const std::vector<RunResult>& results =
+      a.results != nullptr ? *a.results : kNoResults;
+  const std::size_t total_runs = a.configs * a.reps;
+
   std::size_t ok = 0, failed_runs = 0, quarantined_runs = 0;
   std::uint64_t breaches = 0, samples = 0;
   double worst = 0.0;
   std::size_t worst_run = 0;
   std::string worst_instance;
-  for (const RunResult& r : results_) {
+  for (const RunResult& r : results) {
     if (r.ok) {
       ++ok;
     } else {
@@ -539,12 +559,16 @@ std::string Campaign::health_json(bool include_host_stats) const {
 
   std::ostringstream os;
   os << "{\n";
-  os << "  \"campaign\": {\"configs\": " << configs_ << ", \"reps\": " << reps_
-     << ", \"runs\": " << runs() << ", \"seed\": " << opt_.seed << "},\n";
+  os << "  \"campaign\": {\"configs\": " << a.configs
+     << ", \"reps\": " << a.reps << ", \"runs\": " << total_runs
+     << ", \"seed\": " << a.seed << "},\n";
   if (include_host_stats) {
-    os << "  \"host\": {\"workers\": " << workers_
-       << ", \"wall_seconds\": " << wall_seconds_
-       << ", \"runs_per_sec\": " << runs_per_sec() << "},\n";
+    const double rps = a.wall_seconds > 0.0
+                           ? static_cast<double>(total_runs) / a.wall_seconds
+                           : 0.0;
+    os << "  \"host\": {\"workers\": " << a.workers
+       << ", \"wall_seconds\": " << a.wall_seconds
+       << ", \"runs_per_sec\": " << rps << "},\n";
   }
   os << "  \"health\": {\"ok\": " << ok << ", \"failed\": " << failed_runs
      << ", \"quarantined_runs\": " << quarantined_runs
@@ -553,21 +577,21 @@ std::string Campaign::health_json(bool include_host_stats) const {
   if (!worst_instance.empty()) {
     os << ", \"worst\": {\"run\": " << worst_run << ", \"instance\": \""
        << json_escape(worst_instance) << "\", \"metric\": \""
-       << json_escape(opt_.slo.metric)
-       << "\", \"percentile\": " << opt_.slo.percentile
+       << json_escape(a.slo.metric)
+       << "\", \"percentile\": " << a.slo.percentile
        << ", \"value\": " << worst << "}";
   }
   os << "}";
-  if (opt_.slo.budget > 0.0) {
-    os << ",\n  \"slo\": {\"metric\": \"" << json_escape(opt_.slo.metric)
-       << "\", \"percentile\": " << opt_.slo.percentile
-       << ", \"budget\": " << opt_.slo.budget << ", \"fail_run\": "
-       << (opt_.slo.fail_run ? "true" : "false") << "}";
+  if (a.slo.budget > 0.0) {
+    os << ",\n  \"slo\": {\"metric\": \"" << json_escape(a.slo.metric)
+       << "\", \"percentile\": " << a.slo.percentile
+       << ", \"budget\": " << a.slo.budget << ", \"fail_run\": "
+       << (a.slo.fail_run ? "true" : "false") << "}";
   }
-  if (!quarantined_.empty()) {
+  if (a.quarantined_configs != nullptr && !a.quarantined_configs->empty()) {
     os << ",\n  \"quarantined_configs\": [";
     bool first = true;
-    for (std::size_t q : quarantined_) {
+    for (std::size_t q : *a.quarantined_configs) {
       os << (first ? "" : ", ") << q;
       first = false;
     }
@@ -575,6 +599,21 @@ std::string Campaign::health_json(bool include_host_stats) const {
   }
   os << "\n}\n";
   return os.str();
+}
+
+std::string Campaign::health_json(bool include_host_stats) const {
+  CampaignArtifacts a;
+  a.configs = configs_;
+  a.reps = reps_;
+  a.seed = opt_.seed;
+  a.results = &results_;
+  a.report = &merged_report_;
+  a.metrics = &merged_;
+  a.quarantined_configs = &quarantined_;
+  a.slo = opt_.slo;
+  a.workers = workers_;
+  a.wall_seconds = wall_seconds_;
+  return campaign_health_json(a, include_host_stats);
 }
 
 bool Campaign::write_health_json(const std::string& path,
@@ -585,24 +624,36 @@ bool Campaign::write_health_json(const std::string& path,
   return static_cast<bool>(out);
 }
 
-std::string Campaign::to_json(bool include_host_stats) const {
+std::string campaign_json(const CampaignArtifacts& a,
+                          bool include_host_stats) {
+  static const std::vector<RunResult> kNoResults;
+  const std::vector<RunResult>& results =
+      a.results != nullptr ? *a.results : kNoResults;
+  const std::size_t total_runs = a.configs * a.reps;
+
   std::ostringstream os;
   os << "{\n";
-  os << "  \"campaign\": {\"configs\": " << configs_ << ", \"reps\": " << reps_
-     << ", \"runs\": " << runs() << ", \"seed\": " << opt_.seed << "},\n";
+  os << "  \"campaign\": {\"configs\": " << a.configs
+     << ", \"reps\": " << a.reps << ", \"runs\": " << total_runs
+     << ", \"seed\": " << a.seed << "},\n";
   if (include_host_stats) {
-    os << "  \"host\": {\"workers\": " << workers_
-       << ", \"wall_seconds\": " << wall_seconds_
-       << ", \"runs_per_sec\": " << runs_per_sec() << "},\n";
+    const double rps = a.wall_seconds > 0.0
+                           ? static_cast<double>(total_runs) / a.wall_seconds
+                           : 0.0;
+    os << "  \"host\": {\"workers\": " << a.workers
+       << ", \"wall_seconds\": " << a.wall_seconds
+       << ", \"runs_per_sec\": " << rps << "},\n";
   }
   os << "  \"runs\": [";
   bool first = true;
-  for (const RunResult& r : results_) {
+  std::size_t failed_runs = 0;
+  for (const RunResult& r : results) {
+    if (!r.ok) ++failed_runs;
     if (!first) os << ",";
     first = false;
     os << "\n    {\"index\": " << r.index << ", \"config\": "
-       << (reps_ == 0 ? 0 : r.index / reps_) << ", \"rep\": "
-       << (reps_ == 0 ? 0 : r.index % reps_) << ", \"seed\": " << r.seed
+       << (a.reps == 0 ? 0 : r.index / a.reps) << ", \"rep\": "
+       << (a.reps == 0 ? 0 : r.index % a.reps) << ", \"seed\": " << r.seed
        << ", \"ok\": " << (r.ok ? "true" : "false");
     if (!r.error.empty()) {
       os << ", \"error\": \"" << json_escape(r.error) << "\"";
@@ -645,20 +696,38 @@ std::string Campaign::to_json(bool include_host_stats) const {
     os << "}";
   }
   os << (first ? "]" : "\n  ]") << ",\n";
-  os << "  \"merged\": {\"failed_runs\": " << failed();
-  if (!quarantined_.empty()) {
+  os << "  \"merged\": {\"failed_runs\": " << failed_runs;
+  if (a.quarantined_configs != nullptr && !a.quarantined_configs->empty()) {
     os << ", \"quarantined_configs\": [";
     bool qfirst = true;
-    for (std::size_t q : quarantined_) {
+    for (std::size_t q : *a.quarantined_configs) {
       os << (qfirst ? "" : ", ") << q;
       qfirst = false;
     }
     os << "]";
   }
-  os << ", \"report\": " << merged_report_.to_json()
-     << ", \"metrics\": " << merged_.to_json() << "}\n";
+  os << ", \"report\": "
+     << (a.report != nullptr ? a.report->to_json() : std::string("{}"))
+     << ", \"metrics\": "
+     << (a.metrics != nullptr ? a.metrics->to_json() : std::string("{}"))
+     << "}\n";
   os << "}\n";
   return os.str();
+}
+
+std::string Campaign::to_json(bool include_host_stats) const {
+  CampaignArtifacts a;
+  a.configs = configs_;
+  a.reps = reps_;
+  a.seed = opt_.seed;
+  a.results = &results_;
+  a.report = &merged_report_;
+  a.metrics = &merged_;
+  a.quarantined_configs = &quarantined_;
+  a.slo = opt_.slo;
+  a.workers = workers_;
+  a.wall_seconds = wall_seconds_;
+  return campaign_json(a, include_host_stats);
 }
 
 bool Campaign::write_json(const std::string& path,

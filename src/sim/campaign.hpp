@@ -73,6 +73,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -289,6 +290,36 @@ class CampaignContext {
   Telemetry* telemetry_ = nullptr;
 };
 
+struct Observability;
+
+/// Worker-lifetime shard state for the single-run executor: the Simulation
+/// whose arenas stay warm across every run this shard executes, its
+/// metric/report accumulators, and (collect_violations only) the hub its
+/// runs' monitors report into. One shard is owned by one executor at a
+/// time -- a pool thread inside Campaign::run, or a campaignd worker
+/// process (src/campaignd) for its whole lifetime.
+struct RunShard {
+  /// `opt` sizes the optional engine-telemetry sampler (telemetry_interval
+  /// > 0 allocates it with the campaign's TelemetryConfig).
+  explicit RunShard(const CampaignOptions& opt);
+  RunShard();
+  ~RunShard();
+  RunShard(const RunShard&) = delete;
+  RunShard& operator=(const RunShard&) = delete;
+
+  Simulation sim;
+  /// Worker-lifetime accumulator behind CampaignContext::metrics().
+  metrics::Registry registry;
+  /// Engine telemetry / SLO isolated per-run registry: components the body
+  /// builds resolve their metrics here -- cleared before every attempt --
+  /// so per-run timelines and SLO verdicts never see another run's samples
+  /// and stay independent of run placement.
+  metrics::Registry run_registry;
+  std::unique_ptr<verify::Hub> hub;  ///< collect_violations shard hub
+  std::unique_ptr<Telemetry> tel;    ///< telemetry_interval > 0 only
+  std::unique_ptr<Observability> obs;  ///< the engine-armed bundle
+};
+
 class Campaign {
  public:
   /// The run body. Invoked once per matrix cell, on a pool thread; must be
@@ -389,16 +420,10 @@ class Campaign {
                   bool include_host_stats = true) const;
 
  private:
-  struct Worker;
-
-  void worker_loop(Worker& w, unsigned worker_index, const Body& body);
+  void worker_loop(RunShard& w, unsigned worker_index, const Body& body);
   /// Streaming-health bookkeeping after one run completes: updates the
   /// shared tallies and emits a progress line on the configured cadence.
   void note_run_done(const RunResult& r);
-  /// Writes <repro_dir>/run-<index>.json for a finally-failed run and
-  /// records its path in `r`. I/O failures are swallowed (repro bundles
-  /// are best-effort; the in-memory RunResult is authoritative).
-  void write_repro(const RunSpec& spec, RunResult& r) const;
 
   std::size_t configs_;
   std::size_t reps_;
@@ -425,5 +450,66 @@ class Campaign {
   struct Live;
   Live* live_ = nullptr;
 };
+
+// -- single-run executor (shared with src/campaignd) ------------------------
+
+/// Executes every attempt of run `spec` on `shard`, exactly as a
+/// Campaign::run pool thread would: same-seed retries with
+/// flaky/deterministic classification, per-attempt watchdog deadline,
+/// violation hub, engine telemetry and SLO verdicts. Fills `result` and --
+/// when report_out is non-null -- the run's placement-independent Report
+/// snapshot (kernel pool high-water zeroed). With engine telemetry armed
+/// and timeline_out non-null, the run's sampled series are copied there
+/// (left empty when the sampler never ticked). Quarantine gating and repro
+/// bundles stay with the caller: this function never touches state outside
+/// the shard and its three out-parameters, which is what lets a campaignd
+/// worker process produce bit-identical runs to the in-process pool.
+void execute_run(RunShard& shard, const CampaignOptions& opt,
+                 const RunSpec& spec, unsigned worker_index,
+                 const Campaign::Body& body, RunResult& result,
+                 Report* report_out, metrics::TimeSeriesStore* timeline_out);
+
+/// Writes <dir>/run-<index>.json -- the self-contained repro bundle
+/// (coordinates incl. matrix shape, seeds, failure, scalars, violations)
+/// for a finally-failed run -- and records its path in `result`. Returns
+/// false on I/O failure without throwing: bundles are best-effort, the
+/// in-memory RunResult is authoritative. Shared by Campaign and the
+/// campaignd coordinator/worker so bundles are byte-identical either way.
+bool write_repro_bundle(const std::string& dir, std::uint64_t campaign_seed,
+                        std::size_t configs, std::size_t reps,
+                        const RunSpec& spec, RunResult& result);
+
+// -- canonical campaign artifacts (shared with src/campaignd) ---------------
+
+/// Inputs to the canonical campaign artifact generators. Campaign::to_json
+/// / health_json and the campaignd coordinator both render their documents
+/// through these, so a distributed campaign's artifacts are byte-identical
+/// to the in-process engine's by construction.
+struct CampaignArtifacts {
+  std::size_t configs = 0;
+  std::size_t reps = 0;
+  std::uint64_t seed = 1;
+  const std::vector<RunResult>* results = nullptr;        ///< run-index order
+  const Report* report = nullptr;                         ///< merged fold
+  const metrics::Registry* metrics = nullptr;             ///< merged fold
+  /// Quarantined config list (nullptr or empty: section omitted).
+  const std::vector<std::size_t>* quarantined_configs = nullptr;
+  SloGate slo;                ///< health/slo sections (budget <= 0: omitted)
+  unsigned workers = 1;       ///< host section only
+  double wall_seconds = 0.0;  ///< host section only
+};
+
+/// The campaign-level JSON artifact (see Campaign::to_json for the shape).
+std::string campaign_json(const CampaignArtifacts& a, bool include_host_stats);
+
+/// The deterministic campaign-health document (see Campaign::health_json).
+std::string campaign_health_json(const CampaignArtifacts& a,
+                                 bool include_host_stats);
+
+/// Appends the failure and SLO manifests -- one merged-report entry per
+/// failed / SLO-breaching run, folded in run-index order -- to `report`.
+void append_campaign_manifests(const std::vector<RunResult>& results,
+                               std::size_t reps, const SloGate& slo,
+                               Report& report);
 
 }  // namespace mts::sim

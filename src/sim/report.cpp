@@ -89,6 +89,17 @@ void Report::merge(const Report& other) {
   }
 }
 
+void Report::restore(std::vector<ReportEntry> entries,
+                     std::map<std::string, std::size_t> per_category,
+                     std::size_t failures, std::uint64_t total_added,
+                     KernelStats kernel) {
+  entries_ = std::move(entries);
+  per_category_ = std::move(per_category);
+  failures_ = failures;
+  total_added_ = total_added;
+  kernel_ = std::move(kernel);
+}
+
 void Report::clear() {
   entries_.clear();
   per_category_.clear();

@@ -55,6 +55,23 @@ class Report {
 
   const std::vector<ReportEntry>& entries() const noexcept { return entries_; }
 
+  /// Per-category entry totals (counts keep counting past the entry cap).
+  const std::map<std::string, std::size_t>& categories() const noexcept {
+    return per_category_;
+  }
+
+  /// Checkpoint/wire seam (src/campaignd): replaces this report's recorded
+  /// state with an exact snapshot previously captured through entries() /
+  /// categories() / failure_count() / total_added() / kernel(). The
+  /// snapshot is lossless -- unlike replaying add(), category totals and
+  /// entry counts beyond the cap survive -- so a restored report merges
+  /// byte-identically to the original. The metrics provider binding and
+  /// the entry cap are left untouched.
+  void restore(std::vector<ReportEntry> entries,
+               std::map<std::string, std::size_t> per_category,
+               std::size_t failures, std::uint64_t total_added,
+               KernelStats kernel);
+
   /// Drops all recorded entries and counters.
   void clear();
 
@@ -82,6 +99,13 @@ class Report {
   /// metrics::Registry::bind). Pass an empty function to detach.
   void set_metrics_json_provider(std::function<std::string()> provider) {
     metrics_provider_ = std::move(provider);
+  }
+
+  /// The bound provider's JSON right now, or "" with no provider -- the
+  /// snapshot hook matching set_metrics_json_provider (a wire/checkpoint
+  /// snapshot captures the provider's output, not the closure).
+  std::string metrics_json() const {
+    return metrics_provider_ ? metrics_provider_() : std::string();
   }
 
   /// Whole-report JSON object; see the header comment for the shape.

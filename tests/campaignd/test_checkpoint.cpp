@@ -1,0 +1,176 @@
+// Checkpoint file: atomic write, exact reload, and rejection of torn,
+// foreign or malformed files.
+#include "campaignd/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "campaignd/json.hpp"
+
+namespace campaignd = mts::campaignd;
+namespace json = mts::campaignd::json;
+using campaignd::Checkpoint;
+using campaignd::CheckpointError;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "mts_ckpt_" + name + ".json";
+}
+
+json::Value run_record(std::size_t index) {
+  json::Value result = json::Value::object();
+  result.set("index", json::Value::number_size(index));
+  result.set("seed", json::Value::number_u64(0x123456789abcdef0ull + index));
+  result.set("ok", json::Value(true));
+  json::Value rec = json::Value::object();
+  rec.set("result", std::move(result));
+  return rec;
+}
+
+Checkpoint sample_checkpoint() {
+  Checkpoint cp;
+  cp.configs = 2;
+  cp.reps = 3;
+  cp.digest = "00deadbeef001122";
+  cp.complete = false;
+  // Completion order deliberately != index order; load must preserve it
+  // (the fold re-sorts, the file does not).
+  cp.runs.push_back(run_record(4));
+  cp.runs.push_back(run_record(0));
+  cp.runs.push_back(run_record(5));
+  return cp;
+}
+
+bool file_exists(const std::string& p) {
+  struct stat st{};
+  return ::stat(p.c_str(), &st) == 0;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+TEST(CampaigndCheckpoint, RoundTrip) {
+  const std::string path = temp_path("roundtrip");
+  const Checkpoint cp = sample_checkpoint();
+  campaignd::write_checkpoint(path, cp);
+
+  const Checkpoint back = campaignd::load_checkpoint(path, cp.digest);
+  EXPECT_EQ(back.configs, cp.configs);
+  EXPECT_EQ(back.reps, cp.reps);
+  EXPECT_EQ(back.digest, cp.digest);
+  EXPECT_EQ(back.complete, cp.complete);
+  ASSERT_EQ(back.runs.size(), cp.runs.size());
+  for (std::size_t i = 0; i < cp.runs.size(); ++i) {
+    EXPECT_EQ(back.runs[i].dump(), cp.runs[i].dump());
+  }
+  EXPECT_EQ(campaignd::record_run_index(back.runs[0]), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaigndCheckpoint, CompleteFlagRoundTrips) {
+  const std::string path = temp_path("complete");
+  Checkpoint cp = sample_checkpoint();
+  cp.complete = true;
+  campaignd::write_checkpoint(path, cp);
+  EXPECT_TRUE(campaignd::load_checkpoint(path, cp.digest).complete);
+  std::remove(path.c_str());
+}
+
+TEST(CampaigndCheckpoint, WriteIsAtomicNoTmpResidue) {
+  const std::string path = temp_path("atomic");
+  campaignd::write_checkpoint(path, sample_checkpoint());
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  // Overwrite in place (the periodic checkpoint path).
+  Checkpoint cp2 = sample_checkpoint();
+  cp2.runs.push_back(run_record(1));
+  campaignd::write_checkpoint(path, cp2);
+  EXPECT_EQ(campaignd::load_checkpoint(path, cp2.digest).runs.size(), 4u);
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(CampaigndCheckpoint, DigestMismatchRejected) {
+  const std::string path = temp_path("digest");
+  campaignd::write_checkpoint(path, sample_checkpoint());
+  EXPECT_THROW(campaignd::load_checkpoint(path, "ffffffffffffffff"),
+               CheckpointError);
+  // Empty expectation skips the compatibility gate (status tooling).
+  EXPECT_NO_THROW(campaignd::load_checkpoint(path, ""));
+  std::remove(path.c_str());
+}
+
+TEST(CampaigndCheckpoint, MissingFileRejected) {
+  EXPECT_THROW(campaignd::load_checkpoint(temp_path("nonexistent-zz"), ""),
+               CheckpointError);
+}
+
+TEST(CampaigndCheckpoint, ForeignOrCorruptFilesRejected) {
+  const std::string path = temp_path("corrupt");
+  const Checkpoint cp = sample_checkpoint();
+
+  // Not JSON at all (a torn write can't produce this -- rename is atomic --
+  // but a user pointing --resume at the wrong file can).
+  write_text(path, "not json {{{");
+  EXPECT_THROW(campaignd::load_checkpoint(path, ""), CheckpointError);
+
+  // Valid JSON, wrong magic.
+  write_text(path, "{\"magic\":\"something-else\",\"version\":1}");
+  EXPECT_THROW(campaignd::load_checkpoint(path, ""), CheckpointError);
+
+  // Right magic, unknown version.
+  campaignd::write_checkpoint(path, cp);
+  {
+    json::Value doc = json::parse(slurp(path));
+    doc.set("version", json::Value::number_i64(99));
+    write_text(path, doc.dump());
+  }
+  EXPECT_THROW(campaignd::load_checkpoint(path, ""), CheckpointError);
+
+  // Run index outside the declared matrix.
+  campaignd::write_checkpoint(path, cp);
+  {
+    json::Value doc = json::parse(slurp(path));
+    json::Value runs = doc.at("runs");
+    runs.push(run_record(6));  // configs*reps == 6 -> max index 5
+    doc.set("runs", std::move(runs));
+    write_text(path, doc.dump());
+  }
+  EXPECT_THROW(campaignd::load_checkpoint(path, ""), CheckpointError);
+
+  // Record without result.index.
+  campaignd::write_checkpoint(path, cp);
+  {
+    json::Value doc = json::parse(slurp(path));
+    json::Value runs = doc.at("runs");
+    runs.push(json::Value::object());
+    doc.set("runs", std::move(runs));
+    write_text(path, doc.dump());
+  }
+  EXPECT_THROW(campaignd::load_checkpoint(path, ""), CheckpointError);
+
+  std::remove(path.c_str());
+}
+
+TEST(CampaigndCheckpoint, RecordRunIndexValidates) {
+  EXPECT_EQ(campaignd::record_run_index(run_record(7)), 7u);
+  EXPECT_THROW(campaignd::record_run_index(json::Value::object()),
+               CheckpointError);
+  EXPECT_THROW(campaignd::record_run_index(json::parse("[1]")),
+               CheckpointError);
+}

@@ -1,0 +1,186 @@
+// Length-prefixed framing: round-trips under arbitrary fragmentation, and
+// truncated/oversized/garbage prefixes are rejected with structured errors
+// (FramingError), never UB. Run under ASan/UBSan in CI.
+#include "campaignd/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+using mts::campaignd::FrameDecoder;
+using mts::campaignd::FramingError;
+using mts::campaignd::encode_frame;
+using mts::campaignd::kMaxFramePayload;
+
+namespace {
+
+std::vector<std::string> feed(FrameDecoder& dec, const char* data,
+                              std::size_t len) {
+  std::vector<std::string> out;
+  dec.feed(data, len, out);
+  return out;
+}
+
+}  // namespace
+
+TEST(CampaigndWire, EncodePrependsBigEndianLength) {
+  const std::string f = encode_frame("abc");
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_EQ(static_cast<unsigned char>(f[0]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(f[1]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(f[2]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(f[3]), 3u);
+  EXPECT_EQ(f.substr(4), "abc");
+}
+
+TEST(CampaigndWire, RoundTripMultipleFrames) {
+  const std::vector<std::string> payloads = {
+      "{}", std::string(1, '\0') + "binary\xff", std::string(70000, 'x'), "a"};
+  std::string stream;
+  for (const std::string& p : payloads) stream += encode_frame(p);
+
+  FrameDecoder dec;
+  const std::vector<std::string> out = feed(dec, stream.data(), stream.size());
+  ASSERT_EQ(out.size(), payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(out[i], payloads[i]);
+  }
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+  EXPECT_FALSE(dec.failed());
+}
+
+TEST(CampaigndWire, ByteAtATimeFeedReassembles) {
+  const std::string stream =
+      encode_frame("hello") + encode_frame(std::string(300, 'z'));
+  FrameDecoder dec;
+  std::vector<std::string> out;
+  for (char c : stream) dec.feed(&c, 1, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "hello");
+  EXPECT_EQ(out[1], std::string(300, 'z'));
+}
+
+TEST(CampaigndWire, SplitAtEveryBoundary) {
+  const std::string stream = encode_frame("abc") + encode_frame("defg");
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    FrameDecoder dec;
+    std::vector<std::string> out;
+    dec.feed(stream.data(), cut, out);
+    dec.feed(stream.data() + cut, stream.size() - cut, out);
+    ASSERT_EQ(out.size(), 2u) << "cut=" << cut;
+    EXPECT_EQ(out[0], "abc");
+    EXPECT_EQ(out[1], "defg");
+  }
+}
+
+TEST(CampaigndWire, ZeroLengthFrameRejected) {
+  const char zeros[4] = {0, 0, 0, 0};
+  FrameDecoder dec;
+  EXPECT_THROW(feed(dec, zeros, 4), FramingError);
+  EXPECT_TRUE(dec.failed());
+}
+
+TEST(CampaigndWire, OversizedPrefixRejectedWithoutBuffering) {
+  // Length word claims 0xFFFFFFFF bytes; the decoder must refuse before
+  // allocating anything of that order.
+  const unsigned char huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  FrameDecoder dec;
+  EXPECT_THROW(feed(dec, reinterpret_cast<const char*>(huge), 4),
+               FramingError);
+  EXPECT_TRUE(dec.failed());
+}
+
+TEST(CampaigndWire, CustomCapEnforced) {
+  FrameDecoder dec(/*max_payload=*/8);
+  const std::string ok = encode_frame("12345678");
+  EXPECT_EQ(feed(dec, ok.data(), ok.size()).size(), 1u);
+  const std::string big = encode_frame("123456789");
+  EXPECT_THROW(feed(dec, big.data(), big.size()), FramingError);
+}
+
+TEST(CampaigndWire, GarbagePrefixRejected) {
+  // ASCII text interpreted as a length prefix exceeds the 16 MiB cap.
+  const std::string garbage = "GET / HTTP/1.1\r\n";
+  FrameDecoder dec;
+  EXPECT_THROW(feed(dec, garbage.data(), garbage.size()), FramingError);
+}
+
+TEST(CampaigndWire, FailureIsLatched) {
+  const char zeros[4] = {0, 0, 0, 0};
+  FrameDecoder dec;
+  EXPECT_THROW(feed(dec, zeros, 4), FramingError);
+  // Even a perfectly valid frame is refused after corruption: the stream
+  // position is unknowable.
+  const std::string ok = encode_frame("x");
+  EXPECT_THROW(feed(dec, ok.data(), ok.size()), FramingError);
+  EXPECT_TRUE(dec.failed());
+}
+
+TEST(CampaigndWire, PendingBytesTracksPartialFrame) {
+  const std::string f = encode_frame("abcdef");
+  FrameDecoder dec;
+  EXPECT_EQ(feed(dec, f.data(), 2).size(), 0u);
+  EXPECT_EQ(dec.pending_bytes(), 2u);
+  EXPECT_EQ(feed(dec, f.data() + 2, 5).size(), 0u);
+  EXPECT_EQ(dec.pending_bytes(), 7u);
+  const std::vector<std::string> out =
+      feed(dec, f.data() + 7, f.size() - 7);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "abcdef");
+  EXPECT_EQ(dec.pending_bytes(), 0u);
+}
+
+TEST(CampaigndWire, EncodeRejectsInvalidPayloads) {
+  EXPECT_THROW(encode_frame(""), FramingError);
+  EXPECT_THROW(encode_frame(std::string(kMaxFramePayload + 1, 'x')),
+               FramingError);
+}
+
+TEST(CampaigndWire, MaxPayloadBoundaryAccepted) {
+  FrameDecoder dec(/*max_payload=*/16);
+  const std::string f = encode_frame(std::string(16, 'y'));
+  const std::vector<std::string> out = feed(dec, f.data(), f.size());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 16u);
+}
+
+TEST(CampaigndWire, TruncatedStreamLeavesPendingNotError) {
+  // A frame cut off mid-payload is "peer died" territory: the decoder just
+  // reports pending bytes; classifying the EOF is the transport's job.
+  const std::string f = encode_frame("abcdef");
+  FrameDecoder dec;
+  EXPECT_EQ(feed(dec, f.data(), f.size() - 2).size(), 0u);
+  EXPECT_FALSE(dec.failed());
+  EXPECT_EQ(dec.pending_bytes(), f.size() - 2);
+}
+
+TEST(CampaigndWire, GarbageStreamsNeverCrash) {
+  std::uint64_t x = 0x243f6a8885a308d3ull;
+  for (int round = 0; round < 100; ++round) {
+    FrameDecoder dec;
+    std::string s;
+    const std::size_t len = (x >> 5) % 128;
+    for (std::size_t i = 0; i < len; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      s.push_back(static_cast<char>(x & 0xFF));
+    }
+    try {
+      // Feed in irregular chunks.
+      std::size_t off = 0;
+      std::vector<std::string> out;
+      while (off < s.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(1 + (x % 7), s.size() - off);
+        dec.feed(s.data() + off, n, out);
+        off += n;
+      }
+    } catch (const FramingError&) {
+    }
+  }
+  SUCCEED();
+}
